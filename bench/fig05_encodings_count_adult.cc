@@ -1,0 +1,11 @@
+// Regenerates paper Fig. 5: the four encodings on α-way marginal workloads
+// over Adult (Q2 and Q3). Expected shape: non-binary encodings (Vanilla-R /
+// Hierarchical-R) beat Binary-F / Gray-F at small ε; the gap shrinks as ε
+// grows; Hierarchical ≈ Vanilla on count queries.
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunEncodingCountFigure("Fig. 5", "Adult");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Fig. 6: the four encodings on α-way marginal workloads
+// over BR2000 (Q2 and Q3). See Fig. 5 for the expected shape.
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunEncodingCountFigure("Fig. 6", "BR2000");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Fig. 8: the four encodings on the BR2000 SVM tasks
+// (religion, car, child, age). See Fig. 7 for the expected shape.
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunEncodingSvmFigure("Fig. 8", "BR2000");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Regenerates paper Fig. 9: the budget-split parameter β swept over
+// {.01,.05,.1,.2,.3,.5,.7,.9} on eight tasks (per dataset: one count
+// workload and one classification target), for several ε lines.
+//
+// Expected shape: U-shaped error in β with a wide near-optimal valley below
+// the midpoint (≈ [0.2, 0.5]) — more budget should go to the marginals than
+// to model selection.
+//
+// Default ε lines are a subset of the paper grid to keep single-core
+// runtime sane; PRIVBAYES_FULL=1 restores all six.
+
+#include <string>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "bench_util/tasks.h"
+#include "common/env.h"
+
+namespace pb = privbayes;
+
+int main() {
+  int repeats = pb::BenchRepeats(1);
+  pb::PrintBenchHeader("Fig. 9",
+                       "Choice of β (θ = 4): count + classification tasks on "
+                       "all datasets",
+                       repeats);
+  std::vector<double> betas = {0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9};
+  std::vector<double> eps_lines =
+      pb::FullFidelity() ? pb::EpsilonGrid()
+                         : std::vector<double>{0.05, 0.2, 1.6};
+  std::vector<std::string> line_names;
+  for (double e : eps_lines) line_names.push_back("eps=" + std::to_string(e));
+
+  for (const char* name : {"NLTCS", "ACS", "Adult", "BR2000"}) {
+    pb::DatasetBundle bundle = pb::LoadBundle(name, pb::BenchSeed());
+    // Count task: the dataset's larger α (Q4 for binary, Q3 for mixed).
+    int alpha = pb::CountAlphasFor(name).back();
+    pb::MarginalWorkload workload = pb::MakeEvalWorkload(
+        bundle.data.schema(), name, alpha, name == std::string("ACS") ? 40 : 120,
+        nullptr);
+    const pb::LabelSpec& label = bundle.labels[0];
+
+    pb::SeriesTable count_table("beta", betas, line_names);
+    pb::SeriesTable svm_table("beta", betas, line_names);
+    for (size_t bi = 0; bi < betas.size(); ++bi) {
+      for (size_t li = 0; li < eps_lines.size(); ++li) {
+        for (int rep = 0; rep < repeats; ++rep) {
+          uint64_t seed = pb::DeriveSeed(
+              pb::BenchSeed(), 90000 + bi * 77 + li * 7 + rep);
+          pb::PrivBayesOptions opts = pb::BenchPrivBayesOptions(eps_lines[li]);
+          opts.beta = betas[bi];
+          pb::Dataset synth_full =
+              pb::RunPrivBayes(bundle.data, opts, pb::DeriveSeed(seed, 1));
+          count_table.Add(bi, li,
+                          pb::CountError(bundle.data, workload, synth_full));
+          pb::Dataset synth_train =
+              pb::RunPrivBayes(bundle.train, opts, pb::DeriveSeed(seed, 2));
+          svm_table.Add(bi, li,
+                        pb::SvmError(synth_train, bundle.test, label,
+                                     pb::DeriveSeed(seed, 3)));
+        }
+      }
+    }
+    count_table.Print(std::string("Fig9 ") + name + " Q" +
+                          std::to_string(alpha),
+                      "average variation distance");
+    svm_table.Print(std::string("Fig9 ") + name + " Y=" + label.name,
+                    "misclassification rate");
+  }
+  return 0;
+}

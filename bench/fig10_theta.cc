@@ -1,0 +1,65 @@
+// Regenerates paper Fig. 10: the θ-usefulness threshold swept over
+// {0.5, 1, 2, 3, 4, 6, 8, 12} on the same eight tasks as Fig. 9 (β = 0.3).
+//
+// Expected shape: a wide flat valley around θ ∈ [3, 6]; very small θ admits
+// marginals drowned in noise, very large θ forces a too-simple model.
+
+#include <string>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "bench_util/tasks.h"
+#include "common/env.h"
+
+namespace pb = privbayes;
+
+int main() {
+  int repeats = pb::BenchRepeats(1);
+  pb::PrintBenchHeader("Fig. 10",
+                       "Choice of θ (β = 0.3): count + classification tasks "
+                       "on all datasets",
+                       repeats);
+  std::vector<double> thetas = {0.5, 1, 2, 3, 4, 6, 8, 12};
+  std::vector<double> eps_lines =
+      pb::FullFidelity() ? pb::EpsilonGrid()
+                         : std::vector<double>{0.05, 0.2, 1.6};
+  std::vector<std::string> line_names;
+  for (double e : eps_lines) line_names.push_back("eps=" + std::to_string(e));
+
+  for (const char* name : {"NLTCS", "ACS", "Adult", "BR2000"}) {
+    pb::DatasetBundle bundle = pb::LoadBundle(name, pb::BenchSeed());
+    int alpha = pb::CountAlphasFor(name).back();
+    pb::MarginalWorkload workload = pb::MakeEvalWorkload(
+        bundle.data.schema(), name, alpha, name == std::string("ACS") ? 40 : 120,
+        nullptr);
+    const pb::LabelSpec& label = bundle.labels[0];
+
+    pb::SeriesTable count_table("theta", thetas, line_names);
+    pb::SeriesTable svm_table("theta", thetas, line_names);
+    for (size_t ti = 0; ti < thetas.size(); ++ti) {
+      for (size_t li = 0; li < eps_lines.size(); ++li) {
+        for (int rep = 0; rep < repeats; ++rep) {
+          uint64_t seed = pb::DeriveSeed(
+              pb::BenchSeed(), 100000 + ti * 77 + li * 7 + rep);
+          pb::PrivBayesOptions opts = pb::BenchPrivBayesOptions(eps_lines[li]);
+          opts.theta = thetas[ti];
+          pb::Dataset synth_full =
+              pb::RunPrivBayes(bundle.data, opts, pb::DeriveSeed(seed, 1));
+          count_table.Add(ti, li,
+                          pb::CountError(bundle.data, workload, synth_full));
+          pb::Dataset synth_train =
+              pb::RunPrivBayes(bundle.train, opts, pb::DeriveSeed(seed, 2));
+          svm_table.Add(ti, li,
+                        pb::SvmError(synth_train, bundle.test, label,
+                                     pb::DeriveSeed(seed, 3)));
+        }
+      }
+    }
+    count_table.Print(std::string("Fig10 ") + name + " Q" +
+                          std::to_string(alpha),
+                      "average variation distance");
+    svm_table.Print(std::string("Fig10 ") + name + " Y=" + label.name,
+                    "misclassification rate");
+  }
+  return 0;
+}

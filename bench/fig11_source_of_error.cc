@@ -1,0 +1,65 @@
+// Regenerates paper Fig. 11: the source-of-error ablation — PrivBayes vs
+// BestNetwork (noiseless structure) vs BestMarginal (noiseless
+// distributions) on the eight tasks of Figs. 9/10.
+//
+// Expected shape: count-query error is dominated by marginal noise
+// (BestMarginal wins big), while classification is relatively more sensitive
+// to a noisy network.
+
+#include <string>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "bench_util/tasks.h"
+#include "common/env.h"
+
+namespace pb = privbayes;
+
+int main() {
+  int repeats = pb::BenchRepeats(1);
+  pb::PrintBenchHeader("Fig. 11",
+                       "Source of error: PrivBayes vs BestNetwork vs "
+                       "BestMarginal (β = 0.3, θ = 4)",
+                       repeats);
+  std::vector<double> eps = pb::EpsilonGrid();
+  std::vector<std::string> methods = {"PrivBayes", "BestNetwork",
+                                      "BestMarginal"};
+
+  for (const char* name : {"NLTCS", "ACS", "Adult", "BR2000"}) {
+    pb::DatasetBundle bundle = pb::LoadBundle(name, pb::BenchSeed());
+    int alpha = pb::CountAlphasFor(name).back();
+    pb::MarginalWorkload workload = pb::MakeEvalWorkload(
+        bundle.data.schema(), name, alpha, name == std::string("ACS") ? 40 : 120,
+        nullptr);
+    const pb::LabelSpec& label = bundle.labels[0];
+
+    pb::SeriesTable count_table("epsilon", eps, methods);
+    pb::SeriesTable svm_table("epsilon", eps, methods);
+    for (size_t ei = 0; ei < eps.size(); ++ei) {
+      for (size_t mi = 0; mi < methods.size(); ++mi) {
+        for (int rep = 0; rep < repeats; ++rep) {
+          uint64_t seed = pb::DeriveSeed(
+              pb::BenchSeed(), 110000 + ei * 53 + mi * 7 + rep);
+          pb::PrivBayesOptions opts = pb::BenchPrivBayesOptions(eps[ei]);
+          opts.best_network = (mi == 1);
+          opts.best_marginal = (mi == 2);
+          pb::Dataset synth_full =
+              pb::RunPrivBayes(bundle.data, opts, pb::DeriveSeed(seed, 1));
+          count_table.Add(ei, mi,
+                          pb::CountError(bundle.data, workload, synth_full));
+          pb::Dataset synth_train =
+              pb::RunPrivBayes(bundle.train, opts, pb::DeriveSeed(seed, 2));
+          svm_table.Add(ei, mi,
+                        pb::SvmError(synth_train, bundle.test, label,
+                                     pb::DeriveSeed(seed, 3)));
+        }
+      }
+    }
+    count_table.Print(std::string("Fig11 ") + name + " Q" +
+                          std::to_string(alpha),
+                      "average variation distance");
+    svm_table.Print(std::string("Fig11 ") + name + " Y=" + label.name,
+                    "misclassification rate");
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates paper Fig. 12: PrivBayes vs Laplace, Fourier, Contingency,
+// MWEM and Uniform on NLTCS Q3/Q4. Expected shape: PrivBayes wins
+// throughout, by the largest margin at small ε and at α = 4.
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunMarginalBaselinesFigure("Fig. 12", "NLTCS",
+                                        /*full_domain_baselines=*/true);
+  return 0;
+}

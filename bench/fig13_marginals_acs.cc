@@ -1,0 +1,11 @@
+// Regenerates paper Fig. 13: PrivBayes vs baselines on ACS Q3/Q4. Expected
+// shape: as Fig. 12; Contingency collapses to Uniform (2^23-cell domain,
+// signal-to-noise ≈ 0).
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunMarginalBaselinesFigure("Fig. 13", "ACS",
+                                        /*full_domain_baselines=*/true);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates paper Fig. 14: PrivBayes vs Laplace, Fourier and Uniform on
+// Adult Q2/Q3 (Contingency/MWEM are inapplicable: domain ≈ 2^50). Expected
+// shape: PrivBayes wins; Fourier suffers from the binarized-cube coefficient
+// count.
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunMarginalBaselinesFigure("Fig. 14", "Adult",
+                                        /*full_domain_baselines=*/false);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates paper Fig. 15: PrivBayes vs Laplace, Fourier and Uniform on
+// BR2000 Q2/Q3. See Fig. 14 for the expected shape.
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunMarginalBaselinesFigure("Fig. 15", "BR2000",
+                                        /*full_domain_baselines=*/false);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates paper Fig. 16: PrivBayes vs PrivateERM (ε/4 and single-task),
+// PrivGene, Majority and NoPrivacy on the NLTCS SVM tasks. Expected shape:
+// PrivBayes beats the ε/4 multi-task baselines; PrivateERM(Single) is the
+// strongest private competitor; Majority is flat; NoPrivacy lower-bounds.
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunSvmBaselinesFigure("Fig. 16", "NLTCS");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Regenerates paper Fig. 17: classification baselines on ACS.
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunSvmBaselinesFigure("Fig. 17", "ACS");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Fig. 18: classification baselines on Adult (the dataset
+// where footnote 7's PrivateERM ε′p artifact appears at ε = 1.6).
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunSvmBaselinesFigure("Fig. 18", "Adult");
+  return 0;
+}

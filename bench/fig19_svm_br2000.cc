@@ -1,0 +1,8 @@
+// Regenerates paper Fig. 19: classification baselines on BR2000.
+
+#include "bench_util/figures.h"
+
+int main() {
+  privbayes::RunSvmBaselinesFigure("Fig. 19", "BR2000");
+  return 0;
+}

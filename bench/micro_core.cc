@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the core operations: joint counting,
+// the three score functions, exponential-mechanism selection, and ancestral
+// sampling throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bn/sampling.h"
+#include "core/noisy_conditionals.h"
+#include "core/score_functions.h"
+#include "data/generators.h"
+#include "dp/mechanisms.h"
+
+namespace pb = privbayes;
+
+namespace {
+
+const pb::Dataset& Nltcs() {
+  static const pb::Dataset* data = new pb::Dataset(pb::MakeNltcs(1, 21574));
+  return *data;
+}
+
+std::vector<int> PairAttrs(int parents) {
+  std::vector<int> attrs;
+  for (int i = 0; i <= parents; ++i) attrs.push_back(i);
+  return attrs;
+}
+
+void BM_JointCounts(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  std::vector<int> attrs = PairAttrs(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.JointCounts(attrs));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_JointCounts)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_ScoreI(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  pb::ProbTable counts =
+      data.JointCounts(PairAttrs(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pb::ScoreI(counts, data.num_rows()));
+  }
+}
+BENCHMARK(BM_ScoreI)->Arg(3)->Arg(7);
+
+void BM_ScoreR(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  pb::ProbTable counts =
+      data.JointCounts(PairAttrs(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pb::ScoreR(counts, data.num_rows()));
+  }
+}
+BENCHMARK(BM_ScoreR)->Arg(3)->Arg(7);
+
+void BM_ScoreFExact(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  pb::ProbTable counts =
+      data.JointCounts(PairAttrs(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pb::ScoreF(counts, data.num_rows(), 0));
+  }
+}
+BENCHMARK(BM_ScoreFExact)->Arg(3)->Arg(5);
+
+void BM_ScoreFThinned(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  pb::ProbTable counts =
+      data.JointCounts(PairAttrs(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pb::ScoreF(counts, data.num_rows(), 2048));
+  }
+}
+BENCHMARK(BM_ScoreFThinned)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_ExponentialMechanism(benchmark::State& state) {
+  pb::Rng rng(7);
+  std::vector<double> scores(state.range(0));
+  for (double& s : scores) s = rng.Uniform();
+  pb::ExponentialMechanism em(0.001, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(em.Select(scores, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExponentialMechanism)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_AncestralSampling(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  pb::BayesNet net;
+  for (int i = 0; i < data.num_attrs(); ++i) {
+    pb::APPair p;
+    p.attr = i;
+    for (int j = std::max(0, i - 2); j < i; ++j) {
+      p.parents.push_back(pb::GenAttr{j, 0});
+    }
+    net.Add(std::move(p));
+  }
+  pb::Rng crng(3);
+  pb::ConditionalSet cs =
+      pb::NoisyConditionalsBinary(data, net, 2, 0.0, crng, nullptr);
+  pb::Rng rng(4);
+  const int rows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pb::SampleFromNetwork(data.schema(), net, cs, rows, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_AncestralSampling)->Arg(1000)->Arg(10000);
+
+void BM_LaplaceNoiseVector(benchmark::State& state) {
+  pb::Rng rng(5);
+  std::vector<double> cells(state.range(0), 0.0);
+  pb::LaplaceMechanism lap(2.0 / 21574, 0.1);
+  for (auto _ : state) {
+    lap.Apply(cells, rng);
+    benchmark::DoNotOptimize(cells.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LaplaceNoiseVector)->Arg(256)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Census marginal study: the paper's motivating workload (§1) — publish a
+// census-style table so analysts can run arbitrary count queries — comparing
+// PrivBayes synthetic data against the naive Laplace-per-marginal release at
+// the same total budget.
+//
+// Demonstrates: workload construction, the MarginalProvider abstraction,
+// and why per-query noise scales badly while synthetic data doesn't
+// (PrivBayes's error is flat in the number of queries answered).
+
+#include <cstdio>
+
+#include "baselines/laplace_marginals.h"
+#include "baselines/uniform.h"
+#include "core/privbayes.h"
+#include "data/generators.h"
+#include "query/marginal_workload.h"
+
+namespace pb = privbayes;
+
+int main() {
+  pb::Dataset census = pb::MakeNltcs(/*seed=*/7, /*num_rows=*/21574);
+  const double epsilon = 0.2;
+  std::printf("Census-style table: %d rows, %d binary attributes, ε = %.2f\n",
+              census.num_rows(), census.num_attrs(), epsilon);
+
+  // PrivBayes: pay ε once, answer everything from the synthetic data.
+  pb::PrivBayesOptions options;
+  options.epsilon = epsilon;
+  options.candidate_cap = 200;
+  pb::PrivBayes privbayes(options);
+  pb::Rng rng(11);
+  pb::Dataset synthetic = privbayes.Run(census, rng);
+
+  std::printf("\n%8s %12s %12s %12s  (avg variation distance)\n", "workload",
+              "PrivBayes", "Laplace", "Uniform");
+  for (int alpha : {1, 2, 3}) {
+    pb::MarginalWorkload workload =
+        pb::MarginalWorkload::AllAlphaWay(census.schema(), alpha);
+    size_t full_size = workload.size();
+    pb::Rng wrng(alpha);
+    workload.SubsampleTo(80, wrng);
+
+    double pb_err = pb::AverageMarginalTvd(census, workload, synthetic);
+
+    // Laplace must split ε across EVERY marginal of the workload it
+    // publishes, so its noise grows with |Qα|.
+    pb::Rng lrng(100 + alpha);
+    std::vector<pb::ProbTable> noisy =
+        pb::LaplaceMarginals(census, workload, epsilon, lrng, full_size);
+    double lap_err = 0;
+    for (size_t q = 0; q < workload.size(); ++q) {
+      lap_err += pb::EmpiricalMarginal(census, workload.attr_sets[q])
+                     .TotalVariationDistance(noisy[q]);
+    }
+    lap_err /= workload.size();
+
+    double uni_err = pb::AverageMarginalTvd(census, workload,
+                                            pb::UniformProvider(census.schema()));
+    std::printf("%7s%zu %12.4f %12.4f %12.4f\n", "Q", (size_t)alpha, pb_err,
+                lap_err, uni_err);
+  }
+  std::printf(
+      "\nNote how the Laplace column degrades as the workload grows while "
+      "PrivBayes stays flat —\nthe query-independence property of §1.2.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Classification study: train SVM classifiers on PrivBayes synthetic data
+// (the §6.6 exploratory-analysis workflow) and compare against the private
+// baselines at the same total budget.
+//
+// The point the paper makes: one PrivBayes release supports ALL four
+// classification tasks, while per-task mechanisms must split ε four ways.
+
+#include <cstdio>
+
+#include "baselines/majority.h"
+#include "baselines/private_erm.h"
+#include "bench_util/tasks.h"
+#include "core/privbayes.h"
+
+namespace pb = privbayes;
+
+int main() {
+  pb::DatasetBundle bundle = pb::LoadBundle("NLTCS", /*seed=*/2014);
+  const double epsilon = 0.4;
+  std::printf(
+      "NLTCS disability survey: %d train / %d test rows, total ε = %.2f, "
+      "four prediction tasks\n",
+      bundle.train.num_rows(), bundle.test.num_rows(), epsilon);
+
+  // One PrivBayes run serves all four classifiers.
+  pb::PrivBayesOptions options;
+  options.epsilon = epsilon;
+  options.candidate_cap = 200;
+  pb::PrivBayes privbayes(options);
+  pb::Rng rng(5);
+  pb::Dataset synthetic = privbayes.Run(bundle.train, rng);
+
+  std::printf("\n%-10s %10s %12s %12s %12s %12s\n", "target", "PrivBayes",
+              "PrivateERM", "ERM-Single", "Majority", "NoPrivacy");
+  double eps_per_task = epsilon / bundle.labels.size();
+  for (size_t li = 0; li < bundle.labels.size(); ++li) {
+    const pb::LabelSpec& label = bundle.labels[li];
+    double privbayes_err =
+        pb::SvmError(synthetic, bundle.test, label, 900 + li);
+
+    pb::PrivateErmOptions eopts;
+    pb::Rng r1(200 + li);
+    double erm_err = pb::MisclassificationRate(
+        bundle.test, label,
+        pb::TrainPrivateErm(bundle.train, label, eps_per_task, eopts, r1));
+    pb::Rng r2(300 + li);
+    double erm_single_err = pb::MisclassificationRate(
+        bundle.test, label,
+        pb::TrainPrivateErm(bundle.train, label, epsilon, eopts, r2));
+
+    pb::Rng r3(400 + li);
+    pb::MajorityModel maj =
+        pb::TrainMajority(bundle.train, label, eps_per_task, r3);
+    double maj_err = pb::MajorityMisclassification(bundle.test, label, maj);
+
+    double clean_err =
+        pb::SvmError(bundle.train, bundle.test, label, 500 + li);
+
+    std::printf("%-10s %10.3f %12.3f %12.3f %12.3f %12.3f\n",
+                label.name.c_str(), privbayes_err, erm_err, erm_single_err,
+                maj_err, clean_err);
+  }
+  std::printf(
+      "\nPrivateERM pays ε/4 per task; ERM-Single shows what it could do "
+      "with the full ε on ONE task.\nPrivBayes answers all four from a "
+      "single ε-DP release.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Model serving: the fit-once / serve-forever workflow.
+//
+// The fitted PrivBayes model IS the private release — once ε is spent, the
+// model can be archived, reloaded, sampled, and queried any number of times
+// at zero additional privacy cost (post-processing). This example:
+//   1. fits a model on a sensitive table,
+//   2. saves it to disk and reloads it (core/model_io.h),
+//   3. answers marginal queries DIRECTLY from the reloaded model via
+//      variable elimination (core/inference.h — the paper's §7 future-work
+//      direction) and compares against sampled answers.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/inference.h"
+#include "core/model_io.h"
+#include "core/privbayes.h"
+#include "data/generators.h"
+#include "query/marginal_workload.h"
+
+namespace pb = privbayes;
+
+int main() {
+  pb::Dataset sensitive = pb::MakeNltcs(/*seed=*/99, /*num_rows=*/21574);
+  pb::PrivBayesOptions options;
+  options.epsilon = 0.4;
+  options.candidate_cap = 200;
+  pb::PrivBayes privbayes(options);
+  pb::Rng rng(1);
+
+  std::printf("Fitting (ε = %.2f)...\n", options.epsilon);
+  pb::PrivBayesModel fitted = privbayes.Fit(sensitive, rng);
+  pb::SaveModelFile(fitted, "nltcs.privbayes-model");
+  std::printf("Model archived to nltcs.privbayes-model\n");
+
+  // ... later, in a serving process with no access to the sensitive data:
+  auto model = std::make_shared<pb::PrivBayesModel>(
+      pb::LoadModelFile("nltcs.privbayes-model"));
+  std::printf("Reloaded model: %d attributes, degree k = %d, ε1+ε2 = %.2f\n\n",
+              model->encoded_schema.num_attrs(), model->degree_k,
+              model->epsilon1 + model->epsilon2);
+
+  // Serve: exact model marginals (no sampling noise) vs an n-row synthetic
+  // sample (what the paper's evaluation uses).
+  pb::Rng srng(2);
+  pb::Dataset synthetic =
+      pb::SampleSyntheticData(*model, sensitive.num_rows(), srng);
+  pb::MarginalWorkload workload =
+      pb::MarginalWorkload::AllAlphaWay(sensitive.schema(), 3);
+  pb::Rng wrng(3);
+  workload.SubsampleTo(60, wrng);
+
+  double direct_err = pb::AverageMarginalTvd(
+      sensitive, workload, pb::ModelMarginalProvider(model));
+  double sampled_err = pb::AverageMarginalTvd(sensitive, workload, synthetic);
+  std::printf("Average Q3 variation distance vs the sensitive data:\n");
+  std::printf("  answers sampled from synthetic rows : %.4f\n", sampled_err);
+  std::printf("  answers computed from the model     : %.4f\n", direct_err);
+  std::printf(
+      "\nDirect answers drop the sampling-noise term — the §7 'answer from "
+      "the model' idea.\nBoth numbers cost zero additional privacy budget.\n");
+  return 0;
+}

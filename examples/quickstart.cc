@@ -1,0 +1,56 @@
+// Quickstart: release a differentially private synthetic version of a
+// sensitive table in ~20 lines.
+//
+//   1. Describe the schema (or load one of the built-in study populations).
+//   2. Pick a privacy budget ε and run PrivBayes.
+//   3. Use the synthetic data anywhere the real data is too sensitive to
+//      share — here we compare a few 2-way marginals.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/privbayes.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "query/marginal_workload.h"
+
+namespace pb = privbayes;
+
+int main() {
+  // The "sensitive" input: a 5,000-person sample of the Adult-style census
+  // population (see data/generators.h — real Adult is not redistributable).
+  pb::Dataset sensitive = pb::MakeAdult(/*seed=*/2026, /*num_rows=*/5000);
+  std::printf("Input: %d rows x %d attributes (domain ≈ 2^%.0f)\n",
+              sensitive.num_rows(), sensitive.num_attrs(),
+              sensitive.schema().DomainBits());
+
+  // Configure PrivBayes: total budget ε = 0.8, paper defaults everywhere
+  // else (β = 0.3, θ = 4, hierarchical encoding).
+  pb::PrivBayesOptions options;
+  options.epsilon = 0.8;
+  options.candidate_cap = 200;  // exhaustive enumeration is slow on 1 core
+
+  pb::PrivBayes privbayes(options);
+  pb::Rng rng(42);
+  pb::PrivBayesModel model = privbayes.Fit(sensitive, rng);
+  std::printf("\nLearned network (ε1 = %.3f, ε2 = %.3f):\n%s\n",
+              model.epsilon1, model.epsilon2,
+              model.network.DebugString(model.encoded_schema).c_str());
+
+  pb::Dataset synthetic =
+      privbayes.Synthesize(model, sensitive.num_rows(), rng);
+  pb::WriteCsvFile(synthetic, "quickstart_synthetic.csv");
+  std::printf("Wrote %d synthetic rows to quickstart_synthetic.csv\n",
+              synthetic.num_rows());
+
+  // How faithful are low-dimensional statistics?
+  pb::MarginalWorkload workload =
+      pb::MarginalWorkload::AllAlphaWay(sensitive.schema(), 2);
+  pb::Rng wrng(1);
+  workload.SubsampleTo(30, wrng);
+  double err = pb::AverageMarginalTvd(sensitive, workload, synthetic);
+  std::printf("Average 2-way marginal variation distance: %.4f\n", err);
+  std::printf("(0 = identical distributions, 1 = disjoint)\n");
+  return 0;
+}

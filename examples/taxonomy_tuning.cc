@@ -1,0 +1,78 @@
+// Taxonomy tuning: how attribute encodings (§5.1) change the quality of the
+// released data on a mixed-domain table, and how the hierarchical encoding
+// exploits taxonomy trees at tight budgets.
+//
+// Demonstrates: building custom taxonomies, the four EncodingKind options,
+// and inspecting which generalization levels the learned network chose.
+
+#include <cstdio>
+
+#include "core/privbayes.h"
+#include "data/generators.h"
+#include "query/marginal_workload.h"
+
+namespace pb = privbayes;
+
+int main() {
+  pb::Dataset data = pb::MakeBr2000(/*seed=*/3, /*num_rows=*/10000);
+  std::printf("BR2000-style table: %d rows, %d mixed attributes\n",
+              data.num_rows(), data.num_attrs());
+  std::printf("Taxonomies: e.g. '%s' has %d levels (%d -> ... -> %d values)\n\n",
+              data.schema().attr(9).name.c_str(),
+              data.schema().attr(9).taxonomy.num_levels(),
+              data.schema().CardinalityAt(9, 0),
+              data.schema().CardinalityAt(
+                  9, data.schema().attr(9).taxonomy.num_levels() - 1));
+
+  pb::MarginalWorkload workload =
+      pb::MarginalWorkload::AllAlphaWay(data.schema(), 2);
+  pb::Rng wrng(1);
+  workload.SubsampleTo(40, wrng);
+
+  std::printf("%-16s %10s %10s\n", "encoding", "eps=0.1", "eps=0.8");
+  for (pb::EncodingKind kind :
+       {pb::EncodingKind::kBinary, pb::EncodingKind::kGray,
+        pb::EncodingKind::kVanilla, pb::EncodingKind::kHierarchical}) {
+    std::printf("%-16s", pb::EncodingName(kind));
+    for (double eps : {0.1, 0.8}) {
+      double total = 0;
+      const int reps = 3;
+      for (int rep = 0; rep < reps; ++rep) {
+        pb::PrivBayesOptions options;
+        options.epsilon = eps;
+        options.encoding = kind;
+        options.candidate_cap = 150;
+        pb::PrivBayes privbayes(options);
+        pb::Rng rng(100 * rep + static_cast<int>(kind));
+        pb::Dataset synth = privbayes.Run(data, rng);
+        total += pb::AverageMarginalTvd(data, workload, synth);
+      }
+      std::printf(" %10.4f", total / reps);
+    }
+    std::printf("\n");
+  }
+
+  // Peek inside a hierarchical model: which levels did the network pick?
+  pb::PrivBayesOptions options;
+  options.epsilon = 0.1;
+  options.encoding = pb::EncodingKind::kHierarchical;
+  options.candidate_cap = 150;
+  pb::PrivBayes privbayes(options);
+  pb::Rng rng(9);
+  pb::PrivBayesModel model = privbayes.Fit(data, rng);
+  int generalized = 0, parents = 0;
+  for (const pb::APPair& pair : model.network.pairs()) {
+    for (const pb::GenAttr& g : pair.parents) {
+      ++parents;
+      if (g.level > 0) ++generalized;
+    }
+  }
+  std::printf(
+      "\nAt ε = 0.1 the hierarchical network used %d generalized parents out "
+      "of %d —\ncoarse levels keep large-domain attributes usable under "
+      "θ-usefulness (§5.2).\n",
+      generalized, parents);
+  std::printf("\nLearned structure:\n%s",
+              model.network.DebugString(model.encoded_schema).c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "baselines/contingency.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "dp/mechanisms.h"
+
+namespace privbayes {
+
+ProbTable NoisyContingencyTable(const Dataset& data, double epsilon, Rng& rng,
+                                size_t max_cells) {
+  PB_THROW_IF(epsilon <= 0, "epsilon must be positive");
+  const Schema& schema = data.schema();
+  std::vector<int> cards;
+  for (int a = 0; a < schema.num_attrs(); ++a) {
+    cards.push_back(schema.Cardinality(a));
+  }
+  CheckedDomainSize(cards, max_cells);
+  std::vector<int> attrs(schema.num_attrs());
+  for (int a = 0; a < schema.num_attrs(); ++a) attrs[a] = a;
+  ProbTable table = data.JointCounts(attrs);
+  double n = data.num_rows();
+  for (double& v : table.values()) v /= n;
+  LaplaceMechanism lap(2.0 / n, epsilon);
+  lap.Apply(table.values(), rng);
+  table.ClampNegatives();
+  table.Normalize();
+  return table;
+}
+
+MarginalProvider ContingencyProvider(const Dataset& data, double epsilon,
+                                     Rng& rng, size_t max_cells) {
+  auto table = std::make_shared<ProbTable>(
+      NoisyContingencyTable(data, epsilon, rng, max_cells));
+  return [table](const std::vector<int>& attrs) {
+    std::vector<int> vars;
+    vars.reserve(attrs.size());
+    for (int a : attrs) vars.push_back(GenVarId(a));
+    return table->MarginalizeOnto(vars);
+  };
+}
+
+}  // namespace privbayes

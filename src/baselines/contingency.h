@@ -1,0 +1,31 @@
+// The Contingency baseline (paper §6.1): release the FULL noisy contingency
+// table once — sensitivity 2/n, Laplace(2/(n·ε)) per cell — then project it
+// onto each requested marginal.
+//
+// This is the textbook illustration of the signal-to-noise problem the paper
+// opens with: the table has Π|dom| cells and average signal n/m per cell, so
+// for NLTCS (2^16) it is merely bad while for ACS (2^23 cells, n/m ≈ 0.006)
+// the output is indistinguishable from Uniform (Fig. 13). Only applicable to
+// datasets whose full domain fits in memory.
+
+#ifndef PRIVBAYES_BASELINES_CONTINGENCY_H_
+#define PRIVBAYES_BASELINES_CONTINGENCY_H_
+
+#include "common/random.h"
+#include "query/marginal_workload.h"
+
+namespace privbayes {
+
+/// The noisy full contingency table as a normalized distribution. Throws if
+/// the domain exceeds `max_cells`.
+ProbTable NoisyContingencyTable(const Dataset& data, double epsilon, Rng& rng,
+                                size_t max_cells = size_t{1} << 24);
+
+/// MarginalProvider backed by one noisy contingency table.
+MarginalProvider ContingencyProvider(const Dataset& data, double epsilon,
+                                     Rng& rng,
+                                     size_t max_cells = size_t{1} << 24);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BASELINES_CONTINGENCY_H_

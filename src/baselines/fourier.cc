@@ -1,0 +1,192 @@
+#include "baselines/fourier.h"
+
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "dp/mechanisms.h"
+
+namespace privbayes {
+
+namespace {
+
+int BitsFor(int cardinality) {
+  int bits = 0;
+  while ((1 << bits) < cardinality) ++bits;
+  return bits < 1 ? 1 : bits;
+}
+
+// Global bit layout: attribute a occupies bit positions
+// [offset[a], offset[a] + bits[a]) with the code stored LSB-at-offset.
+struct BitLayout {
+  std::vector<int> bits;
+  std::vector<int> offsets;
+  int total_bits = 0;
+
+  explicit BitLayout(const Schema& schema) {
+    bits.resize(schema.num_attrs());
+    offsets.resize(schema.num_attrs());
+    for (int a = 0; a < schema.num_attrs(); ++a) {
+      bits[a] = BitsFor(schema.Cardinality(a));
+      offsets[a] = total_bits;
+      total_bits += bits[a];
+    }
+    PB_THROW_IF(total_bits > 62,
+                "Fourier baseline needs a <= 62-bit binarized domain, got "
+                    << total_bits);
+  }
+};
+
+// Per-marginal local cube descriptor.
+struct LocalCube {
+  std::vector<int> attrs;       // marginal attribute set
+  std::vector<int> local_off;   // local bit offset per attr
+  int local_bits = 0;           // B
+  // global bit index of each local bit.
+  std::vector<int> global_bit;
+
+  LocalCube(const BitLayout& layout, const std::vector<int>& attr_set)
+      : attrs(attr_set) {
+    for (int a : attrs) {
+      local_off.push_back(local_bits);
+      for (int b = 0; b < layout.bits[a]; ++b) {
+        global_bit.push_back(layout.offsets[a] + b);
+      }
+      local_bits += layout.bits[a];
+    }
+    PB_THROW_IF(local_bits > 24, "marginal binarized cube too large");
+  }
+
+  // Maps a local bitmask to the global coefficient key.
+  uint64_t GlobalKey(uint32_t local_mask) const {
+    uint64_t key = 0;
+    while (local_mask) {
+      int b = std::countr_zero(local_mask);
+      key |= uint64_t{1} << global_bit[b];
+      local_mask &= local_mask - 1;
+    }
+    return key;
+  }
+
+  // Local cube index of one original-domain assignment.
+  uint32_t CubeIndex(std::span<const Value> values) const {
+    uint32_t idx = 0;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      idx |= static_cast<uint32_t>(values[i]) << local_off[i];
+    }
+    return idx;
+  }
+};
+
+// Exact binarized-cube marginal of `data` over the attrs of `cube`,
+// normalized to probabilities.
+std::vector<double> CubeMarginal(const Dataset& data, const LocalCube& cube) {
+  std::vector<double> f(size_t{1} << cube.local_bits, 0.0);
+  int n = data.num_rows();
+  for (int r = 0; r < n; ++r) {
+    uint32_t idx = 0;
+    for (size_t i = 0; i < cube.attrs.size(); ++i) {
+      idx |= static_cast<uint32_t>(data.at(r, cube.attrs[i]))
+             << cube.local_off[i];
+    }
+    f[idx] += 1.0;
+  }
+  for (double& v : f) v /= n;
+  return f;
+}
+
+}  // namespace
+
+void WalshHadamardTransform(std::vector<double>& values) {
+  size_t n = values.size();
+  PB_THROW_IF(n == 0 || (n & (n - 1)) != 0, "WHT needs a power-of-two size");
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t i = 0; i < n; i += len << 1) {
+      for (size_t j = i; j < i + len; ++j) {
+        double a = values[j];
+        double b = values[j + len];
+        values[j] = a + b;
+        values[j + len] = a - b;
+      }
+    }
+  }
+}
+
+size_t FourierCoefficientCount(const Schema& schema,
+                               const MarginalWorkload& workload) {
+  BitLayout layout(schema);
+  std::unordered_set<uint64_t> keys;
+  for (const std::vector<int>& attrs : workload.attr_sets) {
+    LocalCube cube(layout, attrs);
+    size_t cells = size_t{1} << cube.local_bits;
+    for (uint32_t mask = 1; mask < cells; ++mask) {
+      keys.insert(cube.GlobalKey(mask));
+    }
+  }
+  return keys.size();  // excludes the public empty coefficient
+}
+
+std::vector<ProbTable> FourierMarginals(const Dataset& data,
+                                        const MarginalWorkload& workload,
+                                        double epsilon, Rng& rng,
+                                        const MarginalWorkload* budget_workload) {
+  PB_THROW_IF(epsilon <= 0, "epsilon must be positive");
+  const Schema& schema = data.schema();
+  BitLayout layout(schema);
+  size_t m = FourierCoefficientCount(
+      schema, budget_workload != nullptr ? *budget_workload : workload);
+  double n = data.num_rows();
+  double noise_scale = 2.0 * static_cast<double>(m) / (n * epsilon);
+
+  // Noisy coefficients, realized lazily but shared across marginals so each
+  // coefficient is noised exactly once.
+  std::unordered_map<uint64_t, double> noisy;
+
+  std::vector<ProbTable> out;
+  out.reserve(workload.size());
+  for (const std::vector<int>& attrs : workload.attr_sets) {
+    LocalCube cube(layout, attrs);
+    size_t cells = size_t{1} << cube.local_bits;
+    std::vector<double> f = CubeMarginal(data, cube);
+    WalshHadamardTransform(f);  // f[mask] = exact coefficient
+    // Replace with shared noisy coefficients.
+    for (uint32_t mask = 1; mask < cells; ++mask) {
+      uint64_t key = cube.GlobalKey(mask);
+      auto it = noisy.find(key);
+      if (it == noisy.end()) {
+        it = noisy.emplace(key, f[mask] + rng.Laplace(noise_scale)).first;
+      }
+      f[mask] = it->second;
+    }
+    // f[0] = 1 exactly (public normalization).
+    WalshHadamardTransform(f);
+    double inv = 1.0 / static_cast<double>(cells);
+    for (double& v : f) v *= inv;
+
+    // Fold the binary cube back into the original domain; out-of-domain
+    // codes are clamped per attribute (the BinaryEncoder convention).
+    std::vector<int> vars, cards;
+    for (int a : attrs) {
+      vars.push_back(GenVarId(a));
+      cards.push_back(schema.Cardinality(a));
+    }
+    ProbTable marginal(std::move(vars), std::move(cards));
+    std::vector<Value> assignment(attrs.size());
+    for (size_t x = 0; x < cells; ++x) {
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        int code = static_cast<int>((x >> cube.local_off[i]) &
+                                    ((uint32_t{1} << layout.bits[attrs[i]]) - 1));
+        int card = schema.Cardinality(attrs[i]);
+        assignment[i] = static_cast<Value>(code < card ? code : card - 1);
+      }
+      marginal.At(assignment) += f[x];
+    }
+    marginal.ClampNegatives();
+    marginal.Normalize();
+    out.push_back(std::move(marginal));
+  }
+  return out;
+}
+
+}  // namespace privbayes

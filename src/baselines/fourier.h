@@ -1,0 +1,52 @@
+// The Fourier baseline — Barak et al. [2] (paper §6.1).
+//
+// The dataset is viewed as a function over the binary cube (non-binary
+// attributes are binarized with the natural code, as the paper does) and the
+// mechanism releases noisy Walsh–Hadamard coefficients; any workload
+// marginal is then reconstructed from the coefficients it depends on.
+//
+// Releasing m coefficients (each an average of characters χ_S ∈ {−1, +1},
+// so each changes by at most 2/n when one tuple changes) is one composite
+// query of L1 sensitivity 2m/n, hence Laplace(2m/(n·ε)) per coefficient. For
+// all-binary data and workload Qα this is exactly the classic construction
+// with m = Σ_{j<=α} C(d, j) − 1 coefficients (the empty coefficient is the
+// public total and needs no noise). For general domains, each workload
+// marginal T needs every coefficient inside T's binarized cube; coefficients
+// shared between overlapping marginals are deduplicated and noised once.
+//
+// Restriction: the total binarized width must fit in 64 bits (true for all
+// four evaluation datasets; Adult is the widest at ~50 bits).
+
+#ifndef PRIVBAYES_BASELINES_FOURIER_H_
+#define PRIVBAYES_BASELINES_FOURIER_H_
+
+#include "common/random.h"
+#include "query/marginal_workload.h"
+
+namespace privbayes {
+
+/// In-place unnormalized Walsh–Hadamard transform of `values` (size must be
+/// a power of two): out[S] = Σ_x in[x]·(−1)^{popcount(S & x)}. Applying it
+/// twice multiplies by the size, so the inverse is WHT + division. Exposed
+/// for tests.
+void WalshHadamardTransform(std::vector<double>& values);
+
+/// Releases the workload's marginals via noisy Fourier coefficients.
+/// `budget_workload` (optional) is the FULL workload whose coefficient count
+/// sets the noise scale when `workload` is an evaluation subsample; pass
+/// nullptr to budget for `workload` itself. Returns one marginal per
+/// workload entry, clamped and normalized.
+std::vector<ProbTable> FourierMarginals(const Dataset& data,
+                                        const MarginalWorkload& workload,
+                                        double epsilon, Rng& rng,
+                                        const MarginalWorkload* budget_workload
+                                        = nullptr);
+
+/// The number of distinct coefficients the mechanism must release for this
+/// workload (the m in the noise scale). Exposed for tests and reporting.
+size_t FourierCoefficientCount(const Schema& schema,
+                               const MarginalWorkload& workload);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BASELINES_FOURIER_H_

@@ -1,0 +1,34 @@
+#include "baselines/laplace_marginals.h"
+
+#include "common/check.h"
+#include "dp/mechanisms.h"
+
+namespace privbayes {
+
+std::vector<ProbTable> LaplaceMarginals(const Dataset& data,
+                                        const MarginalWorkload& workload,
+                                        double epsilon, Rng& rng,
+                                        size_t workload_size_for_budget) {
+  PB_THROW_IF(epsilon <= 0, "epsilon must be positive");
+  double n = data.num_rows();
+  size_t num_queries = workload_size_for_budget > 0
+                           ? workload_size_for_budget
+                           : workload.size();
+  PB_THROW_IF(num_queries < workload.size(),
+              "budget workload smaller than evaluation workload");
+  // One composite release: sensitivity 2|Q|/n over probability cells.
+  LaplaceMechanism lap(2.0 * static_cast<double>(num_queries) / n, epsilon);
+  std::vector<ProbTable> out;
+  out.reserve(workload.size());
+  for (const std::vector<int>& attrs : workload.attr_sets) {
+    ProbTable marginal = data.JointCounts(attrs);
+    for (double& v : marginal.values()) v /= n;
+    lap.Apply(marginal.values(), rng);
+    marginal.ClampNegatives();
+    marginal.Normalize();
+    out.push_back(std::move(marginal));
+  }
+  return out;
+}
+
+}  // namespace privbayes

@@ -1,0 +1,30 @@
+// The Laplace baseline (paper §6.1): materialize every α-way marginal and
+// add Laplace noise directly to each cell.
+//
+// Releasing the whole workload Qα is ONE composite query whose L1
+// sensitivity is 2|Qα|/n (each of the |Qα| marginals changes by 2/n when one
+// tuple changes), so each cell receives Laplace(2|Qα|/(n·ε)) — this is why
+// the method degrades as α (and hence |Qα|) grows, the effect Figs. 12–15
+// demonstrate. The paper's two consistency steps (clamp negatives, then
+// renormalize) are applied per marginal.
+
+#ifndef PRIVBAYES_BASELINES_LAPLACE_MARGINALS_H_
+#define PRIVBAYES_BASELINES_LAPLACE_MARGINALS_H_
+
+#include "common/random.h"
+#include "query/marginal_workload.h"
+
+namespace privbayes {
+
+/// Releases all workload marginals under ε-DP. `workload_size_for_budget`
+/// lets a subsampled evaluation workload still pay for the FULL workload
+/// (pass the full |Qα|; 0 = use workload.size()). Returns one noisy marginal
+/// per workload entry, in order.
+std::vector<ProbTable> LaplaceMarginals(const Dataset& data,
+                                        const MarginalWorkload& workload,
+                                        double epsilon, Rng& rng,
+                                        size_t workload_size_for_budget = 0);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BASELINES_LAPLACE_MARGINALS_H_

@@ -1,0 +1,28 @@
+#include "baselines/majority.h"
+
+#include "common/check.h"
+
+namespace privbayes {
+
+MajorityModel TrainMajority(const Dataset& train, const LabelSpec& label,
+                            double epsilon, Rng& rng) {
+  PB_THROW_IF(epsilon <= 0, "epsilon must be positive");
+  double positives = 0;
+  for (int r = 0; r < train.num_rows(); ++r) {
+    if (label.LabelOf(train, r) == 1) positives += 1;
+  }
+  positives += rng.Laplace(1.0 / epsilon);
+  return MajorityModel{positives > train.num_rows() / 2.0 ? 1 : -1};
+}
+
+double MajorityMisclassification(const Dataset& test, const LabelSpec& label,
+                                 const MajorityModel& model) {
+  PB_THROW_IF(test.num_rows() == 0, "empty test set");
+  int errors = 0;
+  for (int r = 0; r < test.num_rows(); ++r) {
+    if (label.LabelOf(test, r) != model.prediction) ++errors;
+  }
+  return static_cast<double>(errors) / test.num_rows();
+}
+
+}  // namespace privbayes

@@ -1,0 +1,29 @@
+// The Majority baseline classifier (paper §6.1): count the positive labels,
+// add Laplace(1/ε) noise (counting query, sensitivity 1), and predict the
+// majority class for every test tuple. Nearly flat in ε because the noisy
+// count only has to clear n/2 (§6.6).
+
+#ifndef PRIVBAYES_BASELINES_MAJORITY_H_
+#define PRIVBAYES_BASELINES_MAJORITY_H_
+
+#include "common/random.h"
+#include "svm/featurize.h"
+
+namespace privbayes {
+
+/// A constant-prediction classifier.
+struct MajorityModel {
+  int prediction = 1;  ///< ±1 predicted for all inputs
+};
+
+/// Trains under ε-DP.
+MajorityModel TrainMajority(const Dataset& train, const LabelSpec& label,
+                            double epsilon, Rng& rng);
+
+/// Misclassification rate of the constant prediction on `test`.
+double MajorityMisclassification(const Dataset& test, const LabelSpec& label,
+                                 const MajorityModel& model);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BASELINES_MAJORITY_H_

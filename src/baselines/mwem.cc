@@ -1,0 +1,174 @@
+#include "baselines/mwem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/check.h"
+#include "dp/mechanisms.h"
+
+namespace privbayes {
+
+namespace {
+
+// Projection of the full-domain table onto a marginal (odometer-based
+// MarginalizeOnto underneath; this is the per-round hot path on ACS).
+ProbTable ProjectFull(const ProbTable& full, const std::vector<int>& attrs) {
+  std::vector<int> vars;
+  vars.reserve(attrs.size());
+  for (int a : attrs) vars.push_back(GenVarId(a));
+  return full.MarginalizeOnto(vars);
+}
+
+}  // namespace
+
+ProbTable RunMwem(const Dataset& data, const MarginalWorkload& workload,
+                  double epsilon, const MwemOptions& options, Rng& rng) {
+  PB_THROW_IF(epsilon <= 0, "epsilon must be positive");
+  PB_THROW_IF(workload.attr_sets.empty(), "empty workload");
+  const Schema& schema = data.schema();
+  std::vector<int> all_attrs, vars, cards;
+  for (int a = 0; a < schema.num_attrs(); ++a) {
+    all_attrs.push_back(a);
+    vars.push_back(GenVarId(a));
+    cards.push_back(schema.Cardinality(a));
+  }
+  CheckedDomainSize(cards, options.max_cells);
+
+  ProbTable approx(vars, cards);
+  approx.Fill(1.0 / static_cast<double>(approx.size()));
+
+  int iterations = std::max(
+      1, static_cast<int>(epsilon / options.epsilon_per_iter + 1e-9));
+  iterations = std::min(iterations, options.max_iterations);
+  double eps_iter = epsilon / iterations;
+  double n = data.num_rows();
+
+  // Cache of true marginals (counts), keyed by attribute set.
+  std::map<std::vector<int>, ProbTable> true_marginals;
+  auto true_of = [&](const std::vector<int>& attrs) -> const ProbTable& {
+    auto it = true_marginals.find(attrs);
+    if (it == true_marginals.end()) {
+      it = true_marginals.emplace(attrs, data.JointCounts(attrs)).first;
+    }
+    return it->second;
+  };
+
+  // Precompute full-domain strides for the update pass.
+  std::vector<size_t> stride(schema.num_attrs());
+  {
+    size_t s = 1;
+    for (int a = schema.num_attrs(); a-- > 0;) {
+      stride[a] = s;
+      s *= static_cast<size_t>(schema.Cardinality(a));
+    }
+  }
+
+  for (int t = 0; t < iterations; ++t) {
+    // --- Selection (EM, eps_iter/2): candidate cells from a random subset
+    // of workload marginals (subset choice is data-independent).
+    size_t num_cand = std::min(options.select_marginals_per_iter,
+                               workload.attr_sets.size());
+    std::vector<size_t> marg_idx;
+    {
+      std::vector<size_t> pool(workload.attr_sets.size());
+      for (size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+      for (size_t i = 0; i < num_cand; ++i) {
+        size_t j = i + rng.UniformInt(pool.size() - i);
+        std::swap(pool[i], pool[j]);
+        marg_idx.push_back(pool[i]);
+      }
+    }
+    struct Candidate {
+      size_t marginal;  // index into marg_idx
+      size_t cell;
+    };
+    std::vector<Candidate> candidates;
+    std::vector<double> scores;
+    std::vector<ProbTable> approx_margs;
+    approx_margs.reserve(num_cand);
+    for (size_t mi = 0; mi < marg_idx.size(); ++mi) {
+      const std::vector<int>& attrs = workload.attr_sets[marg_idx[mi]];
+      ProbTable am = ProjectFull(approx, attrs);
+      const ProbTable& tm = true_of(attrs);
+      for (size_t cell = 0; cell < am.size(); ++cell) {
+        candidates.push_back({mi, cell});
+        // Score in counts (sensitivity 1): |n·q(D)/n − n·q(A)|.
+        scores.push_back(std::abs(tm[cell] - n * am[cell]));
+      }
+      approx_margs.push_back(std::move(am));
+    }
+    ExponentialMechanism em(/*sensitivity=*/1.0, eps_iter / 2);
+    size_t pick = em.Select(scores, rng);
+    const Candidate& chosen = candidates[pick];
+    const std::vector<int>& attrs = workload.attr_sets[marg_idx[chosen.marginal]];
+
+    // --- Measurement (Laplace, eps_iter/2): noisy true count of the cell.
+    double truth = true_of(attrs)[chosen.cell];
+    double measured = truth + rng.Laplace(1.0 / (eps_iter / 2));
+
+    // --- Multiplicative-weights update over the full domain. The query's
+    // support is a sub-grid (the digits of `attrs` are fixed), so enumerate
+    // exactly those cells with an odometer over the complement dimensions.
+    double approx_count = n * approx_margs[chosen.marginal][chosen.cell];
+    double exponent_scale = (measured - approx_count) / (2.0 * n);
+    double factor = std::exp(exponent_scale);
+    ProbTable& am = approx_margs[chosen.marginal];
+    std::vector<Value> cell_values(attrs.size());
+    am.AssignmentFromFlat(chosen.cell, cell_values);
+    size_t base = 0;
+    std::vector<bool> fixed(schema.num_attrs(), false);
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      base += stride[attrs[i]] * cell_values[i];
+      fixed[attrs[i]] = true;
+    }
+    struct FreeDim {
+      size_t stride;
+      size_t card;
+    };
+    std::vector<FreeDim> free_dims;
+    size_t support = 1;
+    for (int a = 0; a < schema.num_attrs(); ++a) {
+      if (!fixed[a]) {
+        free_dims.push_back({stride[a],
+                             static_cast<size_t>(schema.Cardinality(a))});
+        support *= static_cast<size_t>(schema.Cardinality(a));
+      }
+    }
+    std::vector<double>& cells = approx.values();
+    double delta = 0;  // change of total mass from the update
+    std::vector<size_t> digit(free_dims.size(), 0);
+    size_t flat = base;
+    for (size_t step = 0; step < support; ++step) {
+      double before = cells[flat];
+      cells[flat] = before * factor;
+      delta += cells[flat] - before;
+      for (size_t i = free_dims.size(); i-- > 0;) {
+        if (++digit[i] < free_dims[i].card) {
+          flat += free_dims[i].stride;
+          break;
+        }
+        digit[i] = 0;
+        flat -= free_dims[i].stride * (free_dims[i].card - 1);
+      }
+    }
+    double total = 1.0 + delta;  // approx was normalized before the update
+    PB_CHECK(total > 0);
+    double inv = 1.0 / total;
+    for (double& v : cells) v *= inv;
+  }
+  return approx;
+}
+
+MarginalProvider FullTableProvider(ProbTable table) {
+  auto shared = std::make_shared<ProbTable>(std::move(table));
+  return [shared](const std::vector<int>& attrs) {
+    std::vector<int> vars;
+    vars.reserve(attrs.size());
+    for (int a : attrs) vars.push_back(GenVarId(a));
+    return shared->MarginalizeOnto(vars);
+  };
+}
+
+}  // namespace privbayes

@@ -1,0 +1,48 @@
+// MWEM — Multiplicative Weights + Exponential Mechanism, Hardt, Ligett &
+// McSherry [26] (paper §6.1/§6.5).
+//
+// Maintains an approximating distribution A over the FULL domain (hence only
+// applicable to NLTCS/ACS, like Contingency). Each iteration spends half its
+// budget selecting (via EM) the workload query A currently answers worst,
+// and half measuring that query with Laplace noise, then applies the
+// multiplicative-weights update. Following §6.5 the per-iteration budget is
+// fixed at 0.05 (the authors lowered it from 1.0 so that at least one
+// improvement round happens at every ε in the grid), giving T = ε/0.05
+// rounds.
+//
+// Cost control: the EM selection step scores the cells of a random subset of
+// workload marginals each round (a data-independent choice, so privacy is
+// unaffected); projecting A onto one marginal is O(domain).
+
+#ifndef PRIVBAYES_BASELINES_MWEM_H_
+#define PRIVBAYES_BASELINES_MWEM_H_
+
+#include "common/random.h"
+#include "query/marginal_workload.h"
+
+namespace privbayes {
+
+/// MWEM knobs.
+struct MwemOptions {
+  /// Budget per improvement round (§6.5 uses 0.05).
+  double epsilon_per_iter = 0.05;
+  /// Hard cap on rounds (the ε grid tops out at 1.6 → 32 rounds).
+  int max_iterations = 64;
+  /// Marginals scored per round in the EM selection.
+  size_t select_marginals_per_iter = 8;
+  /// Refuse domains larger than this.
+  size_t max_cells = size_t{1} << 24;
+};
+
+/// Runs MWEM and returns the final approximating distribution over the full
+/// domain (normalized; vars are GenVarId(attr) for every attribute).
+ProbTable RunMwem(const Dataset& data, const MarginalWorkload& workload,
+                  double epsilon, const MwemOptions& options, Rng& rng);
+
+/// MarginalProvider projecting a full-domain distribution (shared by MWEM
+/// and Contingency evaluation paths).
+MarginalProvider FullTableProvider(ProbTable table);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BASELINES_MWEM_H_

@@ -1,0 +1,53 @@
+#include "baselines/private_erm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+SvmModel TrainPrivateErm(const Dataset& train, const LabelSpec& label,
+                         double epsilon, const PrivateErmOptions& options,
+                         Rng& rng, PrivateErmInfo* info) {
+  PB_THROW_IF(epsilon <= 0, "epsilon must be positive");
+  PB_THROW_IF(options.lambda <= 0, "lambda must be positive");
+  double n = train.num_rows();
+  double c = 1.0 / (2.0 * options.huber_h);
+  double lambda = options.lambda;
+  // Privacy calibration ([8], Algorithm 2).
+  double eps_p = epsilon -
+                 std::log(1.0 + 2.0 * c / (n * lambda) +
+                          c * c / (n * n * lambda * lambda));
+  if (eps_p <= 0) {
+    lambda = c / (n * (std::exp(epsilon / 4.0) - 1.0));
+    eps_p = epsilon / 2.0;
+  }
+
+  SparseFeaturizer fz(train.schema(), label.attr);
+  int dim = fz.dim();
+  // b: uniform direction, ‖b‖ ~ Gamma(dim, 2/ε′p) — density ∝ exp(−ε′p‖b‖/2).
+  std::gamma_distribution<double> gamma(static_cast<double>(dim),
+                                        2.0 / eps_p);
+  double norm = gamma(rng.engine());
+  std::vector<double> b(dim);
+  double sq = 0;
+  for (double& bi : b) {
+    bi = rng.Gaussian();
+    sq += bi * bi;
+  }
+  sq = std::sqrt(std::max(sq, 1e-300));
+  for (double& bi : b) bi *= norm / sq;
+
+  HuberErmOptions erm;
+  erm.lambda = lambda;
+  erm.huber_h = options.huber_h;
+  erm.iterations = options.iterations;
+  if (info != nullptr) {
+    info->eps_p = eps_p;
+    info->lambda_used = lambda;
+    info->b_norm = norm;
+  }
+  return TrainHuberErm(train, label, erm, b);
+}
+
+}  // namespace privbayes

@@ -1,0 +1,85 @@
+#include "baselines/privgene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dp/mechanisms.h"
+
+namespace privbayes {
+
+namespace {
+
+// Fitness = number of correctly classified training rows (sensitivity 1:
+// changing one tuple changes the count by at most 1).
+double Fitness(const Dataset& train, const LabelSpec& label,
+               const SparseFeaturizer& fz, const std::vector<double>& w) {
+  int correct = 0;
+  for (int r = 0; r < train.num_rows(); ++r) {
+    double decision = fz.Dot(w, train, r);
+    int predicted = decision >= 0 ? 1 : -1;
+    if (predicted == label.LabelOf(train, r)) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace
+
+SvmModel TrainPrivGene(const Dataset& train, const LabelSpec& label,
+                       double epsilon, const PrivGeneOptions& options,
+                       Rng& rng) {
+  PB_THROW_IF(epsilon <= 0, "epsilon must be positive");
+  PB_THROW_IF(options.population < 2, "population too small");
+  SparseFeaturizer fz(train.schema(), label.attr);
+  int dim = fz.dim();
+
+  // Round budgeting: r·s selections at epsilon_per_selection each, capped.
+  int s = options.parents_per_round;
+  int rounds = static_cast<int>(epsilon / (options.epsilon_per_selection * s));
+  rounds = std::clamp(rounds, 1, options.max_rounds);
+  double eps_sel = epsilon / static_cast<double>(rounds * s);
+  ExponentialMechanism em(/*sensitivity=*/1.0, eps_sel);
+
+  // Initial population: random directions of magnitude init_scale.
+  std::vector<std::vector<double>> population(options.population,
+                                              std::vector<double>(dim));
+  for (std::vector<double>& w : population) {
+    for (double& wi : w) wi = options.init_scale * rng.Gaussian();
+  }
+
+  std::vector<double> best = population[0];
+  double mutation = options.init_scale;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<double> fitness(population.size());
+    for (size_t i = 0; i < population.size(); ++i) {
+      fitness[i] = Fitness(train, label, fz, population[i]);
+    }
+    // Privately select s parents (with replacement across selections).
+    std::vector<size_t> parents;
+    for (int sel = 0; sel < s; ++sel) {
+      parents.push_back(em.Select(fitness, rng));
+    }
+    best = population[parents[0]];
+    // Next generation: uniform crossover of random parent pairs + mutation.
+    std::vector<std::vector<double>> next;
+    next.reserve(population.size());
+    for (size_t p : parents) next.push_back(population[p]);  // elitism
+    while (next.size() < population.size()) {
+      const std::vector<double>& pa =
+          population[parents[rng.UniformInt(parents.size())]];
+      const std::vector<double>& pb =
+          population[parents[rng.UniformInt(parents.size())]];
+      std::vector<double> child(dim);
+      for (int i = 0; i < dim; ++i) {
+        child[i] = (rng.Uniform() < 0.5 ? pa[i] : pb[i]) +
+                   mutation * rng.Gaussian() * (rng.Uniform() < 0.3 ? 1.0 : 0.0);
+      }
+      next.push_back(std::move(child));
+    }
+    population.swap(next);
+    mutation *= options.mutation_decay;
+  }
+  return SvmModel{std::move(best)};
+}
+
+}  // namespace privbayes

@@ -1,0 +1,23 @@
+#include "baselines/uniform.h"
+
+namespace privbayes {
+
+ProbTable UniformMarginal(const Schema& schema,
+                          const std::vector<int>& attrs) {
+  std::vector<int> vars, cards;
+  for (int a : attrs) {
+    vars.push_back(GenVarId(a));
+    cards.push_back(schema.Cardinality(a));
+  }
+  ProbTable out(std::move(vars), std::move(cards));
+  out.Fill(1.0 / static_cast<double>(out.size()));
+  return out;
+}
+
+MarginalProvider UniformProvider(const Schema& schema) {
+  return [schema](const std::vector<int>& attrs) {
+    return UniformMarginal(schema, attrs);
+  };
+}
+
+}  // namespace privbayes

@@ -1,0 +1,21 @@
+// The trivial Uniform baseline (paper §6.1): answers every marginal query
+// with the uniform distribution. Free of privacy cost (data-independent) and
+// the floor any useful method must beat (Figs. 12–13 show MWEM/Contingency
+// collapsing to it at small ε).
+
+#ifndef PRIVBAYES_BASELINES_UNIFORM_H_
+#define PRIVBAYES_BASELINES_UNIFORM_H_
+
+#include "query/marginal_workload.h"
+
+namespace privbayes {
+
+/// The uniform marginal over `attrs` of `schema`.
+ProbTable UniformMarginal(const Schema& schema, const std::vector<int>& attrs);
+
+/// A MarginalProvider answering uniformly.
+MarginalProvider UniformProvider(const Schema& schema);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BASELINES_UNIFORM_H_

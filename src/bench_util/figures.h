@@ -1,0 +1,36 @@
+// Reusable figure harnesses: each paper figure family (5/6, 7/8, 12–15,
+// 16–19) is the same experiment instantiated on different datasets, so the
+// bench binaries delegate here.
+
+#ifndef PRIVBAYES_BENCH_UTIL_FIGURES_H_
+#define PRIVBAYES_BENCH_UTIL_FIGURES_H_
+
+#include <string>
+
+namespace privbayes {
+
+/// Fig. 5 (Adult) / Fig. 6 (BR2000): the four encodings on the dataset's two
+/// α-way marginal workloads.
+void RunEncodingCountFigure(const std::string& figure,
+                            const std::string& dataset);
+
+/// Fig. 7 (Adult) / Fig. 8 (BR2000): the four encodings on the dataset's
+/// four SVM targets.
+void RunEncodingSvmFigure(const std::string& figure,
+                          const std::string& dataset);
+
+/// Figs. 12–15: PrivBayes vs count-query baselines on the dataset's two
+/// α-way workloads. `full_domain_baselines` enables Contingency and MWEM
+/// (binary datasets whose full domain fits in memory).
+void RunMarginalBaselinesFigure(const std::string& figure,
+                                const std::string& dataset,
+                                bool full_domain_baselines);
+
+/// Figs. 16–19: PrivBayes vs classification baselines on the dataset's four
+/// SVM targets.
+void RunSvmBaselinesFigure(const std::string& figure,
+                           const std::string& dataset);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BENCH_UTIL_FIGURES_H_

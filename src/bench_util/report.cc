@@ -1,0 +1,79 @@
+#include "bench_util/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace privbayes {
+
+std::vector<double> EpsilonGrid() { return {0.05, 0.1, 0.2, 0.4, 0.8, 1.6}; }
+
+SeriesTable::SeriesTable(std::string x_name, std::vector<double> xs,
+                         std::vector<std::string> methods)
+    : x_name_(std::move(x_name)),
+      xs_(std::move(xs)),
+      methods_(std::move(methods)) {
+  sums_.assign(xs_.size(), std::vector<double>(methods_.size(), 0.0));
+  counts_.assign(xs_.size(), std::vector<int>(methods_.size(), 0));
+}
+
+void SeriesTable::Add(size_t x_index, size_t method_index, double value) {
+  PB_CHECK(x_index < xs_.size() && method_index < methods_.size());
+  sums_[x_index][method_index] += value;
+  counts_[x_index][method_index] += 1;
+}
+
+double SeriesTable::Mean(size_t x_index, size_t method_index) const {
+  PB_CHECK(x_index < xs_.size() && method_index < methods_.size());
+  if (counts_[x_index][method_index] == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return sums_[x_index][method_index] / counts_[x_index][method_index];
+}
+
+void SeriesTable::Print(const std::string& title,
+                        const std::string& value_name) const {
+  std::printf("\n== %s  (%s) ==\n", title.c_str(), value_name.c_str());
+  std::printf("%10s", x_name_.c_str());
+  for (const std::string& m : methods_) std::printf(" %14s", m.c_str());
+  std::printf("\n");
+  for (size_t xi = 0; xi < xs_.size(); ++xi) {
+    std::printf("%10.3g", xs_[xi]);
+    for (size_t mi = 0; mi < methods_.size(); ++mi) {
+      double v = Mean(xi, mi);
+      if (std::isnan(v)) {
+        std::printf(" %14s", "-");
+      } else {
+        std::printf(" %14.5f", v);
+      }
+    }
+    std::printf("\n");
+  }
+  for (size_t xi = 0; xi < xs_.size(); ++xi) {
+    for (size_t mi = 0; mi < methods_.size(); ++mi) {
+      double v = Mean(xi, mi);
+      if (!std::isnan(v)) {
+        std::printf("CSV,%s,%s=%g,%s,%.6f\n", title.c_str(), x_name_.c_str(),
+                    xs_[xi], methods_[mi].c_str(), v);
+      }
+    }
+  }
+  std::fflush(stdout);
+}
+
+void PrintBenchHeader(const std::string& figure,
+                      const std::string& description, int repeats) {
+  std::printf("=======================================================\n");
+  std::printf("PrivBayes reproduction — %s\n", figure.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("repeats=%d seed=%llu%s\n", repeats,
+              static_cast<unsigned long long>(BenchSeed()),
+              FullFidelity() ? " (PRIVBAYES_FULL)" : "");
+  std::printf("=======================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace privbayes

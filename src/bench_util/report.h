@@ -1,0 +1,55 @@
+// Reporting helpers shared by the figure/table bench binaries.
+//
+// Every bench prints (a) a human-readable series table shaped like the
+// paper's figure — x axis (ε, β or θ) down the rows, one column per method —
+// and (b) machine-readable "CSV," lines for downstream plotting. Cells
+// accumulate repeated measurements and report the mean, mirroring the
+// paper's repeat-and-average protocol.
+
+#ifndef PRIVBAYES_BENCH_UTIL_REPORT_H_
+#define PRIVBAYES_BENCH_UTIL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace privbayes {
+
+/// The paper's privacy-budget grid {0.05, 0.1, 0.2, 0.4, 0.8, 1.6}.
+std::vector<double> EpsilonGrid();
+
+/// Accumulating series table: rows = x values, columns = methods.
+class SeriesTable {
+ public:
+  SeriesTable(std::string x_name, std::vector<double> xs,
+              std::vector<std::string> methods);
+
+  /// Adds one measurement to cell (x_index, method_index).
+  void Add(size_t x_index, size_t method_index, double value);
+
+  /// Mean of a cell (NaN when empty).
+  double Mean(size_t x_index, size_t method_index) const;
+
+  /// Prints the table plus CSV lines, labelled with `title` (e.g.
+  /// "Fig12a NLTCS Q3") and `value_name` (e.g. "avg variation distance").
+  void Print(const std::string& title, const std::string& value_name) const;
+
+  size_t num_x() const { return xs_.size(); }
+  size_t num_methods() const { return methods_.size(); }
+  const std::vector<double>& xs() const { return xs_; }
+
+ private:
+  std::string x_name_;
+  std::vector<double> xs_;
+  std::vector<std::string> methods_;
+  std::vector<std::vector<double>> sums_;
+  std::vector<std::vector<int>> counts_;
+};
+
+/// Prints the standard bench banner: which figure/table of the paper this
+/// binary regenerates, plus the active repeat/seed knobs.
+void PrintBenchHeader(const std::string& figure,
+                      const std::string& description, int repeats);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BENCH_UTIL_REPORT_H_

@@ -1,0 +1,84 @@
+#include "bn/bayes_net.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "prob/information.h"
+
+namespace privbayes {
+
+void BayesNet::Add(APPair pair) {
+  PB_THROW_IF(Contains(pair.attr),
+              "attribute " << pair.attr << " already in network");
+  for (const GenAttr& p : pair.parents) {
+    PB_THROW_IF(p.attr == pair.attr, "self-parent on attribute " << p.attr);
+    PB_THROW_IF(!Contains(p.attr),
+                "parent " << p.attr << " not yet in network (acyclicity)");
+    PB_THROW_IF(p.level < 0, "negative taxonomy level");
+  }
+  // Within a pair, parents must be distinct attributes.
+  std::vector<int> seen;
+  for (const GenAttr& p : pair.parents) {
+    PB_THROW_IF(std::find(seen.begin(), seen.end(), p.attr) != seen.end(),
+                "duplicate parent attribute " << p.attr);
+    seen.push_back(p.attr);
+  }
+  pairs_.push_back(std::move(pair));
+}
+
+int BayesNet::degree() const {
+  int deg = 0;
+  for (const APPair& p : pairs_) {
+    deg = std::max(deg, static_cast<int>(p.parents.size()));
+  }
+  return deg;
+}
+
+bool BayesNet::Contains(int attr) const {
+  for (const APPair& p : pairs_) {
+    if (p.attr == attr) return true;
+  }
+  return false;
+}
+
+void BayesNet::ValidateAgainst(const Schema& schema) const {
+  for (const APPair& p : pairs_) {
+    PB_THROW_IF(p.attr < 0 || p.attr >= schema.num_attrs(),
+                "attribute index " << p.attr << " out of schema");
+    for (const GenAttr& g : p.parents) {
+      PB_THROW_IF(g.level >= schema.attr(g.attr).taxonomy.num_levels(),
+                  "taxonomy level " << g.level << " too deep for attribute '"
+                                    << schema.attr(g.attr).name << "'");
+    }
+  }
+}
+
+std::string BayesNet::DebugString(const Schema& schema) const {
+  std::ostringstream oss;
+  for (const APPair& p : pairs_) {
+    oss << schema.attr(p.attr).name << " <- {";
+    for (size_t i = 0; i < p.parents.size(); ++i) {
+      const GenAttr& g = p.parents[i];
+      oss << (i ? ", " : "") << schema.attr(g.attr).name;
+      if (g.level > 0) oss << "(" << g.level << ")";
+    }
+    oss << "}\n";
+  }
+  return oss.str();
+}
+
+double SumMutualInformation(const Dataset& data, const BayesNet& net) {
+  double total = 0;
+  for (const APPair& p : net.pairs()) {
+    if (p.parents.empty()) continue;  // I(X; ∅) = 0
+    std::vector<GenAttr> gattrs = p.parents;
+    gattrs.push_back(GenAttr{p.attr, 0});
+    ProbTable joint = data.JointCountsGeneralized(gattrs);
+    joint.Normalize();
+    total += MutualInformation(joint, GenVarId(p.attr));
+  }
+  return total;
+}
+
+}  // namespace privbayes

@@ -1,0 +1,63 @@
+// Bayesian-network structure (paper §2.2).
+//
+// A BayesNet is an ordered list of attribute–parent (AP) pairs
+// (X_1, Π_1), …, (X_d, Π_d): each X_i is a distinct attribute and Π_i is a
+// set of *generalized* attributes drawn from {X_1, …, X_{i−1}} (level 0 =
+// ungeneralized; higher levels come from the hierarchical encoding, §5.2).
+// The ordering constraint is exactly the paper's acyclicity condition 3.
+
+#ifndef PRIVBAYES_BN_BAYES_NET_H_
+#define PRIVBAYES_BN_BAYES_NET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/attribute.h"
+#include "data/dataset.h"
+
+namespace privbayes {
+
+/// One attribute–parent pair (X_i, Π_i).
+struct APPair {
+  int attr = 0;                  ///< X_i (attribute index in the schema)
+  std::vector<GenAttr> parents;  ///< Π_i, each drawn from earlier attributes
+
+  friend bool operator==(const APPair&, const APPair&) = default;
+};
+
+/// An ordered set of AP pairs forming a DAG.
+class BayesNet {
+ public:
+  BayesNet() = default;
+
+  /// Appends a pair; throws if `pair.attr` was already added or any parent
+  /// is not a previously added attribute (which would break acyclicity).
+  void Add(APPair pair);
+
+  int size() const { return static_cast<int>(pairs_.size()); }
+  const APPair& pair(int i) const { return pairs_[i]; }
+  const std::vector<APPair>& pairs() const { return pairs_; }
+
+  /// Maximum parent-set size (the network degree, §2.2).
+  int degree() const;
+
+  /// True if `attr` has been added.
+  bool Contains(int attr) const;
+
+  /// Validates parent taxonomy levels against `schema`; throws on error.
+  void ValidateAgainst(const Schema& schema) const;
+
+  /// "X2 <- {X0(1), X3}" style listing, one pair per line.
+  std::string DebugString(const Schema& schema) const;
+
+ private:
+  std::vector<APPair> pairs_;
+};
+
+/// Σ_i I(X_i; Π_i) evaluated on `data` (no privacy): the paper's network-
+/// quality metric in Fig. 4. Generalized parents contribute at their level.
+double SumMutualInformation(const Dataset& data, const BayesNet& net);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BN_BAYES_NET_H_

@@ -1,0 +1,164 @@
+#include "bn/greedy_bayes.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "prob/information.h"
+
+namespace privbayes {
+
+namespace {
+
+// Appends all size-`r` subsets of `pool` to `out` in lexicographic order.
+void ForEachCombination(const std::vector<int>& pool, int r,
+                        const std::function<void(const std::vector<int>&)>& fn) {
+  int m = static_cast<int>(pool.size());
+  PB_CHECK(r >= 0 && r <= m);
+  std::vector<int> idx(r);
+  for (int i = 0; i < r; ++i) idx[i] = i;
+  std::vector<int> subset(r);
+  for (;;) {
+    for (int i = 0; i < r; ++i) subset[i] = pool[idx[i]];
+    fn(subset);
+    // Advance to next combination.
+    int i = r - 1;
+    while (i >= 0 && idx[i] == m - r + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < r; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<APPair> EnumerateCandidatesFixedK(std::vector<int> chosen,
+                                              const std::vector<int>& remaining,
+                                              int k) {
+  PB_THROW_IF(k < 0, "negative degree k");
+  std::vector<APPair> out;
+  int r = std::min<int>(k, static_cast<int>(chosen.size()));
+  ForEachCombination(chosen, r, [&](const std::vector<int>& subset) {
+    for (int x : remaining) {
+      APPair pair;
+      pair.attr = x;
+      pair.parents.reserve(subset.size());
+      for (int p : subset) pair.parents.push_back(GenAttr{p, 0});
+      out.push_back(std::move(pair));
+    }
+  });
+  return out;
+}
+
+void CapCandidates(std::vector<APPair>& candidates, size_t cap, Rng& rng) {
+  if (cap == 0 || candidates.size() <= cap) return;
+  // Partial Fisher–Yates: the first `cap` entries become a uniform sample.
+  for (size_t i = 0; i < cap; ++i) {
+    size_t j = i + rng.UniformInt(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+  }
+  candidates.resize(cap);
+}
+
+size_t CandidateSpaceSize(size_t num_chosen, size_t num_remaining, int k,
+                          size_t limit) {
+  size_t r = std::min<size_t>(static_cast<size_t>(k), num_chosen);
+  // C(num_chosen, r) with clamping.
+  double combos = 1;
+  for (size_t i = 0; i < r; ++i) {
+    combos *= static_cast<double>(num_chosen - i) / static_cast<double>(i + 1);
+    if (combos * static_cast<double>(num_remaining) >
+        static_cast<double>(limit)) {
+      return limit;
+    }
+  }
+  double total = combos * static_cast<double>(num_remaining);
+  return total > static_cast<double>(limit) ? limit
+                                            : static_cast<size_t>(total + 0.5);
+}
+
+std::vector<APPair> EnumerateOrSampleCandidatesFixedK(
+    const std::vector<int>& chosen, const std::vector<int>& remaining, int k,
+    size_t cap, Rng& rng) {
+  PB_THROW_IF(remaining.empty(), "no remaining attributes");
+  size_t enumerate_limit = cap == 0 ? SIZE_MAX : cap * 8 + 64;
+  size_t space = CandidateSpaceSize(chosen.size(), remaining.size(), k,
+                                    enumerate_limit);
+  if (cap == 0 || space < enumerate_limit) {
+    std::vector<APPair> candidates =
+        EnumerateCandidatesFixedK(chosen, remaining, k);
+    CapCandidates(candidates, cap, rng);
+    return candidates;
+  }
+  // Direct sampling of `cap` distinct candidates. Distinctness via a key
+  // set; the space is >> cap so rejections are rare.
+  size_t r = std::min<size_t>(static_cast<size_t>(k), chosen.size());
+  std::vector<APPair> out;
+  out.reserve(cap);
+  std::set<std::pair<int, std::vector<int>>> seen;
+  std::vector<int> pool = chosen;
+  size_t attempts = 0, max_attempts = cap * 16 + 64;
+  while (out.size() < cap && attempts++ < max_attempts) {
+    int x = remaining[rng.UniformInt(remaining.size())];
+    // Partial Fisher–Yates: first r entries become a uniform r-subset.
+    for (size_t i = 0; i < r; ++i) {
+      size_t j = i + rng.UniformInt(pool.size() - i);
+      std::swap(pool[i], pool[j]);
+    }
+    std::vector<int> subset(pool.begin(), pool.begin() + r);
+    std::sort(subset.begin(), subset.end());
+    if (!seen.emplace(x, subset).second) continue;
+    APPair pair;
+    pair.attr = x;
+    pair.parents.reserve(r);
+    for (int p : subset) pair.parents.push_back(GenAttr{p, 0});
+    out.push_back(std::move(pair));
+  }
+  PB_CHECK(!out.empty());
+  return out;
+}
+
+BayesNet GreedyBayesNonPrivate(const Dataset& data,
+                               const GreedyBayesOptions& options, Rng& rng) {
+  const int d = data.num_attrs();
+  PB_THROW_IF(d == 0, "empty schema");
+  BayesNet net;
+  std::vector<int> chosen, remaining;
+  int first = options.first_attr >= 0
+                  ? options.first_attr
+                  : static_cast<int>(rng.UniformInt(d));
+  PB_THROW_IF(first >= d, "first_attr out of range");
+  net.Add(APPair{first, {}});
+  chosen.push_back(first);
+  for (int a = 0; a < d; ++a) {
+    if (a != first) remaining.push_back(a);
+  }
+  while (!remaining.empty()) {
+    std::vector<APPair> candidates = EnumerateOrSampleCandidatesFixedK(
+        chosen, remaining, options.k, options.candidate_cap, rng);
+    double best_score = -1;
+    size_t best = 0;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const APPair& pair = candidates[c];
+      std::vector<GenAttr> gattrs = pair.parents;
+      gattrs.push_back(GenAttr{pair.attr, 0});
+      ProbTable joint = data.JointCountsGeneralized(gattrs);
+      joint.Normalize();
+      double mi = MutualInformation(joint, GenVarId(pair.attr));
+      if (mi > best_score) {
+        best_score = mi;
+        best = c;
+      }
+    }
+    const APPair& winner = candidates[best];
+    chosen.push_back(winner.attr);
+    remaining.erase(
+        std::find(remaining.begin(), remaining.end(), winner.attr));
+    net.Add(winner);
+  }
+  return net;
+}
+
+}  // namespace privbayes

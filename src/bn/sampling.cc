@@ -1,0 +1,100 @@
+#include "bn/sampling.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+namespace {
+
+// Validates table/pair agreement and returns the child's cardinality.
+int CheckPairTable(const Schema& schema, const APPair& pair,
+                   const ProbTable& table) {
+  PB_THROW_IF(table.num_vars() != static_cast<int>(pair.parents.size()) + 1,
+              "conditional table arity mismatch for attribute " << pair.attr);
+  for (size_t i = 0; i < pair.parents.size(); ++i) {
+    PB_THROW_IF(table.vars()[i] != GenVarId(pair.parents[i]),
+                "conditional table parent mismatch for attribute "
+                    << pair.attr);
+  }
+  PB_THROW_IF(table.vars().back() != GenVarId(pair.attr),
+              "conditional table child mismatch for attribute " << pair.attr);
+  return schema.Cardinality(pair.attr);
+}
+
+}  // namespace
+
+Dataset SampleFromNetwork(const Schema& schema, const BayesNet& net,
+                          const ConditionalSet& conditionals, int num_rows,
+                          Rng& rng) {
+  PB_THROW_IF(net.size() != schema.num_attrs(),
+              "network covers " << net.size() << " of " << schema.num_attrs()
+                                << " attributes");
+  PB_THROW_IF(conditionals.conditionals.size() !=
+                  static_cast<size_t>(net.size()),
+              "conditional count mismatch");
+  net.ValidateAgainst(schema);
+  for (int i = 0; i < net.size(); ++i) {
+    CheckPairTable(schema, net.pair(i), conditionals.conditionals[i]);
+  }
+
+  Dataset out(schema, num_rows);
+  std::vector<Value> row(schema.num_attrs(), 0);
+  std::vector<Value> assignment;
+  for (int r = 0; r < num_rows; ++r) {
+    for (int i = 0; i < net.size(); ++i) {
+      const APPair& pair = net.pair(i);
+      const ProbTable& table = conditionals.conditionals[i];
+      int child_card = schema.Cardinality(pair.attr);
+      assignment.resize(pair.parents.size() + 1);
+      for (size_t p = 0; p < pair.parents.size(); ++p) {
+        const GenAttr& g = pair.parents[p];
+        assignment[p] =
+            schema.attr(g.attr).taxonomy.Generalize(row[g.attr], g.level);
+      }
+      // The child is the last (stride-1) variable: the slice is contiguous.
+      assignment[pair.parents.size()] = 0;
+      size_t base = table.FlatIndex(assignment);
+      double u = rng.Uniform();
+      double acc = 0;
+      Value sampled = static_cast<Value>(child_card - 1);
+      for (int v = 0; v < child_card; ++v) {
+        acc += table[base + static_cast<size_t>(v)];
+        if (u < acc) {
+          sampled = static_cast<Value>(v);
+          break;
+        }
+      }
+      row[pair.attr] = sampled;
+      out.Set(r, pair.attr, sampled);
+    }
+  }
+  return out;
+}
+
+double LogLikelihood(const Dataset& data, const BayesNet& net,
+                     const ConditionalSet& conditionals, double floor_prob) {
+  PB_THROW_IF(net.size() != data.num_attrs(), "network/schema mismatch");
+  const Schema& schema = data.schema();
+  double total = 0;
+  std::vector<Value> assignment;
+  for (int r = 0; r < data.num_rows(); ++r) {
+    for (int i = 0; i < net.size(); ++i) {
+      const APPair& pair = net.pair(i);
+      const ProbTable& table = conditionals.conditionals[i];
+      assignment.resize(pair.parents.size() + 1);
+      for (size_t p = 0; p < pair.parents.size(); ++p) {
+        const GenAttr& g = pair.parents[p];
+        assignment[p] = schema.attr(g.attr).taxonomy.Generalize(
+            data.at(r, g.attr), g.level);
+      }
+      assignment[pair.parents.size()] = data.at(r, pair.attr);
+      double p = table.At(assignment);
+      total += std::log2(std::max(p, floor_prob));
+    }
+  }
+  return total;
+}
+
+}  // namespace privbayes

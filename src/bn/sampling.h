@@ -1,0 +1,46 @@
+// Ancestral sampling from a Bayesian network (paper §3, "Generation of
+// synthetic data").
+//
+// Because every parent set Π_i only references attributes earlier in the
+// network order, sampling attributes in order i = 1..d from Pr*[X_i | Π_i]
+// never needs the full-dimensional distribution — the key to PrivBayes's
+// output scalability. Generalized parents are handled by generalizing the
+// already-sampled leaf value through the attribute's taxonomy before the
+// conditional-table lookup.
+
+#ifndef PRIVBAYES_BN_SAMPLING_H_
+#define PRIVBAYES_BN_SAMPLING_H_
+
+#include <vector>
+
+#include "bn/bayes_net.h"
+#include "common/random.h"
+#include "data/dataset.h"
+#include "prob/prob_table.h"
+
+namespace privbayes {
+
+/// Conditional distributions attached to a network: conditionals[i] is
+/// Pr*[X_i | Π_i] stored as a ProbTable over (parents in pair order …, X_i
+/// last), with every parent-slice normalized over X_i. Parent variables use
+/// GenVarId(parent) ids, the child uses GenVarId(attr, level 0).
+struct ConditionalSet {
+  std::vector<ProbTable> conditionals;
+};
+
+/// Samples `num_rows` rows ancestrally. Throws if the conditional tables do
+/// not match the network's pairs.
+Dataset SampleFromNetwork(const Schema& schema, const BayesNet& net,
+                          const ConditionalSet& conditionals, int num_rows,
+                          Rng& rng);
+
+/// log2-likelihood of `data` under the network + conditionals, with
+/// probability-zero cells floored at `floor_prob`. Used by tests to verify
+/// that fitted models actually explain the data they were fitted on.
+double LogLikelihood(const Dataset& data, const BayesNet& net,
+                     const ConditionalSet& conditionals,
+                     double floor_prob = 1e-12);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BN_SAMPLING_H_

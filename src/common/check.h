@@ -1,0 +1,61 @@
+// Lightweight invariant-checking macros used across the library.
+//
+// PB_CHECK aborts with a message on internal invariant violations (always on,
+// including release builds: the library manipulates privacy budgets, and a
+// silent invariant break could turn into a privacy bug).
+// PB_THROW_IF raises std::invalid_argument for caller-visible precondition
+// violations on the public API.
+
+#ifndef PRIVBAYES_COMMON_CHECK_H_
+#define PRIVBAYES_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace privbayes {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "PB_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace privbayes
+
+/// Aborts the process if `cond` is false. For internal invariants.
+#define PB_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::privbayes::internal::CheckFailed(__FILE__, __LINE__, #cond, "");     \
+    }                                                                        \
+  } while (0)
+
+/// Aborts with an extra streamed message if `cond` is false.
+#define PB_CHECK_MSG(cond, msg_expr)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream pb_check_oss_;                                      \
+      pb_check_oss_ << msg_expr;                                             \
+      ::privbayes::internal::CheckFailed(__FILE__, __LINE__, #cond,          \
+                                         pb_check_oss_.str());               \
+    }                                                                        \
+  } while (0)
+
+/// Throws std::invalid_argument with `msg_expr` if `cond` is true. For
+/// validating caller-supplied arguments on public entry points.
+#define PB_THROW_IF(cond, msg_expr)                                          \
+  do {                                                                       \
+    if (cond) {                                                              \
+      std::ostringstream pb_throw_oss_;                                      \
+      pb_throw_oss_ << msg_expr;                                             \
+      throw std::invalid_argument(pb_throw_oss_.str());                      \
+    }                                                                        \
+  } while (0)
+
+#endif  // PRIVBAYES_COMMON_CHECK_H_

@@ -1,0 +1,40 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace privbayes {
+
+int64_t EnvInt(const std::string& name, int64_t def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return parsed;
+}
+
+double EnvDouble(const std::string& name, double def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+bool EnvFlag(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+int BenchRepeats(int def) {
+  return static_cast<int>(EnvInt("PRIVBAYES_REPEATS", def));
+}
+
+uint64_t BenchSeed() {
+  return static_cast<uint64_t>(EnvInt("PRIVBAYES_SEED", 20140614));
+}
+
+bool FullFidelity() { return EnvFlag("PRIVBAYES_FULL"); }
+
+}  // namespace privbayes

@@ -1,0 +1,40 @@
+// Environment-variable knobs shared by the benchmark harness.
+//
+// The paper averages every experiment over 100 repetitions; that is hours of
+// compute. The bench binaries default to a small number of repetitions and an
+// evaluation-workload subsample so the whole suite finishes in minutes, and
+// read these knobs to scale back up to paper fidelity:
+//
+//   PRIVBAYES_REPEATS    — repetitions per configuration (default per bench)
+//   PRIVBAYES_FULL=1     — disable all workload subsampling / candidate caps
+//   PRIVBAYES_SEED       — base RNG seed (default 20140614, the SIGMOD'14 date)
+
+#ifndef PRIVBAYES_COMMON_ENV_H_
+#define PRIVBAYES_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace privbayes {
+
+/// Reads an integer environment variable, returning `def` when unset/invalid.
+int64_t EnvInt(const std::string& name, int64_t def);
+
+/// Reads a floating-point environment variable.
+double EnvDouble(const std::string& name, double def);
+
+/// True when the variable is set to a non-empty, non-"0" value.
+bool EnvFlag(const std::string& name);
+
+/// Repetition count for benches: PRIVBAYES_REPEATS or `def`.
+int BenchRepeats(int def);
+
+/// Base seed for benches: PRIVBAYES_SEED or 20140614.
+uint64_t BenchSeed();
+
+/// True when PRIVBAYES_FULL=1 (paper-fidelity mode: no subsampling).
+bool FullFidelity();
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_COMMON_ENV_H_

@@ -1,0 +1,94 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(uint64_t seed) : engine_(SplitMix64(seed)) {}
+
+double Rng::Uniform() {
+  // 53-bit mantissa-uniform double in [0, 1).
+  return (engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  PB_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = engine_();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::Laplace(double scale) {
+  if (scale <= 0) return 0.0;
+  // Inverse-CDF: u uniform in (−1/2, 1/2), x = −b·sgn(u)·ln(1 − 2|u|).
+  double u = Uniform() - 0.5;
+  // Guard the log argument away from 0.
+  double a = std::max(1.0 - 2.0 * std::abs(u), std::numeric_limits<double>::min());
+  double mag = -scale * std::log(a);
+  return u < 0 ? -mag : mag;
+}
+
+double Rng::Gumbel() {
+  double u = Uniform();
+  u = std::max(u, std::numeric_limits<double>::min());
+  return -std::log(-std::log(u) + std::numeric_limits<double>::min());
+}
+
+double Rng::Gaussian() {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+size_t Rng::Discrete(std::span<const double> weights) {
+  PB_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    PB_CHECK_MSG(w >= 0, "negative weight " << w);
+    total += w;
+  }
+  PB_CHECK_MSG(total > 0, "all-zero weight vector");
+  double r = Uniform() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::LogDiscrete(std::span<const double> logits) {
+  PB_CHECK(!logits.empty());
+  size_t best = 0;
+  double best_val = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < logits.size(); ++i) {
+    double v = logits[i] + Gumbel();
+    if (v > best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace privbayes

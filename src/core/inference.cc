@@ -1,0 +1,169 @@
+#include "core/inference.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+namespace {
+
+// Encoded-attribute indices a query over original attributes touches.
+std::vector<int> EncodedTargets(const PrivBayesModel& model,
+                                const std::vector<int>& attrs) {
+  std::vector<int> targets;
+  if (model.encoder != nullptr) {
+    for (int a : attrs) {
+      for (int b = 0; b < model.encoder->BitsOf(a); ++b) {
+        targets.push_back(model.encoder->BitColumn(a, b));
+      }
+    }
+  } else {
+    targets = attrs;
+  }
+  std::sort(targets.begin(), targets.end());
+  return targets;
+}
+
+// Multiplies the conditional of `pair` into `frontier`, returning a table
+// over frontier.vars() + child. Parent lookups generalize the leaf-level
+// frontier digits through the taxonomy, exactly like the sampler.
+ProbTable MultiplyIn(const ProbTable& frontier, const Schema& schema,
+                     const APPair& pair, const ProbTable& conditional,
+                     size_t max_cells) {
+  std::vector<int> vars = frontier.vars();
+  std::vector<int> cards = frontier.cards();
+  vars.push_back(GenVarId(pair.attr));
+  cards.push_back(schema.Cardinality(pair.attr));
+  CheckedDomainSize(cards, max_cells);
+  ProbTable out(std::move(vars), std::move(cards));
+
+  // Positions of each conditional parent inside the frontier.
+  std::vector<int> parent_pos(pair.parents.size());
+  for (size_t p = 0; p < pair.parents.size(); ++p) {
+    parent_pos[p] = frontier.FindVar(GenVarId(pair.parents[p].attr));
+    PB_CHECK_MSG(parent_pos[p] >= 0,
+                 "parent " << pair.parents[p].attr << " not live in frontier");
+  }
+  std::vector<Value> assignment(out.num_vars());
+  std::vector<Value> cond_assignment(pair.parents.size() + 1);
+  size_t child_card = static_cast<size_t>(out.cards().back());
+  size_t frontier_cells = frontier.size();
+  for (size_t f = 0; f < frontier_cells; ++f) {
+    double base = frontier[f];
+    // Frontier digits (shared across the child dimension).
+    frontier.AssignmentFromFlat(f, {assignment.data(),
+                                    static_cast<size_t>(frontier.num_vars())});
+    for (size_t p = 0; p < pair.parents.size(); ++p) {
+      const GenAttr& g = pair.parents[p];
+      Value leaf = assignment[parent_pos[p]];
+      cond_assignment[p] =
+          schema.attr(g.attr).taxonomy.Generalize(leaf, g.level);
+    }
+    cond_assignment[pair.parents.size()] = 0;
+    size_t cond_base = conditional.FlatIndex(cond_assignment);
+    size_t out_base = f * child_card;  // child is last (stride 1)
+    for (size_t v = 0; v < child_card; ++v) {
+      out[out_base + v] = base * conditional[cond_base + v];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ProbTable ModelMarginal(const PrivBayesModel& model,
+                        const std::vector<int>& attrs, size_t max_cells) {
+  PB_THROW_IF(attrs.empty(), "empty attribute set");
+  const Schema& schema = model.encoded_schema;
+  const BayesNet& net = model.network;
+  std::vector<int> targets = EncodedTargets(model, attrs);
+  for (int t : targets) {
+    PB_THROW_IF(t < 0 || t >= schema.num_attrs(), "attribute out of range");
+  }
+
+  // Backward pass: which children matter, and the last pair index at which
+  // each attribute is still needed as a parent.
+  const int d = net.size();
+  std::vector<bool> needed(schema.num_attrs(), false);
+  for (int t : targets) needed[t] = true;
+  std::vector<int> last_use(schema.num_attrs(), -1);
+  for (int t : targets) last_use[t] = d;  // live to the very end
+  for (int i = d - 1; i >= 0; --i) {
+    const APPair& pair = net.pair(i);
+    if (!needed[pair.attr]) continue;
+    for (const GenAttr& g : pair.parents) {
+      needed[g.attr] = true;
+      last_use[g.attr] = std::max(last_use[g.attr], i);
+    }
+  }
+
+  ProbTable frontier;  // scalar
+  frontier[0] = 1.0;
+  for (int i = 0; i < d; ++i) {
+    const APPair& pair = net.pair(i);
+    if (!needed[pair.attr]) continue;  // sums out to 1, skip entirely
+    frontier = MultiplyIn(frontier, schema, pair,
+                          model.conditionals.conditionals[i], max_cells);
+    // Drop every live variable whose last use has passed.
+    std::vector<int> retained;
+    for (int v : frontier.vars()) {
+      if (last_use[GenAttrFromVarId(v).attr] > i) retained.push_back(v);
+    }
+    if (retained.size() < frontier.vars().size()) {
+      frontier = frontier.MarginalizeOnto(retained);
+    }
+  }
+
+  // The frontier is now exactly the (encoded) target set.
+  std::vector<int> target_vars;
+  for (int t : targets) target_vars.push_back(GenVarId(t));
+  frontier = frontier.MarginalizeOnto(target_vars);
+
+  // Fold back into the original domain.
+  std::vector<int> out_vars;
+  std::vector<int> out_cards;
+  for (int a : attrs) {
+    out_vars.push_back(GenVarId(a));
+    out_cards.push_back(model.original_schema.Cardinality(a));
+  }
+  ProbTable out(std::move(out_vars), std::move(out_cards));
+  if (model.encoder == nullptr) {
+    // Same attribute indices; just reorder into the requested order.
+    out = frontier.Reorder(out.vars());
+  } else {
+    const BinaryEncoder& enc = *model.encoder;
+    std::vector<Value> bits(frontier.num_vars());
+    std::vector<Value> decoded(attrs.size());
+    // Position of each (attr, bit) inside the frontier.
+    std::vector<std::vector<int>> bit_pos(attrs.size());
+    for (size_t ai = 0; ai < attrs.size(); ++ai) {
+      for (int b = 0; b < enc.BitsOf(attrs[ai]); ++b) {
+        int pos = frontier.FindVar(GenVarId(enc.BitColumn(attrs[ai], b)));
+        PB_CHECK(pos >= 0);
+        bit_pos[ai].push_back(pos);
+      }
+    }
+    for (size_t f = 0; f < frontier.size(); ++f) {
+      frontier.AssignmentFromFlat(f, bits);
+      for (size_t ai = 0; ai < attrs.size(); ++ai) {
+        int code = 0;
+        for (int pos : bit_pos[ai]) code = (code << 1) | bits[pos];
+        decoded[ai] = enc.DecodeValue(attrs[ai], code);
+      }
+      out.At(decoded) += frontier[f];
+    }
+  }
+  out.ClampNegatives();
+  out.Normalize();
+  return out;
+}
+
+MarginalProvider ModelMarginalProvider(
+    std::shared_ptr<const PrivBayesModel> model, size_t max_cells) {
+  return [model, max_cells](const std::vector<int>& attrs) {
+    return ModelMarginal(*model, attrs, max_cells);
+  };
+}
+
+}  // namespace privbayes

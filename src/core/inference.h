@@ -1,0 +1,42 @@
+// Direct query answering from the fitted model (the paper's §7 future-work
+// direction: "whether certain questions could be answered directly from the
+// materialized model and its parameters, rather than via random sampling").
+//
+// ModelMarginal computes the EXACT marginal Pr*_N[attrs] implied by the
+// noisy network — no sampling error — by a forward sweep in network order:
+// multiply in each conditional Pr*[X_i | Π_i] and sum out variables that are
+// neither requested nor needed as later parents. The live-frontier size is
+// bounded by the requested set plus the parent spans of the pending pairs;
+// a cell cap guards pathological structures.
+//
+// The `ablation_model_inference` bench quantifies the benefit over sampled
+// answers (the sampling noise PrivBayes pays on top of the DP noise).
+
+#ifndef PRIVBAYES_CORE_INFERENCE_H_
+#define PRIVBAYES_CORE_INFERENCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/synthesizer.h"
+#include "query/marginal_workload.h"
+
+namespace privbayes {
+
+/// Exact marginal of the model over `attrs` (original-schema attribute
+/// indices, as in MarginalWorkload), normalized, with vars GenVarId(attr).
+/// For Binary/Gray models the encoded-bit cube is computed exactly and
+/// folded back through the code (out-of-domain codes clamp, matching the
+/// sampler's decoder). Throws if an intermediate frontier would exceed
+/// `max_cells`.
+ProbTable ModelMarginal(const PrivBayesModel& model,
+                        const std::vector<int>& attrs,
+                        size_t max_cells = size_t{1} << 22);
+
+/// MarginalProvider view of a model (for AverageMarginalTvd).
+MarginalProvider ModelMarginalProvider(std::shared_ptr<const PrivBayesModel> model,
+                                       size_t max_cells = size_t{1} << 22);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_CORE_INFERENCE_H_

@@ -1,0 +1,215 @@
+#include "core/maximal_parent_sets.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+namespace {
+
+// Canonical hash key for a generalized set (sorted by attribute).
+std::string KeyOf(const std::vector<GenAttr>& set) {
+  std::string key;
+  key.reserve(set.size() * 4);
+  for (const GenAttr& g : set) {
+    key.push_back(static_cast<char>(g.attr & 0xff));
+    key.push_back(static_cast<char>((g.attr >> 8) & 0xff));
+    key.push_back(static_cast<char>(g.level & 0xff));
+    key.push_back(';');
+  }
+  return key;
+}
+
+void Canonicalize(std::vector<GenAttr>* set) {
+  std::sort(set->begin(), set->end(),
+            [](const GenAttr& a, const GenAttr& b) { return a.attr < b.attr; });
+}
+
+struct BudgetExceeded {};
+
+// Exact Algorithm 6 recursion over v[0..m): returns canonical sets.
+// `levels_of(attr)` is 1 for Algorithm 5 semantics (level 0 only).
+class ExactEnumerator {
+ public:
+  ExactEnumerator(const Schema& schema, bool use_taxonomies,
+                  size_t node_budget)
+      : schema_(schema),
+        use_taxonomies_(use_taxonomies),
+        node_budget_(node_budget) {}
+
+  std::vector<std::vector<GenAttr>> Run(const std::vector<int>& v, double tau) {
+    return Recurse(v, static_cast<int>(v.size()), tau);
+  }
+
+ private:
+  int LevelsOf(int attr) const {
+    return use_taxonomies_ ? schema_.attr(attr).taxonomy.num_levels() : 1;
+  }
+
+  std::vector<std::vector<GenAttr>> Recurse(const std::vector<int>& v, int m,
+                                            double tau) {
+    if (node_budget_ != 0 && ++nodes_ > node_budget_) throw BudgetExceeded{};
+    if (tau < 1) return {};
+    if (m == 0) return {{}};
+    int x = v[m - 1];
+    // Algorithm 6: least-generalized levels first; U records Z's already
+    // paired with a less generalized X (or, in the final loop, Z's that are
+    // non-maximal because some X level still fits alongside them).
+    std::vector<std::vector<GenAttr>> s;
+    std::unordered_set<std::string> u;
+    for (int level = 0; level < LevelsOf(x); ++level) {
+      double card = schema_.CardinalityAt(x, level);
+      for (std::vector<GenAttr>& z : Recurse(v, m - 1, tau / card)) {
+        std::string key = KeyOf(z);
+        if (u.count(key)) continue;
+        u.insert(std::move(key));
+        z.push_back(GenAttr{x, level});
+        Canonicalize(&z);
+        s.push_back(std::move(z));
+      }
+    }
+    for (std::vector<GenAttr>& z : Recurse(v, m - 1, tau)) {
+      if (u.count(KeyOf(z))) continue;
+      s.push_back(std::move(z));
+    }
+    return s;
+  }
+
+  const Schema& schema_;
+  bool use_taxonomies_;
+  size_t node_budget_;
+  size_t nodes_ = 0;
+};
+
+// Randomized maximal-set sampler: random greedy completion followed by an
+// improvement loop (lower levels / add attributes) until a maximality
+// fixpoint. Depends only on schema cardinalities and tau.
+std::vector<GenAttr> SampleMaximalSet(const Schema& schema,
+                                      std::vector<int> v, double tau,
+                                      bool use_taxonomies, Rng& rng) {
+  rng.Shuffle(v);
+  std::vector<GenAttr> set;
+  double dom = 1.0;
+  auto levels_of = [&](int attr) {
+    return use_taxonomies ? schema.attr(attr).taxonomy.num_levels() : 1;
+  };
+  // Greedy completion: add each attribute at its most general level that
+  // fits (leaving room for others); refine afterwards.
+  for (int attr : v) {
+    int lv = levels_of(attr);
+    int pick = -1;
+    for (int level = lv - 1; level >= 0; --level) {
+      if (dom * schema.CardinalityAt(attr, level) <= tau) {
+        pick = level;  // keep scanning: prefer the LEAST generalized that fits
+      }
+    }
+    if (pick >= 0) {
+      set.push_back(GenAttr{attr, pick});
+      dom *= schema.CardinalityAt(attr, pick);
+    }
+  }
+  // Improvement loop: ensure maximality (no addable attribute at any level,
+  // no lowerable level).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GenAttr& g : set) {
+      while (g.level > 0) {
+        double without = dom / schema.CardinalityAt(g.attr, g.level);
+        double with_lower = without * schema.CardinalityAt(g.attr, g.level - 1);
+        if (with_lower <= tau) {
+          dom = with_lower;
+          --g.level;
+          changed = true;
+        } else {
+          break;
+        }
+      }
+    }
+    for (int attr : v) {
+      bool present = false;
+      for (const GenAttr& g : set) present |= (g.attr == attr);
+      if (present) continue;
+      int lv = levels_of(attr);
+      int pick = -1;
+      for (int level = 0; level < lv; ++level) {
+        if (dom * schema.CardinalityAt(attr, level) <= tau) {
+          pick = level;  // most general fitting is enough for maximality;
+        }                // keep the most generalized so others still fit
+      }
+      if (pick >= 0) {
+        set.push_back(GenAttr{attr, pick});
+        dom *= schema.CardinalityAt(attr, pick);
+        changed = true;
+      }
+    }
+  }
+  Canonicalize(&set);
+  return set;
+}
+
+}  // namespace
+
+double GenDomainSize(const Schema& schema, const std::vector<GenAttr>& set) {
+  double dom = 1.0;
+  for (const GenAttr& g : set) dom *= schema.CardinalityAt(g.attr, g.level);
+  return dom;
+}
+
+std::vector<std::vector<int>> MaximalParentSetsExact(const Schema& schema,
+                                                     std::vector<int> v,
+                                                     double tau) {
+  ExactEnumerator e(schema, /*use_taxonomies=*/false, /*node_budget=*/0);
+  std::vector<std::vector<int>> out;
+  for (const std::vector<GenAttr>& set : e.Run(v, tau)) {
+    std::vector<int> flat;
+    flat.reserve(set.size());
+    for (const GenAttr& g : set) flat.push_back(g.attr);
+    out.push_back(std::move(flat));
+  }
+  return out;
+}
+
+std::vector<std::vector<GenAttr>> MaximalParentSetsGenExact(
+    const Schema& schema, std::vector<int> v, double tau) {
+  ExactEnumerator e(schema, /*use_taxonomies=*/true, /*node_budget=*/0);
+  return e.Run(v, tau);
+}
+
+std::vector<std::vector<GenAttr>> BoundedMaximalParentSets(
+    const Schema& schema, const std::vector<int>& v, double tau,
+    bool use_taxonomies, size_t max_results, size_t node_budget, Rng& rng) {
+  // First try the exact enumeration under the node budget.
+  try {
+    ExactEnumerator e(schema, use_taxonomies, node_budget);
+    std::vector<std::vector<GenAttr>> exact = e.Run(v, tau);
+    if (max_results == 0 || exact.size() <= max_results) return exact;
+    // Uniform subsample (data-independent).
+    for (size_t i = 0; i < max_results; ++i) {
+      size_t j = i + rng.UniformInt(exact.size() - i);
+      std::swap(exact[i], exact[j]);
+    }
+    exact.resize(max_results);
+    return exact;
+  } catch (const BudgetExceeded&) {
+    // Fall through to sampling.
+  }
+  PB_CHECK_MSG(max_results > 0,
+               "exact enumeration exceeded node budget and no cap was given");
+  std::vector<std::vector<GenAttr>> out;
+  std::unordered_set<std::string> seen;
+  size_t trials = max_results * 8 + 32;
+  for (size_t t = 0; t < trials && out.size() < max_results; ++t) {
+    std::vector<GenAttr> set =
+        SampleMaximalSet(schema, v, tau, use_taxonomies, rng);
+    std::string key = KeyOf(set);
+    if (seen.insert(std::move(key)).second) out.push_back(std::move(set));
+  }
+  return out;
+}
+
+}  // namespace privbayes

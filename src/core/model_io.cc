@@ -1,0 +1,267 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+namespace {
+
+constexpr const char* kMagic = "PRIVBAYES-MODEL v1";
+
+const char* KindName(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kBinary:
+      return "binary";
+    case AttributeKind::kCategorical:
+      return "categorical";
+    case AttributeKind::kContinuous:
+      return "continuous";
+  }
+  return "?";
+}
+
+AttributeKind KindFromName(const std::string& name) {
+  if (name == "binary") return AttributeKind::kBinary;
+  if (name == "categorical") return AttributeKind::kCategorical;
+  if (name == "continuous") return AttributeKind::kContinuous;
+  throw std::runtime_error("unknown attribute kind '" + name + "'");
+}
+
+void WriteSchema(const Schema& schema, std::ostream& out) {
+  out << "schema " << schema.num_attrs() << "\n";
+  for (int a = 0; a < schema.num_attrs(); ++a) {
+    const Attribute& attr = schema.attr(a);
+    out << "attr " << attr.name << " " << KindName(attr.kind) << " "
+        << attr.cardinality << " " << attr.numeric_lo << " " << attr.numeric_hi
+        << " " << attr.taxonomy.num_levels() << "\n";
+    for (int l = 1; l < attr.taxonomy.num_levels(); ++l) {
+      out << "level";
+      for (Value v : attr.taxonomy.LeafMapAt(l)) out << " " << v;
+      out << "\n";
+    }
+  }
+}
+
+Schema ReadSchema(std::istream& in) {
+  std::string tok;
+  int n = 0;
+  in >> tok >> n;
+  if (!in || tok != "schema" || n < 0 || n > 100000) {
+    throw std::runtime_error("bad schema header");
+  }
+  std::vector<Attribute> attrs;
+  for (int a = 0; a < n; ++a) {
+    Attribute attr;
+    std::string kind;
+    int levels = 0;
+    in >> tok >> attr.name >> kind >> attr.cardinality >> attr.numeric_lo >>
+        attr.numeric_hi >> levels;
+    if (!in || tok != "attr") throw std::runtime_error("bad attr record");
+    attr.kind = KindFromName(kind);
+    if (attr.cardinality < 2 || attr.cardinality > 65536 || levels < 1 ||
+        levels > kGenVarStride) {
+      throw std::runtime_error("attr out of range");
+    }
+    std::vector<std::vector<Value>> maps;
+    maps.emplace_back(attr.cardinality);
+    for (int v = 0; v < attr.cardinality; ++v) {
+      maps[0][v] = static_cast<Value>(v);
+    }
+    for (int l = 1; l < levels; ++l) {
+      in >> tok;
+      if (!in || tok != "level") throw std::runtime_error("bad level record");
+      std::vector<Value> map(attr.cardinality);
+      for (int v = 0; v < attr.cardinality; ++v) {
+        int g;
+        in >> g;
+        if (!in || g < 0 || g >= attr.cardinality) {
+          throw std::runtime_error("bad taxonomy group");
+        }
+        map[v] = static_cast<Value>(g);
+      }
+      maps.push_back(std::move(map));
+    }
+    try {
+      attr.taxonomy = TaxonomyTree::FromLeafMaps(std::move(maps));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("bad taxonomy: ") + e.what());
+    }
+    attrs.push_back(std::move(attr));
+  }
+  try {
+    return Schema(std::move(attrs));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("bad schema: ") + e.what());
+  }
+}
+
+// Hex-float encoding keeps probability round trips bit-exact.
+std::string HexDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+// istream's num_get does not reliably parse hex floats; go through strtod.
+double ReadHexDouble(std::istream& in) {
+  std::string tok;
+  in >> tok;
+  if (!in) throw std::runtime_error("missing float value");
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    throw std::runtime_error("bad float value '" + tok + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void SaveModel(const PrivBayesModel& model, std::ostream& out) {
+  out << kMagic << "\n";
+  out << "encoding " << EncodingName(model.encoding) << "\n";
+  out << "meta " << (model.used_binary_algorithm ? 1 : 0) << " "
+      << model.degree_k << " " << HexDouble(model.epsilon1) << " "
+      << HexDouble(model.epsilon2) << " " << model.input_rows << "\n";
+  WriteSchema(model.original_schema, out);
+  out << "network " << model.network.size() << "\n";
+  for (const APPair& pair : model.network.pairs()) {
+    out << "pair " << pair.attr << " " << pair.parents.size();
+    for (const GenAttr& g : pair.parents) {
+      out << " " << g.attr << " " << g.level;
+    }
+    out << "\n";
+  }
+  for (const ProbTable& t : model.conditionals.conditionals) {
+    out << "table " << t.num_vars();
+    for (int v : t.vars()) out << " " << v;
+    for (int c : t.cards()) out << " " << c;
+    out << "\n";
+    for (size_t i = 0; i < t.size(); ++i) {
+      out << HexDouble(t[i]) << (i + 1 == t.size() ? "" : " ");
+    }
+    out << "\n";
+  }
+  if (!out) throw std::runtime_error("model write failed");
+}
+
+void SaveModelFile(const PrivBayesModel& model, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  SaveModel(model, f);
+}
+
+PrivBayesModel LoadModel(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("not a PrivBayes model (bad magic)");
+  }
+  PrivBayesModel model;
+  std::string tok, enc_name;
+  in >> tok >> enc_name;
+  if (!in || tok != "encoding") throw std::runtime_error("bad encoding line");
+  bool found = false;
+  for (EncodingKind kind :
+       {EncodingKind::kBinary, EncodingKind::kGray, EncodingKind::kVanilla,
+        EncodingKind::kHierarchical}) {
+    if (enc_name == EncodingName(kind)) {
+      model.encoding = kind;
+      found = true;
+    }
+  }
+  if (!found) throw std::runtime_error("unknown encoding '" + enc_name + "'");
+  int binary_alg = 0;
+  in >> tok >> binary_alg >> model.degree_k;
+  if (!in || tok != "meta") throw std::runtime_error("bad meta line");
+  model.epsilon1 = ReadHexDouble(in);
+  model.epsilon2 = ReadHexDouble(in);
+  in >> model.input_rows;
+  if (!in) throw std::runtime_error("bad meta line");
+  model.used_binary_algorithm = binary_alg != 0;
+
+  model.original_schema = ReadSchema(in);
+  // Rebuild the encoded schema (and encoder) from the encoding kind.
+  switch (model.encoding) {
+    case EncodingKind::kBinary:
+    case EncodingKind::kGray: {
+      auto enc = std::make_shared<BinaryEncoder>(
+          model.original_schema, model.encoding == EncodingKind::kGray);
+      model.encoded_schema = enc->binary_schema();
+      model.encoder = std::move(enc);
+      break;
+    }
+    case EncodingKind::kVanilla:
+      model.encoded_schema = FlattenTaxonomies(model.original_schema);
+      break;
+    case EncodingKind::kHierarchical:
+      model.encoded_schema = model.original_schema;
+      break;
+  }
+
+  int d = 0;
+  in >> tok >> d;
+  if (!in || tok != "network" ||
+      d != model.encoded_schema.num_attrs()) {
+    throw std::runtime_error("bad network header");
+  }
+  try {
+    for (int i = 0; i < d; ++i) {
+      int attr = 0;
+      size_t np = 0;
+      in >> tok >> attr >> np;
+      if (!in || tok != "pair" || np > 64) {
+        throw std::runtime_error("bad pair record");
+      }
+      APPair pair;
+      pair.attr = attr;
+      for (size_t p = 0; p < np; ++p) {
+        GenAttr g;
+        in >> g.attr >> g.level;
+        if (!in) throw std::runtime_error("bad parent record");
+        pair.parents.push_back(g);
+      }
+      model.network.Add(std::move(pair));
+    }
+    model.network.ValidateAgainst(model.encoded_schema);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("bad network: ") + e.what());
+  }
+
+  for (int i = 0; i < d; ++i) {
+    int nv = 0;
+    in >> tok >> nv;
+    if (!in || tok != "table" || nv < 1 || nv > 64) {
+      throw std::runtime_error("bad table header");
+    }
+    std::vector<int> vars(nv), cards(nv);
+    for (int& v : vars) in >> v;
+    for (int& c : cards) in >> c;
+    if (!in) throw std::runtime_error("bad table shape");
+    ProbTable table = [&] {
+      try {
+        return ProbTable(vars, cards);
+      } catch (const std::invalid_argument& e) {
+        throw std::runtime_error(std::string("bad table: ") + e.what());
+      }
+    }();
+    for (size_t c = 0; c < table.size(); ++c) {
+      table[c] = ReadHexDouble(in);
+    }
+    model.conditionals.conditionals.push_back(std::move(table));
+  }
+  return model;
+}
+
+PrivBayesModel LoadModelFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  return LoadModel(f);
+}
+
+}  // namespace privbayes

@@ -1,0 +1,36 @@
+// Model persistence: save a fitted PrivBayesModel to a stream/file and load
+// it back. A released model IS the private artifact — the network plus
+// noisy conditionals fully determine the synthetic-data distribution — so a
+// data owner can fit once, archive the model, and let consumers sample or
+// query (core/inference.h) without re-spending budget.
+//
+// Format: versioned plain text ("PRIVBAYES-MODEL v1"), human-diffable;
+// probabilities hex-float encoded so round trips are bit-exact.
+
+#ifndef PRIVBAYES_CORE_MODEL_IO_H_
+#define PRIVBAYES_CORE_MODEL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/synthesizer.h"
+
+namespace privbayes {
+
+/// Writes `model` to `out`. Throws std::runtime_error on stream failure.
+void SaveModel(const PrivBayesModel& model, std::ostream& out);
+
+/// File variant of SaveModel.
+void SaveModelFile(const PrivBayesModel& model, const std::string& path);
+
+/// Parses a model previously written by SaveModel. Validates the header,
+/// schema constraints, network acyclicity and table shapes; throws
+/// std::runtime_error on malformed input.
+PrivBayesModel LoadModel(std::istream& in);
+
+/// File variant of LoadModel.
+PrivBayesModel LoadModelFile(const std::string& path);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_CORE_MODEL_IO_H_

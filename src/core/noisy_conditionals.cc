@@ -1,0 +1,88 @@
+#include "core/noisy_conditionals.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "dp/mechanisms.h"
+
+namespace privbayes {
+
+namespace {
+
+// Materializes the noisy joint distribution of one AP pair: counts -> /n ->
+// + Laplace -> clamp -> normalize. `pair_epsilon` is this pair's budget.
+ProbTable NoisyJoint(const Dataset& data, const APPair& pair,
+                     double pair_epsilon, Rng& rng, BudgetAccountant* acct) {
+  std::vector<GenAttr> gattrs = pair.parents;
+  gattrs.push_back(GenAttr{pair.attr, 0});
+  ProbTable joint = data.JointCountsGeneralized(gattrs);
+  double n = data.num_rows();
+  PB_CHECK(n > 0);
+  for (double& v : joint.values()) v /= n;
+  // L1 sensitivity of a probability-normalized marginal is 2/n: one changed
+  // tuple moves 1/n of mass from one cell to another (§3 / Lemma 4.8).
+  LaplaceMechanism lap(2.0 / n, pair_epsilon);
+  lap.Apply(joint.values(), rng, acct);
+  joint.ClampNegatives();
+  joint.Normalize();
+  return joint;
+}
+
+// Conditions a noisy joint (parents..., child last) on its parents.
+ProbTable ToConditional(ProbTable joint) {
+  joint.NormalizeSlicesOverLastVar();
+  return joint;
+}
+
+}  // namespace
+
+ConditionalSet NoisyConditionalsBinary(const Dataset& data,
+                                       const BayesNet& net, int k,
+                                       double epsilon2, Rng& rng,
+                                       BudgetAccountant* acct) {
+  const int d = net.size();
+  PB_THROW_IF(d != data.num_attrs(), "network/schema mismatch");
+  PB_THROW_IF(k < 0 || k > d - 1, "degree k out of range");
+  ConditionalSet out;
+  out.conditionals.resize(d);
+  double pair_epsilon = epsilon2 > 0 ? epsilon2 / (d - k) : 0.0;
+
+  // Pairs k+1..d (1-based): materialize and noise their joints.
+  ProbTable chain_joint;  // noisy joint of pair index k (0-based)
+  for (int i = k; i < d; ++i) {
+    ProbTable joint = NoisyJoint(data, net.pair(i), pair_epsilon, rng, acct);
+    if (i == k) chain_joint = joint;
+    out.conditionals[i] = ToConditional(std::move(joint));
+  }
+
+  // Pairs 1..k (1-based): derive from the noisy joint of pair k+1 without
+  // touching the data. The chain property guarantees the needed variables
+  // are all present in chain_joint.
+  for (int i = 0; i < k; ++i) {
+    const APPair& pair = net.pair(i);
+    std::vector<int> target_vars;
+    target_vars.reserve(pair.parents.size() + 1);
+    for (const GenAttr& p : pair.parents) target_vars.push_back(GenVarId(p));
+    target_vars.push_back(GenVarId(pair.attr));
+    ProbTable marg = chain_joint.MarginalizeOnto(target_vars);
+    out.conditionals[i] = ToConditional(std::move(marg));
+  }
+  return out;
+}
+
+ConditionalSet NoisyConditionalsGeneral(const Dataset& data,
+                                        const BayesNet& net, double epsilon2,
+                                        Rng& rng, BudgetAccountant* acct) {
+  const int d = net.size();
+  PB_THROW_IF(d != data.num_attrs(), "network/schema mismatch");
+  ConditionalSet out;
+  out.conditionals.resize(d);
+  double pair_epsilon = epsilon2 > 0 ? epsilon2 / d : 0.0;
+  for (int i = 0; i < d; ++i) {
+    out.conditionals[i] = ToConditional(
+        NoisyJoint(data, net.pair(i), pair_epsilon, rng, acct));
+  }
+  return out;
+}
+
+}  // namespace privbayes

@@ -1,0 +1,41 @@
+// Differentially private conditional distributions (paper Algorithms 1 & 3).
+//
+// Binary algorithm (Alg. 1): for i ∈ [k+1, d], materialize the (k+1)-way
+// joint Pr[X_i, Π_i], add Laplace(2(d−k)/(n·ε2)) to every probability cell
+// (the joint has L1 sensitivity 2/n and gets budget ε2/(d−k)), clamp
+// negatives to 0, normalize, and condition on Π_i. The first k conditionals
+// are DERIVED from the noisy joint of pair k+1 — legal because the greedy
+// construction guarantees X_i ∈ Π_{k+1} ∪ {X_{k+1}} and Π_i ⊂ Π_{k+1} for
+// i <= k — so they cost no additional budget.
+//
+// General algorithm (Alg. 3): all d joints are materialized (at the parents'
+// taxonomy levels) with Laplace(2d/(n·ε2)) each.
+//
+// ε2 <= 0 adds no noise and charges nothing (BestMarginal ablation, §6.4).
+
+#ifndef PRIVBAYES_CORE_NOISY_CONDITIONALS_H_
+#define PRIVBAYES_CORE_NOISY_CONDITIONALS_H_
+
+#include "bn/bayes_net.h"
+#include "bn/sampling.h"
+#include "common/random.h"
+#include "dp/budget.h"
+
+namespace privbayes {
+
+/// Algorithm 1. `k` must be the degree used to build `net` (every pair i in
+/// [k+2, d] has exactly k parents; pairs 1..k+1 form the prefix chain).
+ConditionalSet NoisyConditionalsBinary(const Dataset& data,
+                                       const BayesNet& net, int k,
+                                       double epsilon2, Rng& rng,
+                                       BudgetAccountant* acct = nullptr);
+
+/// Algorithm 3.
+ConditionalSet NoisyConditionalsGeneral(const Dataset& data,
+                                        const BayesNet& net, double epsilon2,
+                                        Rng& rng,
+                                        BudgetAccountant* acct = nullptr);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_CORE_NOISY_CONDITIONALS_H_

@@ -1,0 +1,166 @@
+#include "core/private_greedy.h"
+
+#include <algorithm>
+
+#include "bn/greedy_bayes.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "core/maximal_parent_sets.h"
+#include "core/theta_usefulness.h"
+#include "dp/mechanisms.h"
+
+namespace privbayes {
+
+namespace {
+
+// Scores every candidate in parallel (scoring is deterministic and
+// read-only; only the subsequent EM draw consumes randomness).
+std::vector<double> ScoreCandidates(const Dataset& data,
+                                    const std::vector<APPair>& candidates,
+                                    ScoreKind score, size_t f_max_states) {
+  std::vector<double> scores(candidates.size());
+  int64_t n = data.num_rows();
+  ParallelFor(
+      candidates.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          const APPair& pair = candidates[c];
+          std::vector<GenAttr> gattrs = pair.parents;
+          gattrs.push_back(GenAttr{pair.attr, 0});
+          ProbTable counts = data.JointCountsGeneralized(gattrs);
+          scores[c] = ComputeScore(score, counts, n, f_max_states);
+        }
+      },
+      /*min_per_thread=*/8);
+  return scores;
+}
+
+// Shared selection loop: enumerate-candidates callback differs between the
+// binary and general algorithms.
+template <typename EnumerateFn>
+BayesNet GreedyLoop(const Dataset& data, const PrivateGreedyOptions& options,
+                    Rng& rng, BudgetAccountant* acct, bool binary_side,
+                    EnumerateFn&& enumerate) {
+  const int d = data.num_attrs();
+  BayesNet net;
+  std::vector<int> chosen, remaining;
+  int first = options.first_attr >= 0
+                  ? options.first_attr
+                  : static_cast<int>(rng.UniformInt(d));
+  PB_THROW_IF(first >= d, "first_attr out of range");
+  net.Add(APPair{first, {}});
+  chosen.push_back(first);
+  for (int a = 0; a < d; ++a) {
+    if (a != first) remaining.push_back(a);
+  }
+  if (remaining.empty()) return net;
+
+  double per_iter_eps =
+      options.epsilon1 > 0 ? options.epsilon1 / (d - 1) : 0.0;
+  double sensitivity =
+      ScoreSensitivity(options.score, data.num_rows(), binary_side);
+  ExponentialMechanism em(sensitivity, per_iter_eps);
+
+  while (!remaining.empty()) {
+    std::vector<APPair> candidates = enumerate(chosen, remaining);
+    PB_CHECK_MSG(!candidates.empty(), "empty candidate set");
+    std::vector<double> scores = ScoreCandidates(
+        data, candidates, options.score, options.f_max_states);
+    size_t pick = em.Select(scores, rng, acct);
+    const APPair& winner = candidates[pick];
+    chosen.push_back(winner.attr);
+    remaining.erase(
+        std::find(remaining.begin(), remaining.end(), winner.attr));
+    net.Add(winner);
+  }
+  return net;
+}
+
+}  // namespace
+
+LearnedNetwork LearnNetworkBinary(const Dataset& data,
+                                  const PrivateGreedyOptions& options,
+                                  Rng& rng, BudgetAccountant* acct) {
+  PB_THROW_IF(!data.schema().AllBinary(),
+              "binary algorithm requires an all-binary schema");
+  const int d = data.num_attrs();
+  PB_THROW_IF(d < 1, "empty schema");
+  int k = options.fixed_k >= 0
+              ? options.fixed_k
+              : ChooseDegreeK(data.num_rows(), d, options.epsilon2_plan,
+                              options.theta);
+  PB_THROW_IF(k > d - 1, "degree k exceeds d-1");
+
+  if (k == 0) {
+    // Only one possible structure (all attributes independent): build it
+    // without touching the data or the budget (§6.4 footnote 6).
+    BayesNet net;
+    std::vector<int> order(d);
+    for (int a = 0; a < d; ++a) order[a] = a;
+    rng.Shuffle(order);
+    if (options.first_attr >= 0) {
+      // Keep the requested root first for reproducible tests.
+      auto it = std::find(order.begin(), order.end(), options.first_attr);
+      std::iter_swap(order.begin(), it);
+    }
+    for (int a : order) net.Add(APPair{a, {}});
+    return LearnedNetwork{std::move(net), 0};
+  }
+
+  BayesNet net = GreedyLoop(
+      data, options, rng, acct, /*binary_side=*/true,
+      [&](const std::vector<int>& chosen, const std::vector<int>& remaining) {
+        return EnumerateOrSampleCandidatesFixedK(chosen, remaining, k,
+                                                 options.candidate_cap, rng);
+      });
+  return LearnedNetwork{std::move(net), k};
+}
+
+LearnedNetwork LearnNetworkGeneral(const Dataset& data,
+                                   const PrivateGreedyOptions& options,
+                                   Rng& rng, BudgetAccountant* acct) {
+  PB_THROW_IF(options.score == ScoreKind::kF,
+              "score F is not computable on general domains (Thm 5.1)");
+  const int d = data.num_attrs();
+  PB_THROW_IF(d < 1, "empty schema");
+  const Schema& schema = data.schema();
+  bool binary_side = schema.AllBinary();
+
+  BayesNet net = GreedyLoop(
+      data, options, rng, acct, binary_side,
+      [&](const std::vector<int>& chosen, const std::vector<int>& remaining) {
+        std::vector<APPair> candidates;
+        // Spread the per-iteration cap across the remaining attributes so no
+        // attribute is starved of parent-set candidates.
+        size_t per_attr_cap =
+            options.candidate_cap == 0
+                ? 0
+                : std::max<size_t>(16,
+                                   options.candidate_cap / remaining.size());
+        for (int x : remaining) {
+          double tau =
+              ParentDomainCap(data.num_rows(), d, options.epsilon2_plan,
+                              options.theta, schema.Cardinality(x));
+          // With no cap the caller asked for exact enumeration: disable the
+          // node budget so the fallback sampler (which needs a cap) is never
+          // required.
+          size_t node_budget =
+              per_attr_cap == 0 ? 0 : options.mps_node_budget;
+          std::vector<std::vector<GenAttr>> tops = BoundedMaximalParentSets(
+              schema, chosen, tau, /*use_taxonomies=*/true, per_attr_cap,
+              node_budget, rng);
+          if (tops.empty()) {
+            candidates.push_back(APPair{x, {}});
+          } else {
+            for (std::vector<GenAttr>& parents : tops) {
+              candidates.push_back(APPair{x, std::move(parents)});
+            }
+          }
+        }
+        CapCandidates(candidates, options.candidate_cap, rng);
+        return candidates;
+      });
+  return LearnedNetwork{std::move(net), -1};
+}
+
+}  // namespace privbayes

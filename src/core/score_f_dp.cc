@@ -1,0 +1,132 @@
+#include "core/score_f_dp.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+namespace {
+
+struct State {
+  int64_t a;
+  int64_t b;
+};
+
+// Merges two frontiers (each sorted by a ascending, b strictly descending)
+// and removes dominated states. Output sorted the same way.
+void MergeAndPrune(const std::vector<State>& lhs, const std::vector<State>& rhs,
+                   std::vector<State>* out) {
+  // Merge by a ascending; on equal a keep only the max-b state (the other is
+  // dominated), which the tie-break below guarantees comes first.
+  std::vector<State> merged;
+  merged.reserve(lhs.size() + rhs.size());
+  size_t i = 0, j = 0;
+  while (i < lhs.size() || j < rhs.size()) {
+    bool take_lhs;
+    if (i == lhs.size()) {
+      take_lhs = false;
+    } else if (j == rhs.size()) {
+      take_lhs = true;
+    } else if (lhs[i].a != rhs[j].a) {
+      take_lhs = lhs[i].a < rhs[j].a;
+    } else {
+      take_lhs = lhs[i].b >= rhs[j].b;
+    }
+    const State& s = take_lhs ? lhs[i++] : rhs[j++];
+    if (!merged.empty() && merged.back().a == s.a) continue;  // dominated
+    merged.push_back(s);
+  }
+  // Right-to-left scan: a state survives iff its b strictly exceeds the b of
+  // every state with larger a.
+  out->clear();
+  out->reserve(merged.size());
+  int64_t max_b = -1;
+  for (size_t idx = merged.size(); idx > 0; --idx) {
+    const State& s = merged[idx - 1];
+    if (s.b > max_b) {
+      out->push_back(s);
+      max_b = s.b;
+    }
+  }
+  std::reverse(out->begin(), out->end());
+}
+
+// Thins `frontier` to at most ~max_states states by keeping, per bucket of
+// `a` of width g, the max-b state (= the first state in the bucket, since b
+// is descending in a).
+void Thin(std::vector<State>* frontier, size_t max_states, int64_t n) {
+  if (max_states == 0 || frontier->size() <= max_states) return;
+  int64_t g = std::max<int64_t>(1, n / static_cast<int64_t>(max_states));
+  std::vector<State> thinned;
+  thinned.reserve(max_states + 2);
+  int64_t last_bucket = -1;
+  for (const State& s : *frontier) {
+    int64_t bucket = s.a / g;
+    if (bucket != last_bucket) {
+      thinned.push_back(s);
+      last_bucket = bucket;
+    }
+  }
+  frontier->swap(thinned);
+}
+
+double Objective(const State& s, int64_t n) {
+  double half = 0.5;
+  double ta = half - static_cast<double>(s.a) / static_cast<double>(n);
+  double tb = half - static_cast<double>(s.b) / static_cast<double>(n);
+  return (ta > 0 ? ta : 0) + (tb > 0 ? tb : 0);
+}
+
+}  // namespace
+
+double ScoreFFromColumns(std::span<const FColumn> columns, int64_t n,
+                         size_t max_states) {
+  PB_THROW_IF(n <= 0, "F requires positive n");
+  std::vector<State> frontier = {{0, 0}};
+  std::vector<State> with_a, with_b, next;
+  int64_t half_up = (n + 1) / 2;  // a >= ceil(n/2) makes (1/2 - a/n)+ vanish
+  for (const FColumn& col : columns) {
+    PB_CHECK(col.first >= 0 && col.second >= 0);
+    with_a.clear();
+    with_b.clear();
+    with_a.reserve(frontier.size());
+    with_b.reserve(frontier.size());
+    for (const State& s : frontier) {
+      with_a.push_back({s.a + col.first, s.b});
+      with_b.push_back({s.a, s.b + col.second});
+    }
+    MergeAndPrune(with_a, with_b, &next);
+    Thin(&next, max_states, n);
+    frontier.swap(next);
+    // Early exit: some state already zeroes both penalty terms.
+    for (const State& s : frontier) {
+      if (s.a >= half_up && s.b >= half_up) return 0.0;
+    }
+  }
+  double best = 1.0;
+  for (const State& s : frontier) best = std::min(best, Objective(s, n));
+  return -best;
+}
+
+double ScoreFBruteForce(std::span<const FColumn> columns, int64_t n) {
+  PB_THROW_IF(columns.size() > 24, "brute force limited to 24 columns");
+  PB_THROW_IF(n <= 0, "F requires positive n");
+  size_t combos = size_t{1} << columns.size();
+  double best = 1.0;
+  for (size_t mask = 0; mask < combos; ++mask) {
+    State s{0, 0};
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (mask & (size_t{1} << c)) {
+        s.a += columns[c].first;
+      } else {
+        s.b += columns[c].second;
+      }
+    }
+    best = std::min(best, Objective(s, n));
+  }
+  return -best;
+}
+
+}  // namespace privbayes

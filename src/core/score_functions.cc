@@ -1,0 +1,111 @@
+#include "core/score_functions.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "core/score_f_dp.h"
+#include "prob/information.h"
+
+namespace privbayes {
+
+namespace {
+
+double Log2(double x) { return std::log2(x); }
+
+}  // namespace
+
+const char* ScoreName(ScoreKind kind) {
+  switch (kind) {
+    case ScoreKind::kI:
+      return "I";
+    case ScoreKind::kF:
+      return "F";
+    case ScoreKind::kR:
+      return "R";
+  }
+  return "?";
+}
+
+double SensitivityI(int64_t n, bool binary_side) {
+  PB_THROW_IF(n <= 1, "sensitivity needs n > 1");
+  double nd = static_cast<double>(n);
+  if (binary_side) {
+    return Log2(nd) / nd + (nd - 1) / nd * Log2(nd / (nd - 1));
+  }
+  return 2.0 / nd * Log2((nd + 1) / 2.0) +
+         (nd - 1) / nd * Log2((nd + 1) / (nd - 1));
+}
+
+double SensitivityF(int64_t n) {
+  PB_THROW_IF(n <= 0, "sensitivity needs n > 0");
+  return 1.0 / static_cast<double>(n);
+}
+
+double SensitivityR(int64_t n) {
+  PB_THROW_IF(n <= 0, "sensitivity needs n > 0");
+  double nd = static_cast<double>(n);
+  return 3.0 / nd + 2.0 / (nd * nd);
+}
+
+double ScoreSensitivity(ScoreKind kind, int64_t n, bool binary_side) {
+  switch (kind) {
+    case ScoreKind::kI:
+      return SensitivityI(n, binary_side);
+    case ScoreKind::kF:
+      return SensitivityF(n);
+    case ScoreKind::kR:
+      return SensitivityR(n);
+  }
+  PB_CHECK(false);
+}
+
+double ScoreI(const ProbTable& joint_counts, int64_t n) {
+  if (joint_counts.num_vars() <= 1) return 0.0;  // I(X; ∅) = 0
+  PB_THROW_IF(n <= 0, "scores need n > 0");
+  ProbTable probs = joint_counts;
+  for (double& v : probs.values()) v /= static_cast<double>(n);
+  return MutualInformation(probs, probs.vars().back());
+}
+
+double ScoreR(const ProbTable& joint_counts, int64_t n) {
+  PB_THROW_IF(n <= 0, "scores need n > 0");
+  if (joint_counts.num_vars() <= 1) return 0.0;  // independent of nothing
+  ProbTable probs = joint_counts;
+  for (double& v : probs.values()) v /= static_cast<double>(n);
+  int child[1] = {probs.vars().back()};
+  ProbTable indep = IndependentProduct(probs, child);
+  return 0.5 * probs.L1Distance(indep);
+}
+
+double ScoreF(const ProbTable& joint_counts, int64_t n, size_t max_states) {
+  PB_THROW_IF(n <= 0, "scores need n > 0");
+  PB_THROW_IF(joint_counts.num_vars() < 1, "F needs a child variable");
+  PB_THROW_IF(joint_counts.cards().back() != 2,
+              "F requires a binary child (Thm 5.1: general case is NP-hard)");
+  // Child is last (stride 1): cells alternate (X=0, X=1) per parent value.
+  size_t num_columns = joint_counts.size() / 2;
+  std::vector<FColumn> columns(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    double c0 = joint_counts[2 * c];
+    double c1 = joint_counts[2 * c + 1];
+    columns[c] = {static_cast<int64_t>(std::llround(c0)),
+                  static_cast<int64_t>(std::llround(c1))};
+  }
+  return ScoreFFromColumns(columns, n, max_states);
+}
+
+double ComputeScore(ScoreKind kind, const ProbTable& joint_counts, int64_t n,
+                    size_t f_max_states) {
+  switch (kind) {
+    case ScoreKind::kI:
+      return ScoreI(joint_counts, n);
+    case ScoreKind::kF:
+      return ScoreF(joint_counts, n, f_max_states);
+    case ScoreKind::kR:
+      return ScoreR(joint_counts, n);
+  }
+  PB_CHECK(false);
+}
+
+}  // namespace privbayes

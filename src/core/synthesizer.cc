@@ -1,0 +1,16 @@
+#include "core/synthesizer.h"
+
+#include "common/check.h"
+
+namespace privbayes {
+
+Dataset SampleSyntheticData(const PrivBayesModel& model, int num_rows,
+                            Rng& rng) {
+  PB_THROW_IF(num_rows < 0, "negative synthetic row count");
+  Dataset encoded = SampleFromNetwork(model.encoded_schema, model.network,
+                                      model.conditionals, num_rows, rng);
+  return DecodeToOriginal(encoded, model.original_schema, model.encoding,
+                          model.encoder.get());
+}
+
+}  // namespace privbayes

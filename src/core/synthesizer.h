@@ -1,0 +1,42 @@
+// Fitted PrivBayes model and synthetic-data generation (paper §3, phase 3).
+//
+// A PrivBayesModel packages everything phase 1 + 2 produced: the learned
+// structure, the noisy conditionals, and the encoding metadata needed to map
+// sampled rows back into the original schema. Sampling is pure
+// post-processing — it touches only the model, never the data — so it incurs
+// no privacy cost and can produce any number of rows.
+
+#ifndef PRIVBAYES_CORE_SYNTHESIZER_H_
+#define PRIVBAYES_CORE_SYNTHESIZER_H_
+
+#include <memory>
+
+#include "bn/bayes_net.h"
+#include "bn/sampling.h"
+#include "data/encoding.h"
+
+namespace privbayes {
+
+/// The output of PrivBayes::Fit.
+struct PrivBayesModel {
+  Schema original_schema;   ///< schema of the input dataset
+  Schema encoded_schema;    ///< schema the network lives in
+  EncodingKind encoding = EncodingKind::kHierarchical;
+  std::shared_ptr<const BinaryEncoder> encoder;  ///< set for Binary/Gray
+  BayesNet network;
+  ConditionalSet conditionals;
+  bool used_binary_algorithm = false;
+  int degree_k = -1;        ///< θ-chosen degree (binary algorithm only)
+  double epsilon1 = 0;      ///< budget actually spent on structure
+  double epsilon2 = 0;      ///< budget actually spent on distributions
+  int input_rows = 0;       ///< n of the fitted dataset
+};
+
+/// Samples `num_rows` synthetic tuples and decodes them into the model's
+/// original schema. Pure post-processing (no privacy cost).
+Dataset SampleSyntheticData(const PrivBayesModel& model, int num_rows,
+                            Rng& rng);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_CORE_SYNTHESIZER_H_

@@ -1,0 +1,38 @@
+#include "core/theta_usefulness.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+double BinaryUsefulness(int64_t n, int d, int k, double epsilon2) {
+  PB_THROW_IF(n <= 0, "usefulness needs n > 0");
+  PB_THROW_IF(d < 1, "usefulness needs d >= 1");
+  PB_THROW_IF(k < 0 || k > d - 1, "degree k out of [0, d-1]");
+  if (epsilon2 <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(n) * epsilon2 /
+         (static_cast<double>(d - k) * std::exp2(k + 2));
+}
+
+int ChooseDegreeK(int64_t n, int d, double epsilon2, double theta) {
+  PB_THROW_IF(theta <= 0, "theta must be positive");
+  if (epsilon2 <= 0) return d - 1;
+  int best = 0;
+  for (int k = 1; k <= d - 1; ++k) {
+    if (BinaryUsefulness(n, d, k, epsilon2) >= theta) best = k;
+  }
+  return best;
+}
+
+double ParentDomainCap(int64_t n, int d, double epsilon2, double theta,
+                       int child_cardinality) {
+  PB_THROW_IF(theta <= 0, "theta must be positive");
+  PB_THROW_IF(child_cardinality < 1, "cardinality must be >= 1");
+  if (epsilon2 <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(n) * epsilon2 /
+         (2.0 * d * theta * child_cardinality);
+}
+
+}  // namespace privbayes

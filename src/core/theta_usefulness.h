@@ -1,0 +1,33 @@
+// θ-usefulness and the automatic choice of network degree (paper §4.5, §5.2).
+//
+// A noisy distribution is θ-useful when its average information scale is at
+// least θ times its average noise scale (Def. 4.7). For the binary algorithm
+// this yields a closed-form usefulness n·ε2 / ((d−k)·2^{k+2}) per Lemma 4.8,
+// and PrivBayes picks the largest k that keeps it >= θ. For general domains
+// the same principle caps the cell count of every materialized joint
+// Pr[X, Π] at n·ε2 / (2dθ), i.e. caps the parent-set domain at
+// τ(X) = n·ε2 / (2dθ·|dom(X)|) (§5.2).
+
+#ifndef PRIVBAYES_CORE_THETA_USEFULNESS_H_
+#define PRIVBAYES_CORE_THETA_USEFULNESS_H_
+
+#include <cstdint>
+
+namespace privbayes {
+
+/// Lemma 4.8: usefulness of the binary algorithm's noisy (k+1)-way marginals.
+double BinaryUsefulness(int64_t n, int d, int k, double epsilon2);
+
+/// §4.5: the largest k in [0, d−1] with BinaryUsefulness >= theta, or 0 when
+/// none exists ("k is set to the minimum value, 0"). epsilon2 <= 0 (the
+/// unlimited-budget ablation) returns d−1.
+int ChooseDegreeK(int64_t n, int d, double epsilon2, double theta);
+
+/// §5.2: the parent-set domain cap τ(X) = n·ε2 / (2·d·θ·|dom(X)|) for the
+/// general algorithm. epsilon2 <= 0 returns +infinity.
+double ParentDomainCap(int64_t n, int d, double epsilon2, double theta,
+                       int child_cardinality);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_CORE_THETA_USEFULNESS_H_

@@ -1,0 +1,81 @@
+#include "data/attribute.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+Attribute Attribute::Categorical(std::string name, int cardinality) {
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = cardinality == 2 ? AttributeKind::kBinary : AttributeKind::kCategorical;
+  a.cardinality = cardinality;
+  a.taxonomy = TaxonomyTree::Flat(cardinality);
+  return a;
+}
+
+Attribute Attribute::CategoricalWithTaxonomy(std::string name,
+                                             TaxonomyTree tree) {
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = AttributeKind::kCategorical;
+  a.cardinality = tree.CardinalityAt(0);
+  a.taxonomy = std::move(tree);
+  return a;
+}
+
+Attribute Attribute::Binary(std::string name) {
+  return Categorical(std::move(name), 2);
+}
+
+Attribute Attribute::Continuous(std::string name, double lo, double hi,
+                                int bins) {
+  PB_THROW_IF(bins < 2, "continuous attribute needs >= 2 bins");
+  PB_THROW_IF(!(lo < hi), "continuous range must be non-empty");
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = AttributeKind::kContinuous;
+  a.cardinality = bins;
+  a.taxonomy = TaxonomyTree::BinaryTree(bins);
+  a.numeric_lo = lo;
+  a.numeric_hi = hi;
+  return a;
+}
+
+Schema::Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {
+  for (const Attribute& a : attrs_) {
+    PB_THROW_IF(a.cardinality < 2,
+                "attribute '" << a.name << "' must have cardinality >= 2");
+    PB_THROW_IF(a.cardinality > 65536,
+                "attribute '" << a.name << "' exceeds Value range");
+    PB_THROW_IF(a.taxonomy.CardinalityAt(0) != a.cardinality,
+                "attribute '" << a.name << "': taxonomy leaves ("
+                              << a.taxonomy.CardinalityAt(0)
+                              << ") != cardinality (" << a.cardinality << ")");
+    PB_THROW_IF(a.taxonomy.num_levels() > kGenVarStride,
+                "attribute '" << a.name << "': taxonomy too deep");
+  }
+}
+
+int Schema::FindAttr(const std::string& name) const {
+  for (int i = 0; i < num_attrs(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return -1;
+}
+
+double Schema::DomainBits() const {
+  double bits = 0;
+  for (const Attribute& a : attrs_) bits += std::log2(a.cardinality);
+  return bits;
+}
+
+bool Schema::AllBinary() const {
+  for (const Attribute& a : attrs_) {
+    if (a.cardinality != 2) return false;
+  }
+  return true;
+}
+
+}  // namespace privbayes

@@ -1,0 +1,102 @@
+// Attribute and schema descriptions (paper §2.2, §5.1).
+//
+// Every attribute is discrete from the library's point of view: continuous
+// attributes are discretized into a fixed number of equi-width bins at schema
+// construction (the paper uses b = 16, §5.1), with the original numeric range
+// retained for presentation. Each attribute carries a taxonomy tree; the
+// vanilla encoding is simply "all taxonomies flat".
+
+#ifndef PRIVBAYES_DATA_ATTRIBUTE_H_
+#define PRIVBAYES_DATA_ATTRIBUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/taxonomy.h"
+
+namespace privbayes {
+
+/// How the attribute arose; affects default taxonomy and binarization only.
+enum class AttributeKind {
+  kBinary,       ///< two values
+  kCategorical,  ///< unordered discrete domain
+  kContinuous,   ///< numeric, pre-discretized into equi-width bins
+};
+
+/// A single column's description.
+struct Attribute {
+  std::string name;
+  AttributeKind kind = AttributeKind::kCategorical;
+  int cardinality = 0;     ///< discrete domain size (after binning)
+  TaxonomyTree taxonomy;   ///< generalization hierarchy; Flat if none given
+  double numeric_lo = 0;   ///< for kContinuous: range covered by the bins
+  double numeric_hi = 0;
+
+  /// Categorical attribute with a flat taxonomy.
+  static Attribute Categorical(std::string name, int cardinality);
+  /// Categorical attribute with a custom taxonomy.
+  static Attribute CategoricalWithTaxonomy(std::string name, TaxonomyTree tree);
+  /// Binary attribute.
+  static Attribute Binary(std::string name);
+  /// Continuous attribute discretized into `bins` equi-width bins over
+  /// [lo, hi], with the paper's binary-tree taxonomy.
+  static Attribute Continuous(std::string name, double lo, double hi,
+                              int bins = 16);
+};
+
+/// An attribute generalized to a taxonomy level; the unit that parent sets
+/// are made of in the hierarchical algorithm (§5.2). level 0 = ungeneralized.
+struct GenAttr {
+  int attr = 0;
+  int level = 0;
+
+  friend bool operator==(const GenAttr&, const GenAttr&) = default;
+  friend auto operator<=>(const GenAttr&, const GenAttr&) = default;
+};
+
+/// Stride used to pack a GenAttr into a single ProbTable variable id:
+/// id = attr * kGenVarStride + level. Taxonomies deeper than this are
+/// rejected at schema construction.
+inline constexpr int kGenVarStride = 16;
+
+/// Packs a GenAttr into a ProbTable variable id.
+inline int GenVarId(const GenAttr& g) { return g.attr * kGenVarStride + g.level; }
+/// Packs an ungeneralized attribute.
+inline int GenVarId(int attr) { return attr * kGenVarStride; }
+/// Unpacks a ProbTable variable id into a GenAttr.
+inline GenAttr GenAttrFromVarId(int id) {
+  return GenAttr{id / kGenVarStride, id % kGenVarStride};
+}
+
+/// An ordered list of attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs);
+
+  int num_attrs() const { return static_cast<int>(attrs_.size()); }
+  const Attribute& attr(int i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Cardinality of attribute `i` at taxonomy `level`.
+  int CardinalityAt(int i, int level) const {
+    return attrs_[i].taxonomy.CardinalityAt(level);
+  }
+  int Cardinality(int i) const { return attrs_[i].cardinality; }
+
+  /// Index of the attribute with the given name, or -1.
+  int FindAttr(const std::string& name) const;
+
+  /// log2 of the total domain size (Table 5's "domain size" column).
+  double DomainBits() const;
+
+  /// True when every attribute is binary.
+  bool AllBinary() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DATA_ATTRIBUTE_H_

@@ -1,0 +1,34 @@
+// Minimal CSV I/O for datasets.
+//
+// The on-disk format is a header row of attribute names followed by integer
+// cell values (taxonomy-leaf codes). This is the format the examples use to
+// hand synthetic data to downstream tools.
+
+#ifndef PRIVBAYES_DATA_CSV_H_
+#define PRIVBAYES_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace privbayes {
+
+/// Writes `data` as CSV to `out`.
+void WriteCsv(const Dataset& data, std::ostream& out);
+
+/// Writes `data` as CSV to the file at `path`; throws std::runtime_error on
+/// I/O failure.
+void WriteCsvFile(const Dataset& data, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv back into a dataset over `schema`.
+/// Validates the header against the schema's attribute names and every value
+/// against its attribute's domain; throws std::runtime_error on any mismatch.
+Dataset ReadCsv(const Schema& schema, std::istream& in);
+
+/// File variant of ReadCsv.
+Dataset ReadCsvFile(const Schema& schema, const std::string& path);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DATA_CSV_H_

@@ -1,0 +1,108 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_attrs());
+}
+
+Dataset::Dataset(Schema schema, int num_rows)
+    : schema_(std::move(schema)), num_rows_(num_rows) {
+  PB_THROW_IF(num_rows < 0, "negative row count");
+  columns_.assign(schema_.num_attrs(), std::vector<Value>(num_rows, 0));
+}
+
+void Dataset::Set(int row, int col, Value v) {
+  PB_CHECK_MSG(v < schema_.Cardinality(col),
+               "value " << v << " out of domain for attribute '"
+                        << schema_.attr(col).name << "'");
+  columns_[col][row] = v;
+}
+
+void Dataset::AppendRow(std::span<const Value> row) {
+  PB_THROW_IF(static_cast<int>(row.size()) != num_attrs(),
+              "row width " << row.size() << " != " << num_attrs());
+  for (int c = 0; c < num_attrs(); ++c) {
+    PB_CHECK_MSG(row[c] < schema_.Cardinality(c),
+                 "value out of domain for attribute '" << schema_.attr(c).name
+                                                       << "'");
+    columns_[c].push_back(row[c]);
+  }
+  ++num_rows_;
+}
+
+ProbTable Dataset::JointCounts(std::span<const int> attrs) const {
+  std::vector<GenAttr> gattrs;
+  gattrs.reserve(attrs.size());
+  for (int a : attrs) gattrs.push_back(GenAttr{a, 0});
+  return JointCountsGeneralized(gattrs);
+}
+
+ProbTable Dataset::JointCountsGeneralized(
+    std::span<const GenAttr> gattrs) const {
+  std::vector<int> vars, cards;
+  vars.reserve(gattrs.size());
+  cards.reserve(gattrs.size());
+  for (const GenAttr& g : gattrs) {
+    PB_THROW_IF(g.attr < 0 || g.attr >= num_attrs(),
+                "attribute index " << g.attr << " out of range");
+    vars.push_back(GenVarId(g));
+    cards.push_back(schema_.CardinalityAt(g.attr, g.level));
+  }
+  ProbTable counts(std::move(vars), std::move(cards));
+  if (gattrs.empty()) {
+    counts[0] = num_rows_;
+    return counts;
+  }
+  // Row-major flat index accumulated column by column (last var stride 1).
+  std::vector<size_t> flat(num_rows_, 0);
+  for (const GenAttr& g : gattrs) {
+    const std::vector<Value>& col = columns_[g.attr];
+    const TaxonomyTree& tax = schema_.attr(g.attr).taxonomy;
+    size_t card = static_cast<size_t>(schema_.CardinalityAt(g.attr, g.level));
+    if (g.level == 0) {
+      for (int r = 0; r < num_rows_; ++r) flat[r] = flat[r] * card + col[r];
+    } else {
+      for (int r = 0; r < num_rows_; ++r) {
+        flat[r] = flat[r] * card + tax.Generalize(col[r], g.level);
+      }
+    }
+  }
+  std::vector<double>& cells = counts.values();
+  for (int r = 0; r < num_rows_; ++r) cells[flat[r]] += 1.0;
+  return counts;
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
+                                           Rng& rng) const {
+  PB_THROW_IF(train_fraction <= 0 || train_fraction >= 1,
+              "train fraction must be in (0,1)");
+  std::vector<int> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  int n_train = static_cast<int>(train_fraction * num_rows_);
+  n_train = std::clamp(n_train, 1, num_rows_ - 1);
+  std::vector<int> train_rows(order.begin(), order.begin() + n_train);
+  std::vector<int> test_rows(order.begin() + n_train, order.end());
+  return {SelectRows(train_rows), SelectRows(test_rows)};
+}
+
+Dataset Dataset::SelectRows(std::span<const int> rows) const {
+  Dataset out(schema_, static_cast<int>(rows.size()));
+  for (int c = 0; c < num_attrs(); ++c) {
+    const std::vector<Value>& src = columns_[c];
+    std::vector<Value>& dst = out.columns_[c];
+    for (size_t i = 0; i < rows.size(); ++i) {
+      PB_CHECK(rows[i] >= 0 && rows[i] < num_rows_);
+      dst[i] = src[rows[i]];
+    }
+  }
+  return out;
+}
+
+}  // namespace privbayes

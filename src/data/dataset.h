@@ -1,0 +1,73 @@
+// Column-major discrete dataset (the sensitive table D of the paper).
+//
+// Rows are individuals; columns are attributes holding discrete Values in
+// [0, cardinality). Column-major storage makes joint-distribution counting —
+// the hot loop of network learning — cache-friendly.
+
+#ifndef PRIVBAYES_DATA_DATASET_H_
+#define PRIVBAYES_DATA_DATASET_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "data/attribute.h"
+#include "prob/prob_table.h"
+
+namespace privbayes {
+
+/// A discrete table of n rows over a Schema.
+class Dataset {
+ public:
+  /// An empty dataset over an empty schema (placeholder; assign before use).
+  Dataset() = default;
+
+  /// Creates an empty (0-row) dataset over `schema`.
+  explicit Dataset(Schema schema);
+
+  /// Creates a zero-filled dataset with `num_rows` rows.
+  Dataset(Schema schema, int num_rows);
+
+  const Schema& schema() const { return schema_; }
+  int num_rows() const { return num_rows_; }
+  int num_attrs() const { return schema_.num_attrs(); }
+
+  /// Cell accessors. No bounds checks in release hot paths beyond PB_CHECK
+  /// in debug-sensitive entry points; `Set` validates the value range.
+  Value at(int row, int col) const { return columns_[col][row]; }
+  void Set(int row, int col, Value v);
+
+  /// Whole column (length num_rows()).
+  const std::vector<Value>& column(int col) const { return columns_[col]; }
+
+  /// Appends one row given values in schema order.
+  void AppendRow(std::span<const Value> row);
+
+  /// Empirical joint COUNTS over the given attributes (variable ids are
+  /// GenVarId(attr), i.e. level 0). Call Normalize() on the result for the
+  /// empirical distribution; every cell is then a multiple of 1/n, the
+  /// property the F dynamic program relies on (§4.4).
+  ProbTable JointCounts(std::span<const int> attrs) const;
+
+  /// Empirical joint counts over generalized attributes: each GenAttr
+  /// contributes its taxonomy-level-generalized value. Variable ids are
+  /// GenVarId(g). Used by the hierarchical algorithm (§5.2).
+  ProbTable JointCountsGeneralized(std::span<const GenAttr> gattrs) const;
+
+  /// Deterministically splits rows into (train, test) with `train_fraction`
+  /// of rows in train, after a seeded shuffle (paper §6.1 uses 80/20).
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng& rng) const;
+
+  /// Returns a copy containing only the given rows.
+  Dataset SelectRows(std::span<const int> rows) const;
+
+ private:
+  Schema schema_;
+  int num_rows_ = 0;
+  std::vector<std::vector<Value>> columns_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DATA_DATASET_H_

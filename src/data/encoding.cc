@@ -1,0 +1,157 @@
+#include "data/encoding.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+namespace {
+
+int BitsFor(int cardinality) {
+  int bits = 0;
+  while ((1 << bits) < cardinality) ++bits;
+  return std::max(bits, 1);
+}
+
+int ToGray(int v) { return v ^ (v >> 1); }
+
+int FromGray(int g) {
+  int v = 0;
+  for (; g; g >>= 1) v ^= g;
+  return v;
+}
+
+}  // namespace
+
+const char* EncodingName(EncodingKind kind) {
+  switch (kind) {
+    case EncodingKind::kBinary:
+      return "Binary";
+    case EncodingKind::kGray:
+      return "Gray";
+    case EncodingKind::kVanilla:
+      return "Vanilla";
+    case EncodingKind::kHierarchical:
+      return "Hierarchical";
+  }
+  return "?";
+}
+
+BinaryEncoder::BinaryEncoder(const Schema& schema, bool gray)
+    : original_(schema), gray_(gray) {
+  std::vector<Attribute> bin_attrs;
+  bits_.resize(schema.num_attrs());
+  offsets_.resize(schema.num_attrs());
+  for (int a = 0; a < schema.num_attrs(); ++a) {
+    bits_[a] = BitsFor(schema.Cardinality(a));
+    offsets_[a] = static_cast<int>(bin_attrs.size());
+    for (int b = 0; b < bits_[a]; ++b) {
+      bin_attrs.push_back(
+          Attribute::Binary(schema.attr(a).name + ".b" + std::to_string(b)));
+    }
+  }
+  binary_schema_ = Schema(std::move(bin_attrs));
+}
+
+int BinaryEncoder::EncodeValue(int attr, Value v) const {
+  PB_CHECK(v < original_.Cardinality(attr));
+  return gray_ ? ToGray(v) : static_cast<int>(v);
+}
+
+Value BinaryEncoder::DecodeValue(int attr, int code) const {
+  int v = gray_ ? FromGray(code) : code;
+  int card = original_.Cardinality(attr);
+  if (v >= card) v = card - 1;
+  if (v < 0) v = 0;
+  return static_cast<Value>(v);
+}
+
+Dataset BinaryEncoder::Encode(const Dataset& data) const {
+  PB_THROW_IF(data.schema().num_attrs() != original_.num_attrs(),
+              "dataset schema does not match encoder schema");
+  Dataset out(binary_schema_, data.num_rows());
+  for (int a = 0; a < original_.num_attrs(); ++a) {
+    int nb = bits_[a];
+    for (int r = 0; r < data.num_rows(); ++r) {
+      int code = EncodeValue(a, data.at(r, a));
+      for (int b = 0; b < nb; ++b) {
+        // Bit 0 of the schema is the most significant bit of the code.
+        int bit = (code >> (nb - 1 - b)) & 1;
+        out.Set(r, offsets_[a] + b, static_cast<Value>(bit));
+      }
+    }
+  }
+  return out;
+}
+
+Dataset BinaryEncoder::Decode(const Dataset& binary) const {
+  PB_THROW_IF(binary.schema().num_attrs() != binary_schema_.num_attrs(),
+              "binary dataset width mismatch");
+  Dataset out(original_, binary.num_rows());
+  for (int a = 0; a < original_.num_attrs(); ++a) {
+    int nb = bits_[a];
+    for (int r = 0; r < binary.num_rows(); ++r) {
+      int code = 0;
+      for (int b = 0; b < nb; ++b) {
+        code = (code << 1) | binary.at(r, offsets_[a] + b);
+      }
+      out.Set(r, a, DecodeValue(a, code));
+    }
+  }
+  return out;
+}
+
+Schema FlattenTaxonomies(const Schema& schema) {
+  std::vector<Attribute> attrs = schema.attrs();
+  for (Attribute& a : attrs) a.taxonomy = TaxonomyTree::Flat(a.cardinality);
+  return Schema(std::move(attrs));
+}
+
+EncodedDataset ApplyEncoding(const Dataset& data, EncodingKind kind) {
+  switch (kind) {
+    case EncodingKind::kBinary:
+    case EncodingKind::kGray: {
+      auto enc = std::make_shared<BinaryEncoder>(data.schema(),
+                                                 kind == EncodingKind::kGray);
+      Dataset encoded = enc->Encode(data);
+      return EncodedDataset{std::move(encoded), std::move(enc)};
+    }
+    case EncodingKind::kVanilla: {
+      Schema flat = FlattenTaxonomies(data.schema());
+      Dataset out(flat, data.num_rows());
+      for (int c = 0; c < data.num_attrs(); ++c) {
+        for (int r = 0; r < data.num_rows(); ++r) out.Set(r, c, data.at(r, c));
+      }
+      return EncodedDataset{std::move(out), nullptr};
+    }
+    case EncodingKind::kHierarchical:
+      return EncodedDataset{data, nullptr};
+  }
+  PB_CHECK(false);
+}
+
+Dataset DecodeToOriginal(const Dataset& synthetic, const Schema& original,
+                         EncodingKind kind, const BinaryEncoder* encoder) {
+  switch (kind) {
+    case EncodingKind::kBinary:
+    case EncodingKind::kGray:
+      PB_THROW_IF(encoder == nullptr, "binary decode requires the encoder");
+      return encoder->Decode(synthetic);
+    case EncodingKind::kVanilla:
+    case EncodingKind::kHierarchical: {
+      // Same cell values; restore the original schema (taxonomies).
+      Dataset out(original, synthetic.num_rows());
+      for (int c = 0; c < synthetic.num_attrs(); ++c) {
+        for (int r = 0; r < synthetic.num_rows(); ++r) {
+          out.Set(r, c, synthetic.at(r, c));
+        }
+      }
+      return out;
+    }
+  }
+  PB_CHECK(false);
+}
+
+}  // namespace privbayes

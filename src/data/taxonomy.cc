@@ -1,0 +1,126 @@
+#include "data/taxonomy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+TaxonomyTree TaxonomyTree::Flat(int num_leaves) {
+  PB_THROW_IF(num_leaves < 1, "taxonomy needs at least one leaf");
+  PB_THROW_IF(num_leaves > 65536, "leaf domain too large for Value");
+  TaxonomyTree t;
+  t.cards_.push_back(num_leaves);
+  std::vector<Value> identity(num_leaves);
+  std::iota(identity.begin(), identity.end(), Value{0});
+  t.leaf_to_level_.push_back(std::move(identity));
+  return t;
+}
+
+TaxonomyTree TaxonomyTree::BinaryTree(int num_leaves) {
+  TaxonomyTree t = Flat(num_leaves);
+  int shift = 1;
+  for (;;) {
+    int card = (num_leaves + (1 << shift) - 1) >> shift;
+    if (card < 2) break;
+    if (card == t.cards_.back()) break;  // no further merging possible
+    std::vector<Value> map(num_leaves);
+    for (int leaf = 0; leaf < num_leaves; ++leaf) {
+      map[leaf] = static_cast<Value>(leaf >> shift);
+    }
+    t.cards_.push_back(card);
+    t.leaf_to_level_.push_back(std::move(map));
+    ++shift;
+  }
+  return t;
+}
+
+TaxonomyTree TaxonomyTree::FromChain(
+    int num_leaves, const std::vector<std::vector<Value>>& parent_maps) {
+  TaxonomyTree t = Flat(num_leaves);
+  std::vector<Value> current = t.leaf_to_level_[0];  // leaf -> current level
+  int current_card = num_leaves;
+  for (const auto& pm : parent_maps) {
+    PB_THROW_IF(static_cast<int>(pm.size()) != current_card,
+                "parent map size " << pm.size() << " != level cardinality "
+                                   << current_card);
+    int next_card = 0;
+    for (Value g : pm) next_card = std::max(next_card, static_cast<int>(g) + 1);
+    PB_THROW_IF(next_card >= current_card,
+                "taxonomy level must strictly shrink (" << next_card
+                                                        << " vs " << current_card
+                                                        << ")");
+    // Check contiguity of group ids.
+    std::vector<bool> seen(next_card, false);
+    for (Value g : pm) seen[g] = true;
+    for (int g = 0; g < next_card; ++g) {
+      PB_THROW_IF(!seen[g], "taxonomy group id " << g << " unused");
+    }
+    std::vector<Value> leaf_map(num_leaves);
+    for (int leaf = 0; leaf < num_leaves; ++leaf) {
+      leaf_map[leaf] = pm[current[leaf]];
+    }
+    current = leaf_map;
+    current_card = next_card;
+    t.cards_.push_back(next_card);
+    t.leaf_to_level_.push_back(std::move(leaf_map));
+  }
+  return t;
+}
+
+TaxonomyTree TaxonomyTree::FromLeafMaps(std::vector<std::vector<Value>> maps) {
+  PB_THROW_IF(maps.empty(), "taxonomy needs at least the leaf level");
+  int num_leaves = static_cast<int>(maps[0].size());
+  TaxonomyTree t = Flat(num_leaves);
+  for (int leaf = 0; leaf < num_leaves; ++leaf) {
+    PB_THROW_IF(maps[0][leaf] != leaf, "level-0 map must be the identity");
+  }
+  for (size_t l = 1; l < maps.size(); ++l) {
+    PB_THROW_IF(static_cast<int>(maps[l].size()) != num_leaves,
+                "leaf map width mismatch at level " << l);
+    int card = 0;
+    for (Value g : maps[l]) card = std::max(card, static_cast<int>(g) + 1);
+    PB_THROW_IF(card >= t.cards_.back(),
+                "taxonomy level must strictly shrink");
+    std::vector<bool> seen(card, false);
+    for (Value g : maps[l]) seen[g] = true;
+    for (int g = 0; g < card; ++g) {
+      PB_THROW_IF(!seen[g], "taxonomy group id " << g << " unused");
+    }
+    // Monotonicity: the map must factor through the previous level.
+    const std::vector<Value>& prev = maps[l - 1];
+    for (int a = 0; a < num_leaves; ++a) {
+      for (int b = a + 1; b < num_leaves; ++b) {
+        PB_THROW_IF(prev[a] == prev[b] && maps[l][a] != maps[l][b],
+                    "taxonomy maps are not nested at level " << l);
+      }
+    }
+    t.cards_.push_back(card);
+    t.leaf_to_level_.push_back(maps[l]);
+  }
+  return t;
+}
+
+const std::vector<Value>& TaxonomyTree::LeafMapAt(int level) const {
+  PB_THROW_IF(level < 0 || level >= num_levels(),
+              "taxonomy level " << level << " out of range");
+  return leaf_to_level_[level];
+}
+
+int TaxonomyTree::CardinalityAt(int level) const {
+  PB_THROW_IF(level < 0 || level >= num_levels(),
+              "taxonomy level " << level << " out of range [0, " << num_levels()
+                                << ")");
+  return cards_[level];
+}
+
+Value TaxonomyTree::Generalize(Value leaf_value, int level) const {
+  PB_THROW_IF(level < 0 || level >= num_levels(),
+              "taxonomy level " << level << " out of range");
+  PB_CHECK_MSG(leaf_value < leaf_to_level_[0].size(),
+               "leaf value " << leaf_value << " out of domain");
+  return leaf_to_level_[level][leaf_value];
+}
+
+}  // namespace privbayes

@@ -1,0 +1,75 @@
+// Taxonomy trees for the hierarchical encoding (paper §5.1, Figs. 2–3).
+//
+// A taxonomy tree describes successively coarser generalizations of an
+// attribute's domain. Level 0 is the original (leaf) domain; level l maps
+// every leaf value to one of card(l) groups, with card strictly decreasing in
+// l. The root (a single all-covering group) is omitted, as in the paper's
+// figures — a constant attribute carries no information.
+
+#ifndef PRIVBAYES_DATA_TAXONOMY_H_
+#define PRIVBAYES_DATA_TAXONOMY_H_
+
+#include <vector>
+
+#include "prob/prob_table.h"
+
+namespace privbayes {
+
+/// Generalization hierarchy over a discrete domain.
+class TaxonomyTree {
+ public:
+  /// An empty tree (no levels); invalid until replaced via Flat/BinaryTree/
+  /// FromChain. Exists only so Attribute can be an aggregate; Schema
+  /// construction rejects attributes still holding an empty tree.
+  TaxonomyTree() = default;
+  /// A leaf-only tree (vanilla encoding is the special case where every
+  /// attribute has one of these; §5.1).
+  static TaxonomyTree Flat(int num_leaves);
+
+  /// The binary tree the paper builds for continuous attributes: level l
+  /// merges adjacent pairs, so card(l) = ceil(num_leaves / 2^l); levels stop
+  /// before the domain would collapse to a single group.
+  static TaxonomyTree BinaryTree(int num_leaves);
+
+  /// Builds a custom tree from a chain of parent maps. parent_maps[j][g] is
+  /// the level-(j+1) group of level-j group g; group ids at each level must
+  /// be exactly {0, …, card−1} and card must strictly decrease. Used for the
+  /// categorical taxonomies (workclass, country regions, …).
+  static TaxonomyTree FromChain(int num_leaves,
+                                const std::vector<std::vector<Value>>& parent_maps);
+
+  /// Rebuilds a tree from per-level leaf→group maps (the LeafMapAt
+  /// representation; maps[0] must be the identity). Validates contiguous
+  /// group ids, strictly decreasing cardinalities, and cross-level
+  /// monotonicity (leaves sharing a group at level l share one at l+1).
+  /// Used by model deserialization.
+  static TaxonomyTree FromLeafMaps(std::vector<std::vector<Value>> maps);
+
+  /// The leaf→group map at `level` (level 0 is the identity). Exposed for
+  /// serialization.
+  const std::vector<Value>& LeafMapAt(int level) const;
+
+  /// Number of generalization levels, counting the leaves (>= 1). A flat
+  /// tree has num_levels() == 1. Matches the paper's height(X) with levels
+  /// i ∈ [0, height).
+  int num_levels() const { return static_cast<int>(cards_.size()); }
+
+  /// Cardinality of the domain at `level` (level 0 = leaves).
+  int CardinalityAt(int level) const;
+
+  /// Group id of `leaf_value` at `level`.
+  Value Generalize(Value leaf_value, int level) const;
+
+  /// True if this is a leaf-only tree.
+  bool IsFlat() const { return cards_.size() == 1; }
+
+ private:
+  // cards_[l] = cardinality at level l; leaf_to_level_[l][leaf] = group at
+  // level l (index 0 stores the identity map for uniform access).
+  std::vector<int> cards_;
+  std::vector<std::vector<Value>> leaf_to_level_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DATA_TAXONOMY_H_

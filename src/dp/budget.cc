@@ -1,0 +1,33 @@
+#include "dp/budget.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+namespace {
+// Relative slack for accumulated floating-point error across many charges.
+constexpr double kTolerance = 1e-9;
+}  // namespace
+
+BudgetAccountant::BudgetAccountant(double total_epsilon)
+    : total_(total_epsilon) {
+  PB_THROW_IF(total_epsilon < 0, "negative privacy budget");
+}
+
+void BudgetAccountant::Charge(double epsilon) {
+  PB_CHECK_MSG(epsilon > 0, "non-positive budget charge " << epsilon);
+  PB_CHECK_MSG(spent_ + epsilon <= total_ * (1 + kTolerance) + kTolerance,
+               "privacy budget overrun: spent " << spent_ << " + charge "
+                                                << epsilon << " > total "
+                                                << total_);
+  spent_ += epsilon;
+  charges_.push_back(epsilon);
+}
+
+double BudgetAccountant::remaining() const {
+  return std::max(0.0, total_ - spent_);
+}
+
+}  // namespace privbayes

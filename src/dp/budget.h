@@ -1,0 +1,46 @@
+// Privacy-budget accounting (sequential composition, §2.1/§3).
+//
+// PrivBayes's end-to-end guarantee (Thm 3.2) is ε1 + ε2 where ε1 is spent by
+// d−1 exponential-mechanism invocations and ε2 by d−k Laplace releases. The
+// accountant tracks every charge and aborts if total spend would exceed the
+// declared budget — turning any budget-accounting bug into a loud failure
+// instead of a silent privacy violation.
+
+#ifndef PRIVBAYES_DP_BUDGET_H_
+#define PRIVBAYES_DP_BUDGET_H_
+
+#include <vector>
+
+namespace privbayes {
+
+/// Tracks cumulative ε spend under sequential composition.
+class BudgetAccountant {
+ public:
+  /// An accountant with a hard cap. Charges beyond `total_epsilon` (plus a
+  /// tiny floating-point tolerance) abort the process.
+  explicit BudgetAccountant(double total_epsilon);
+
+  /// Records a spend of `epsilon` (> 0).
+  void Charge(double epsilon);
+
+  /// Total spent so far.
+  double spent() const { return spent_; }
+
+  /// Declared cap.
+  double total() const { return total_; }
+
+  /// Remaining budget (never negative).
+  double remaining() const;
+
+  /// Individual charges, in order (for tests / audits).
+  const std::vector<double>& charges() const { return charges_; }
+
+ private:
+  double total_;
+  double spent_ = 0;
+  std::vector<double> charges_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DP_BUDGET_H_

@@ -1,0 +1,44 @@
+#include "dp/mechanisms.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+LaplaceMechanism::LaplaceMechanism(double sensitivity, double epsilon)
+    : sensitivity_(sensitivity), epsilon_(epsilon) {
+  PB_THROW_IF(sensitivity < 0, "negative sensitivity");
+  scale_ = epsilon > 0 ? sensitivity / epsilon : 0.0;
+}
+
+void LaplaceMechanism::Apply(std::span<double> values, Rng& rng,
+                             BudgetAccountant* acct) const {
+  if (acct != nullptr && epsilon_ > 0) acct->Charge(epsilon_);
+  if (scale_ <= 0) return;
+  for (double& v : values) v += rng.Laplace(scale_);
+}
+
+ExponentialMechanism::ExponentialMechanism(double sensitivity, double epsilon)
+    : epsilon_(epsilon) {
+  PB_THROW_IF(sensitivity < 0, "negative sensitivity");
+  delta_ = epsilon > 0 ? sensitivity / epsilon : 0.0;
+}
+
+size_t ExponentialMechanism::Select(std::span<const double> scores, Rng& rng,
+                                    BudgetAccountant* acct) const {
+  PB_THROW_IF(scores.empty(), "exponential mechanism over empty candidates");
+  if (acct != nullptr && epsilon_ > 0) acct->Charge(epsilon_);
+  if (epsilon_ <= 0 || delta_ <= 0) {
+    return static_cast<size_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+  }
+  std::vector<double> logits(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    logits[i] = scores[i] / (2.0 * delta_);
+  }
+  return rng.LogDiscrete(logits);
+}
+
+}  // namespace privbayes

@@ -1,0 +1,66 @@
+// The two differential-privacy primitives the paper relies on (§2.1).
+//
+// LaplaceMechanism adds i.i.d. Laplace(S(F)/ε) noise to numeric vectors;
+// ExponentialMechanism samples a candidate ω with probability proportional to
+// exp(score(ω) / (2Δ)) where Δ >= S(score)/ε. Both are deterministic given
+// an Rng, and both record their spend in an optional BudgetAccountant.
+
+#ifndef PRIVBAYES_DP_MECHANISMS_H_
+#define PRIVBAYES_DP_MECHANISMS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "dp/budget.h"
+
+namespace privbayes {
+
+/// Laplace mechanism over a numeric vector (Def. 2.1/2.2).
+class LaplaceMechanism {
+ public:
+  /// `sensitivity` is the L1 sensitivity S(F) of the vector-valued query;
+  /// `epsilon` the budget for this single release. epsilon <= 0 means
+  /// "unlimited budget": no noise is added (used by the BestMarginal /
+  /// BestNetwork ablations of §6.4).
+  LaplaceMechanism(double sensitivity, double epsilon);
+
+  /// The noise scale b = S/ε (0 when epsilon <= 0).
+  double scale() const { return scale_; }
+
+  /// Adds noise in place and charges `epsilon` to `acct` if provided.
+  void Apply(std::span<double> values, Rng& rng,
+             BudgetAccountant* acct = nullptr) const;
+
+ private:
+  double sensitivity_;
+  double epsilon_;
+  double scale_;
+};
+
+/// Exponential mechanism over a finite candidate set (McSherry–Talwar).
+class ExponentialMechanism {
+ public:
+  /// `sensitivity` is S(f_s) of the score function; `epsilon` the budget for
+  /// this single invocation. epsilon <= 0 selects argmax (no perturbation),
+  /// again encoding the unlimited-budget ablation.
+  ExponentialMechanism(double sensitivity, double epsilon);
+
+  /// Samples an index into `scores` with probability ∝ exp(score / (2Δ)),
+  /// Δ = S/ε, and charges `epsilon` to `acct` if provided. For epsilon <= 0
+  /// returns the argmax (ties broken by lowest index).
+  size_t Select(std::span<const double> scores, Rng& rng,
+                BudgetAccountant* acct = nullptr) const;
+
+  /// The scaling factor Δ (infinity conceptually when epsilon <= 0; exposed
+  /// as 0 there since it is unused).
+  double delta() const { return delta_; }
+
+ private:
+  double epsilon_;
+  double delta_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DP_MECHANISMS_H_

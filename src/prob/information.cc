@@ -1,0 +1,112 @@
+#include "prob/information.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+namespace {
+
+constexpr double kLog2 = 0.6931471805599453;  // ln 2
+
+double Log2(double x) { return std::log(x) / kLog2; }
+
+// Splits joint.vars() into (group_a, complement) and returns positions.
+void SplitGroups(const ProbTable& joint, std::span<const int> group_a,
+                 std::vector<int>* a_vars, std::vector<int>* b_vars) {
+  a_vars->assign(group_a.begin(), group_a.end());
+  for (int v : *a_vars) {
+    PB_THROW_IF(joint.FindVar(v) < 0, "group variable " << v << " not in joint");
+  }
+  for (int v : joint.vars()) {
+    if (std::find(a_vars->begin(), a_vars->end(), v) == a_vars->end()) {
+      b_vars->push_back(v);
+    }
+  }
+  PB_THROW_IF(a_vars->empty(), "group A must be non-empty");
+}
+
+}  // namespace
+
+double Entropy(const ProbTable& p) {
+  double h = 0;
+  for (double v : p.values()) {
+    if (v > 0) h -= v * Log2(v);
+  }
+  return h;
+}
+
+double MutualInformation(const ProbTable& joint,
+                         std::span<const int> group_a) {
+  std::vector<int> a_vars, b_vars;
+  SplitGroups(joint, group_a, &a_vars, &b_vars);
+  if (b_vars.empty()) return 0.0;  // I(X; ∅) = 0 by convention.
+  ProbTable pa = joint.MarginalizeOnto(a_vars);
+  ProbTable pb = joint.MarginalizeOnto(b_vars);
+  // I = H(A) + H(B) − H(A,B): equivalent to Eq. (5) and numerically robust
+  // (every term is an entropy of a normalized table).
+  return Entropy(pa) + Entropy(pb) - Entropy(joint);
+}
+
+double MutualInformation(const ProbTable& joint, int var_a) {
+  int a[1] = {var_a};
+  return MutualInformation(joint, a);
+}
+
+double KLDivergence(const ProbTable& p, const ProbTable& q) {
+  PB_THROW_IF(p.vars() != q.vars() || p.cards() != q.cards(),
+              "KLDivergence requires identical shapes");
+  double d = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double pi = p[i];
+    if (pi <= 0) continue;
+    double qi = q[i];
+    if (qi <= 0) return std::numeric_limits<double>::infinity();
+    d += pi * Log2(pi / qi);
+  }
+  return d;
+}
+
+ProbTable IndependentProduct(const ProbTable& joint,
+                             std::span<const int> group_a) {
+  std::vector<int> a_vars, b_vars;
+  SplitGroups(joint, group_a, &a_vars, &b_vars);
+  ProbTable out(joint.vars(), joint.cards());
+  if (b_vars.empty()) {
+    out.values() = joint.values();
+    return out;
+  }
+  ProbTable pa = joint.MarginalizeOnto(a_vars);
+  ProbTable pb = joint.MarginalizeOnto(b_vars);
+  // Positions of each joint variable inside pa / pb.
+  std::vector<std::pair<bool, int>> where(joint.num_vars());
+  for (int i = 0; i < joint.num_vars(); ++i) {
+    int v = joint.vars()[i];
+    int pos_a = pa.FindVar(v);
+    if (pos_a >= 0) {
+      where[i] = {true, pos_a};
+    } else {
+      where[i] = {false, pb.FindVar(v)};
+    }
+  }
+  std::vector<Value> full(joint.num_vars());
+  std::vector<Value> av(a_vars.size()), bv(b_vars.size());
+  for (size_t flat = 0; flat < out.size(); ++flat) {
+    out.AssignmentFromFlat(flat, full);
+    for (int i = 0; i < joint.num_vars(); ++i) {
+      if (where[i].first) {
+        av[where[i].second] = full[i];
+      } else {
+        bv[where[i].second] = full[i];
+      }
+    }
+    out[flat] = pa.At(av) * pb.At(bv);
+  }
+  return out;
+}
+
+}  // namespace privbayes

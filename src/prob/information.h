@@ -1,0 +1,37 @@
+// Information-theoretic measures over ProbTables (paper §4.1).
+//
+// All logarithms are base 2, matching the paper's convention (footnote 2).
+// Conventions: 0·log 0 = 0; KL divergence with q(x) = 0 < p(x) is +inf.
+
+#ifndef PRIVBAYES_PROB_INFORMATION_H_
+#define PRIVBAYES_PROB_INFORMATION_H_
+
+#include <span>
+
+#include "prob/prob_table.h"
+
+namespace privbayes {
+
+/// Shannon entropy H(P) in bits of a normalized table.
+double Entropy(const ProbTable& p);
+
+/// Mutual information I(A; B) in bits where A = `group_a` (a subset of
+/// joint.vars()) and B = the remaining variables. `joint` must be normalized.
+/// Computed as per Eq. (5): sum over cells of p·log(p / (p_A · p_B)).
+double MutualInformation(const ProbTable& joint, std::span<const int> group_a);
+
+/// Convenience overload: I(X; rest) for a single variable id.
+double MutualInformation(const ProbTable& joint, int var_a);
+
+/// KL divergence D(p ‖ q) in bits; p, q same shape, both normalized.
+double KLDivergence(const ProbTable& p, const ProbTable& q);
+
+/// The product distribution p_A(x)·p_B(y) of `joint`'s marginals, with A =
+/// group_a and B = the rest, shaped identically to `joint`. This is the
+/// distribution "Pr-bar" that score function R measures distance to (§5.3).
+ProbTable IndependentProduct(const ProbTable& joint,
+                             std::span<const int> group_a);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_PROB_INFORMATION_H_

@@ -1,0 +1,211 @@
+#include "prob/prob_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+size_t CheckedDomainSize(std::span<const int> cards, size_t cap) {
+  size_t total = 1;
+  for (int c : cards) {
+    PB_THROW_IF(c <= 0, "cardinality must be positive, got " << c);
+    PB_THROW_IF(total > cap / static_cast<size_t>(c),
+                "domain size exceeds cap " << cap);
+    total *= static_cast<size_t>(c);
+  }
+  return total;
+}
+
+ProbTable::ProbTable() : values_(1, 0.0) {}
+
+ProbTable::ProbTable(std::vector<int> vars, std::vector<int> cards)
+    : vars_(std::move(vars)), cards_(std::move(cards)) {
+  PB_THROW_IF(vars_.size() != cards_.size(),
+              "vars/cards size mismatch: " << vars_.size() << " vs "
+                                           << cards_.size());
+  std::unordered_set<int> seen;
+  for (int v : vars_) {
+    PB_THROW_IF(!seen.insert(v).second, "duplicate variable id " << v);
+  }
+  // 2^28 cells (~2 GiB of doubles) is a generous cap for this library; the
+  // largest legitimate table is the ACS contingency table (2^23 cells).
+  size_t total = CheckedDomainSize(cards_, size_t{1} << 28);
+  strides_.resize(cards_.size());
+  size_t s = 1;
+  for (size_t i = cards_.size(); i > 0; --i) {
+    strides_[i - 1] = s;
+    s *= static_cast<size_t>(cards_[i - 1]);
+  }
+  values_.assign(total, 0.0);
+}
+
+int ProbTable::FindVar(int var) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t ProbTable::FlatIndex(std::span<const Value> assignment) const {
+  PB_CHECK(assignment.size() == vars_.size());
+  size_t flat = 0;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    PB_CHECK_MSG(assignment[i] < cards_[i],
+                 "value " << assignment[i] << " out of range for var "
+                          << vars_[i] << " (card " << cards_[i] << ")");
+    flat += strides_[i] * assignment[i];
+  }
+  return flat;
+}
+
+void ProbTable::AssignmentFromFlat(size_t flat, std::span<Value> out) const {
+  PB_CHECK(out.size() == vars_.size());
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    out[i] = static_cast<Value>((flat / strides_[i]) %
+                                static_cast<size_t>(cards_[i]));
+  }
+}
+
+double ProbTable::Sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+void ProbTable::Fill(double v) { std::fill(values_.begin(), values_.end(), v); }
+
+void ProbTable::ClampNegatives() {
+  for (double& v : values_) {
+    if (v < 0) v = 0;
+  }
+}
+
+double ProbTable::Normalize() {
+  double total = Sum();
+  if (total > 0) {
+    for (double& v : values_) v /= total;
+  } else {
+    Fill(1.0 / static_cast<double>(values_.size()));
+  }
+  return total;
+}
+
+void ProbTable::AddLaplaceNoise(double scale, Rng& rng) {
+  if (scale <= 0) return;
+  for (double& v : values_) v += rng.Laplace(scale);
+}
+
+ProbTable ProbTable::MarginalizeOnto(std::span<const int> target_vars) const {
+  std::vector<int> tvars(target_vars.begin(), target_vars.end());
+  std::vector<int> tcards;
+  std::vector<size_t> src_pos;
+  tcards.reserve(tvars.size());
+  src_pos.reserve(tvars.size());
+  for (int v : tvars) {
+    int pos = FindVar(v);
+    PB_THROW_IF(pos < 0, "variable " << v << " not in table");
+    src_pos.push_back(static_cast<size_t>(pos));
+    tcards.push_back(cards_[pos]);
+  }
+  ProbTable out(std::move(tvars), std::move(tcards));
+  // Odometer sweep: walk the source in row-major order while incrementally
+  // maintaining the target flat index — no division in the hot loop, which
+  // matters for full-contingency projections (ACS: 2^23 cells).
+  size_t d = vars_.size();
+  // Per source dimension: its contribution to the target index per digit
+  // step (0 for dropped variables).
+  std::vector<size_t> tstep(d, 0);
+  for (size_t i = 0; i < src_pos.size(); ++i) {
+    size_t stride = 1;
+    for (size_t j = src_pos.size(); j > i + 1; --j) {
+      stride *= static_cast<size_t>(out.cards()[j - 1]);
+    }
+    tstep[src_pos[i]] = stride;
+  }
+  std::vector<size_t> digit(d, 0);
+  size_t tflat = 0;
+  std::vector<double>& dst = out.values();
+  for (size_t flat = 0; flat < values_.size(); ++flat) {
+    dst[tflat] += values_[flat];
+    // Advance the odometer (skip on the final cell).
+    for (size_t i = d; i-- > 0;) {
+      if (++digit[i] < static_cast<size_t>(cards_[i])) {
+        tflat += tstep[i];
+        break;
+      }
+      digit[i] = 0;
+      tflat -= tstep[i] * static_cast<size_t>(cards_[i] - 1);
+    }
+  }
+  return out;
+}
+
+void ProbTable::NormalizeSlicesOverLastVar() {
+  PB_THROW_IF(vars_.empty(), "scalar table has no child variable");
+  size_t child_card = static_cast<size_t>(cards_.back());
+  for (size_t base = 0; base < values_.size(); base += child_card) {
+    double total = 0;
+    for (size_t j = 0; j < child_card; ++j) total += values_[base + j];
+    if (total > 0) {
+      for (size_t j = 0; j < child_card; ++j) values_[base + j] /= total;
+    } else {
+      double u = 1.0 / static_cast<double>(child_card);
+      for (size_t j = 0; j < child_card; ++j) values_[base + j] = u;
+    }
+  }
+}
+
+ProbTable ProbTable::Reorder(std::span<const int> new_order) const {
+  PB_THROW_IF(new_order.size() != vars_.size(), "reorder size mismatch");
+  std::vector<int> tvars(new_order.begin(), new_order.end());
+  std::vector<int> tcards;
+  std::vector<size_t> src_pos;
+  for (int v : tvars) {
+    int pos = FindVar(v);
+    PB_THROW_IF(pos < 0, "variable " << v << " not in table");
+    src_pos.push_back(static_cast<size_t>(pos));
+    tcards.push_back(cards_[pos]);
+  }
+  ProbTable out(std::move(tvars), std::move(tcards));
+  for (size_t flat = 0; flat < values_.size(); ++flat) {
+    size_t tflat = 0;
+    size_t tstride = 1;
+    for (size_t i = src_pos.size(); i > 0; --i) {
+      size_t p = src_pos[i - 1];
+      size_t digit = (flat / strides_[p]) % static_cast<size_t>(cards_[p]);
+      tflat += digit * tstride;
+      tstride *= static_cast<size_t>(cards_[p]);
+    }
+    out[tflat] = values_[flat];
+  }
+  return out;
+}
+
+double ProbTable::L1Distance(const ProbTable& other) const {
+  PB_THROW_IF(vars_ != other.vars_ || cards_ != other.cards_,
+              "L1Distance requires identical table shapes");
+  double d = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    d += std::abs(values_[i] - other.values_[i]);
+  }
+  return d;
+}
+
+double ProbTable::TotalVariationDistance(const ProbTable& other) const {
+  return 0.5 * L1Distance(other);
+}
+
+std::string ProbTable::DebugString() const {
+  std::ostringstream oss;
+  oss << "ProbTable(vars=[";
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    oss << (i ? "," : "") << vars_[i] << ":" << cards_[i];
+  }
+  oss << "], cells=" << values_.size() << ", sum=" << Sum() << ")";
+  return oss.str();
+}
+
+}  // namespace privbayes

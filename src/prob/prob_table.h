@@ -1,0 +1,131 @@
+// Dense tables over small sets of discrete variables.
+//
+// A ProbTable stores one real value per joint assignment of an ordered list of
+// discrete variables (each identified by a caller-chosen integer id with a
+// known cardinality). It is the common currency of the library: empirical
+// joint distributions Pr[X, Π], noisy marginals, conditional distributions
+// Pr[X | Π], and full contingency tables are all ProbTables.
+//
+// Layout is row-major in variable order: the LAST variable has stride 1. This
+// makes "slices over the last variable" contiguous, which is how conditional
+// distributions Pr[X | Π] are stored (parents first, child last).
+
+#ifndef PRIVBAYES_PROB_PROB_TABLE_H_
+#define PRIVBAYES_PROB_PROB_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace privbayes {
+
+/// Discrete value of a single attribute cell. Cardinalities above 65535 are
+/// rejected at schema construction.
+using Value = uint16_t;
+
+/// A dense real-valued table over the cross-product of discrete variables.
+class ProbTable {
+ public:
+  /// Creates a zero-filled table. `vars[i]` is the caller's id for the i-th
+  /// variable, `cards[i]` its cardinality (>= 1). Throws on mismatched sizes,
+  /// duplicate ids, or non-positive cardinalities.
+  ProbTable(std::vector<int> vars, std::vector<int> cards);
+
+  /// Creates a scalar table (no variables; exactly one cell).
+  ProbTable();
+
+  /// Number of variables.
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+
+  /// Variable ids in table order.
+  const std::vector<int>& vars() const { return vars_; }
+
+  /// Cardinalities in table order.
+  const std::vector<int>& cards() const { return cards_; }
+
+  /// Cardinality of the i-th table variable.
+  int card(int i) const { return cards_[i]; }
+
+  /// Total number of cells (product of cardinalities).
+  size_t size() const { return values_.size(); }
+
+  /// Position of variable id `var` in table order, or -1 if absent.
+  int FindVar(int var) const;
+
+  /// Flat row-major index of a joint assignment (in table variable order).
+  size_t FlatIndex(std::span<const Value> assignment) const;
+
+  /// Inverse of FlatIndex: writes the assignment for `flat` into `out`
+  /// (out.size() == num_vars()).
+  void AssignmentFromFlat(size_t flat, std::span<Value> out) const;
+
+  /// Cell accessors.
+  double& operator[](size_t flat) { return values_[flat]; }
+  double operator[](size_t flat) const { return values_[flat]; }
+  double& At(std::span<const Value> assignment) {
+    return values_[FlatIndex(assignment)];
+  }
+  double At(std::span<const Value> assignment) const {
+    return values_[FlatIndex(assignment)];
+  }
+  std::vector<double>& values() { return values_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Sum of all cells.
+  double Sum() const;
+
+  /// Sets every cell to `v`.
+  void Fill(double v);
+
+  /// Clamps negative cells to zero (paper's first consistency step).
+  void ClampNegatives();
+
+  /// Scales cells so they sum to 1. If the table sums to <= 0 (possible after
+  /// heavy noise + clamping), falls back to the uniform distribution — the
+  /// same convention the paper's normalization step needs to stay well
+  /// defined. Returns the pre-normalization sum.
+  double Normalize();
+
+  /// Adds i.i.d. Laplace(scale) noise to every cell (scale <= 0 adds none).
+  void AddLaplaceNoise(double scale, Rng& rng);
+
+  /// Returns the marginal table over `target_vars` (a subset of vars(), in
+  /// the order given). Cells are summed; works for counts and probabilities.
+  ProbTable MarginalizeOnto(std::span<const int> target_vars) const;
+
+  /// Interpreting this table as a joint over (parents..., child) with the
+  /// child LAST, normalizes each contiguous child-slice to sum to 1 in place.
+  /// Slices that sum to <= 0 become uniform over the child. This turns a
+  /// noisy joint Pr*[X, Π] (stored Π-first) into the conditional Pr*[X | Π].
+  void NormalizeSlicesOverLastVar();
+
+  /// Returns a copy with the variables permuted to `new_order` (a permutation
+  /// of vars()).
+  ProbTable Reorder(std::span<const int> new_order) const;
+
+  /// L1 distance to `other` (same vars in same order required).
+  double L1Distance(const ProbTable& other) const;
+
+  /// Total variation distance = L1 / 2 (the paper's count-query error
+  /// metric). Both tables should be normalized by the caller.
+  double TotalVariationDistance(const ProbTable& other) const;
+
+  /// Human-readable dump (tests / debugging).
+  std::string DebugString() const;
+
+ private:
+  std::vector<int> vars_;
+  std::vector<int> cards_;
+  std::vector<size_t> strides_;  // strides_[i] of var i; last var has stride 1
+  std::vector<double> values_;
+};
+
+/// Product of cardinalities with overflow check; throws if it exceeds `cap`.
+size_t CheckedDomainSize(std::span<const int> cards, size_t cap);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_PROB_PROB_TABLE_H_

@@ -1,0 +1,115 @@
+#include "query/consistency.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+namespace {
+
+// Sorted common attributes of two attribute sets (both sorted).
+std::vector<int> SharedAttrs(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  std::vector<int> shared;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(shared));
+  return shared;
+}
+
+std::vector<int> SharedVars(const std::vector<int>& shared_attrs) {
+  std::vector<int> vars;
+  vars.reserve(shared_attrs.size());
+  for (int a : shared_attrs) vars.push_back(GenVarId(a));
+  return vars;
+}
+
+// For every cell of `marginal`, the flat index of its projection in the
+// table shaped like `projection` (same var subset).
+std::vector<size_t> ProjectionIndex(const ProbTable& marginal,
+                                    const ProbTable& projection) {
+  std::vector<size_t> index(marginal.size());
+  std::vector<Value> full(marginal.num_vars());
+  std::vector<Value> reduced(projection.num_vars());
+  std::vector<int> pos(projection.num_vars());
+  for (int i = 0; i < projection.num_vars(); ++i) {
+    pos[i] = marginal.FindVar(projection.vars()[i]);
+    PB_CHECK(pos[i] >= 0);
+  }
+  for (size_t flat = 0; flat < marginal.size(); ++flat) {
+    marginal.AssignmentFromFlat(flat, full);
+    for (int i = 0; i < projection.num_vars(); ++i) reduced[i] = full[pos[i]];
+    index[flat] = projection.FlatIndex(reduced);
+  }
+  return index;
+}
+
+// Pushes `marginal`'s projection onto `target` (same shape as its current
+// projection `current`): additive least-squares update spreading each
+// projection correction evenly over the contributing cells.
+void AdjustToProjection(ProbTable* marginal, const ProbTable& current,
+                        const ProbTable& target) {
+  std::vector<size_t> index = ProjectionIndex(*marginal, current);
+  double cells_per_group =
+      static_cast<double>(marginal->size()) / static_cast<double>(current.size());
+  for (size_t flat = 0; flat < marginal->size(); ++flat) {
+    double delta = target[index[flat]] - current[index[flat]];
+    (*marginal)[flat] += delta / cells_per_group;
+  }
+}
+
+}  // namespace
+
+void EnforceMutualConsistency(const MarginalWorkload& workload,
+                              std::vector<ProbTable>* marginals,
+                              const ConsistencyOptions& options) {
+  PB_THROW_IF(marginals == nullptr ||
+                  marginals->size() != workload.attr_sets.size(),
+              "marginals must parallel the workload");
+  size_t m = marginals->size();
+  for (int round = 0; round < options.rounds; ++round) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        std::vector<int> shared =
+            SharedAttrs(workload.attr_sets[i], workload.attr_sets[j]);
+        if (shared.empty()) continue;
+        std::vector<int> vars = SharedVars(shared);
+        ProbTable pi = (*marginals)[i].MarginalizeOnto(vars);
+        ProbTable pj = (*marginals)[j].MarginalizeOnto(vars);
+        ProbTable avg = pi;
+        for (size_t c = 0; c < avg.size(); ++c) {
+          avg[c] = 0.5 * (pi[c] + pj[c]);
+        }
+        AdjustToProjection(&(*marginals)[i], pi, avg);
+        AdjustToProjection(&(*marginals)[j], pj, avg);
+      }
+    }
+  }
+  if (options.clamp_and_normalize) {
+    for (ProbTable& t : *marginals) {
+      t.ClampNegatives();
+      t.Normalize();
+    }
+  }
+}
+
+double MaxPairwiseInconsistency(const MarginalWorkload& workload,
+                                const std::vector<ProbTable>& marginals) {
+  PB_THROW_IF(marginals.size() != workload.attr_sets.size(),
+              "marginals must parallel the workload");
+  double worst = 0;
+  for (size_t i = 0; i < marginals.size(); ++i) {
+    for (size_t j = i + 1; j < marginals.size(); ++j) {
+      std::vector<int> shared =
+          SharedAttrs(workload.attr_sets[i], workload.attr_sets[j]);
+      if (shared.empty()) continue;
+      std::vector<int> vars = SharedVars(shared);
+      ProbTable pi = marginals[i].MarginalizeOnto(vars);
+      ProbTable pj = marginals[j].MarginalizeOnto(vars);
+      worst = std::max(worst, pi.TotalVariationDistance(pj));
+    }
+  }
+  return worst;
+}
+
+}  // namespace privbayes

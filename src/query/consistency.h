@@ -1,0 +1,47 @@
+// Consistency post-processing for sets of noisy marginals (paper footnote 1:
+// "apply additional post-processing of distributions, in the spirit of
+// [2, 17, 27], to reflect the fact that lower degree distributions should be
+// consistent").
+//
+// Independently-noised marginals over overlapping attribute sets disagree on
+// their shared sub-marginals; averaging the disagreeing projections and
+// pushing the correction back into each marginal (additively, spread evenly
+// over the contributing cells — the least-squares update of Hay et al. [27]
+// for this constraint) both restores consistency and reduces variance: the
+// shared projection's noise is averaged across every marginal containing it.
+// Post-processing only — no privacy cost.
+
+#ifndef PRIVBAYES_QUERY_CONSISTENCY_H_
+#define PRIVBAYES_QUERY_CONSISTENCY_H_
+
+#include <vector>
+
+#include "query/marginal_workload.h"
+
+namespace privbayes {
+
+/// Knobs for EnforceMutualConsistency.
+struct ConsistencyOptions {
+  /// Sweeps over all overlapping pairs. One sweep makes each pair agree at
+  /// the moment it is processed; later updates can break earlier ones, so a
+  /// few rounds are used (3 suffices in practice).
+  int rounds = 3;
+  /// Re-apply the paper's per-marginal steps (clamp negatives, normalize)
+  /// after the additive corrections.
+  bool clamp_and_normalize = true;
+};
+
+/// Adjusts `marginals` (parallel to `workload.attr_sets`, vars
+/// GenVarId(attr)) so overlapping marginals agree on shared projections.
+void EnforceMutualConsistency(const MarginalWorkload& workload,
+                              std::vector<ProbTable>* marginals,
+                              const ConsistencyOptions& options = {});
+
+/// Diagnostic: the maximum total-variation disagreement between the shared
+/// projections of any overlapping marginal pair (0 = fully consistent).
+double MaxPairwiseInconsistency(const MarginalWorkload& workload,
+                                const std::vector<ProbTable>& marginals);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_QUERY_CONSISTENCY_H_

@@ -1,0 +1,70 @@
+#include "query/marginal_workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+MarginalWorkload MarginalWorkload::AllAlphaWay(const Schema& schema,
+                                               int alpha) {
+  PB_THROW_IF(alpha < 1 || alpha > schema.num_attrs(),
+              "alpha " << alpha << " out of range for " << schema.num_attrs()
+                       << " attributes");
+  MarginalWorkload w;
+  w.alpha = alpha;
+  std::vector<int> idx(alpha);
+  for (int i = 0; i < alpha; ++i) idx[i] = i;
+  int d = schema.num_attrs();
+  for (;;) {
+    w.attr_sets.push_back(idx);
+    int i = alpha - 1;
+    while (i >= 0 && idx[i] == d - alpha + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < alpha; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return w;
+}
+
+void MarginalWorkload::SubsampleTo(size_t max_queries, Rng& rng) {
+  if (max_queries == 0 || attr_sets.size() <= max_queries) return;
+  for (size_t i = 0; i < max_queries; ++i) {
+    size_t j = i + rng.UniformInt(attr_sets.size() - i);
+    std::swap(attr_sets[i], attr_sets[j]);
+  }
+  attr_sets.resize(max_queries);
+  // Canonical order keeps reports stable regardless of the shuffle.
+  std::sort(attr_sets.begin(), attr_sets.end());
+}
+
+ProbTable EmpiricalMarginal(const Dataset& data,
+                            const std::vector<int>& attrs) {
+  ProbTable counts = data.JointCounts(attrs);
+  counts.Normalize();
+  return counts;
+}
+
+double AverageMarginalTvd(const Dataset& real,
+                          const MarginalWorkload& workload,
+                          const MarginalProvider& provider) {
+  PB_THROW_IF(workload.attr_sets.empty(), "empty workload");
+  double total = 0;
+  for (const std::vector<int>& attrs : workload.attr_sets) {
+    ProbTable truth = EmpiricalMarginal(real, attrs);
+    ProbTable answer = provider(attrs);
+    total += truth.TotalVariationDistance(answer);
+  }
+  return total / static_cast<double>(workload.size());
+}
+
+double AverageMarginalTvd(const Dataset& real,
+                          const MarginalWorkload& workload,
+                          const Dataset& synthetic) {
+  return AverageMarginalTvd(real, workload,
+                            [&synthetic](const std::vector<int>& attrs) {
+                              return EmpiricalMarginal(synthetic, attrs);
+                            });
+}
+
+}  // namespace privbayes

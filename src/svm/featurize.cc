@@ -1,0 +1,55 @@
+#include "svm/featurize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+int LabelSpec::LabelOf(const Dataset& data, int row) const {
+  Value v = data.at(row, attr);
+  bool positive = std::find(positive_values.begin(), positive_values.end(),
+                            v) != positive_values.end();
+  return positive ? 1 : -1;
+}
+
+SparseFeaturizer::SparseFeaturizer(const Schema& schema, int label_attr)
+    : label_attr_(label_attr) {
+  PB_THROW_IF(label_attr < 0 || label_attr >= schema.num_attrs(),
+              "label attribute out of range");
+  offsets_.resize(schema.num_attrs(), -1);
+  int offset = 0;
+  for (int a = 0; a < schema.num_attrs(); ++a) {
+    if (a == label_attr) continue;
+    offsets_[a] = offset;
+    offset += schema.Cardinality(a);
+  }
+  dim_ = offset + 1;  // + bias
+  // d−1 one-hot features + bias, each of value v: ‖x‖₂ = v·sqrt(d) = 1.
+  value_ = 1.0 / std::sqrt(static_cast<double>(schema.num_attrs()));
+}
+
+void SparseFeaturizer::ActiveIndices(const Dataset& data, int row,
+                                     std::vector<int>* out) const {
+  out->clear();
+  for (int a = 0; a < data.num_attrs(); ++a) {
+    if (a == label_attr_) continue;
+    out->push_back(offsets_[a] + data.at(row, a));
+  }
+  out->push_back(dim_ - 1);  // bias
+}
+
+double SparseFeaturizer::Dot(const std::vector<double>& w, const Dataset& data,
+                             int row) const {
+  PB_CHECK(static_cast<int>(w.size()) == dim_);
+  double acc = 0;
+  for (int a = 0; a < data.num_attrs(); ++a) {
+    if (a == label_attr_) continue;
+    acc += w[offsets_[a] + data.at(row, a)];
+  }
+  acc += w[dim_ - 1];
+  return acc * value_;
+}
+
+}  // namespace privbayes

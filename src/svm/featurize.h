@@ -1,0 +1,60 @@
+// Labels and feature encoding for the SVM classification task (paper §6.1).
+//
+// Each classification task predicts a binary label derived from one
+// attribute (e.g. Adult: "makes over 50K", "holds a post-secondary degree")
+// from all OTHER attributes, one-hot encoded. Features are scaled so that
+// ‖x‖₂ <= 1, which the PrivateERM baseline's privacy analysis requires
+// (Chaudhuri et al. [8]).
+
+#ifndef PRIVBAYES_SVM_FEATURIZE_H_
+#define PRIVBAYES_SVM_FEATURIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace privbayes {
+
+/// A binary classification target: y = +1 when the attribute's value is in
+/// `positive_values`, −1 otherwise.
+struct LabelSpec {
+  std::string name;                   ///< e.g. "salary>50K"
+  int attr = 0;                       ///< label attribute
+  std::vector<Value> positive_values; ///< values mapping to +1
+
+  /// ±1 label of a row.
+  int LabelOf(const Dataset& data, int row) const;
+};
+
+/// One-hot featurizer over all attributes except the label attribute.
+/// Feature vectors are sparse with exactly (d−1) active positions plus a
+/// bias, all of magnitude 1/sqrt(d) so that ‖x‖₂ = 1.
+class SparseFeaturizer {
+ public:
+  SparseFeaturizer(const Schema& schema, int label_attr);
+
+  /// Dense feature dimensionality (sum of non-label cardinalities + bias).
+  int dim() const { return dim_; }
+
+  /// Magnitude of every active feature.
+  double feature_value() const { return value_; }
+
+  /// Writes the active feature indices of `row` into `out` (resized to the
+  /// number of active features, always d−1 attributes + 1 bias).
+  void ActiveIndices(const Dataset& data, int row,
+                     std::vector<int>* out) const;
+
+  /// w·x for a sparse row.
+  double Dot(const std::vector<double>& w, const Dataset& data, int row) const;
+
+ private:
+  int label_attr_;
+  int dim_;
+  double value_;
+  std::vector<int> offsets_;  // feature offset per attribute (-1 for label)
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_SVM_FEATURIZE_H_

@@ -1,0 +1,144 @@
+#include "svm/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+SvmModel TrainHingeSvm(const Dataset& train, const LabelSpec& label,
+                       const PegasosOptions& options, Rng& rng) {
+  PB_THROW_IF(train.num_rows() < 2, "need at least 2 training rows");
+  SparseFeaturizer fz(train.schema(), label.attr);
+  int n = train.num_rows();
+  double lambda = options.lambda > 0
+                      ? options.lambda
+                      : 1.0 / (options.c * static_cast<double>(n));
+  std::vector<double> w(fz.dim(), 0.0);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<int> active;
+  double v = fz.feature_value();
+  int64_t t = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (int r : order) {
+      ++t;
+      double eta = 1.0 / (lambda * static_cast<double>(t));
+      int y = label.LabelOf(train, r);
+      double margin = y * fz.Dot(w, train, r);
+      // w <- (1 − ηλ)·w  [+ η·y·x if margin < 1]
+      double shrink = 1.0 - eta * lambda;
+      if (shrink < 0) shrink = 0;
+      for (double& wi : w) wi *= shrink;
+      if (margin < 1.0) {
+        fz.ActiveIndices(train, r, &active);
+        double step = eta * y * v;
+        for (int idx : active) w[idx] += step;
+      }
+    }
+  }
+  return SvmModel{std::move(w)};
+}
+
+double HingeObjective(const Dataset& data, const LabelSpec& label,
+                      const SparseFeaturizer& fz, const SvmModel& model,
+                      double lambda) {
+  double loss = 0;
+  for (int r = 0; r < data.num_rows(); ++r) {
+    double margin = label.LabelOf(data, r) * fz.Dot(model.w, data, r);
+    loss += std::max(0.0, 1.0 - margin);
+  }
+  loss /= std::max(1, data.num_rows());
+  double reg = 0;
+  for (double wi : model.w) reg += wi * wi;
+  return loss + 0.5 * lambda * reg;
+}
+
+namespace {
+
+// Huber approximation of the hinge loss (Chaudhuri et al. [8] §3.4):
+//   z >= 1 + h          -> 0
+//   |1 − z| <= h        -> (1 + h − z)² / (4h)
+//   z <= 1 − h          -> 1 − z
+// where z = y·w·x. Derivative bounded, |l''| <= 1/(2h).
+double HuberLossDeriv(double z, double h, double* loss) {
+  if (z >= 1.0 + h) {
+    if (loss != nullptr) *loss = 0;
+    return 0;
+  }
+  if (z <= 1.0 - h) {
+    if (loss != nullptr) *loss = 1.0 - z;
+    return -1.0;
+  }
+  double u = 1.0 + h - z;
+  if (loss != nullptr) *loss = u * u / (4.0 * h);
+  return -u / (2.0 * h);
+}
+
+}  // namespace
+
+SvmModel TrainHuberErm(const Dataset& train, const LabelSpec& label,
+                       const HuberErmOptions& options,
+                       const std::vector<double>& extra_linear) {
+  PB_THROW_IF(train.num_rows() < 2, "need at least 2 training rows");
+  SparseFeaturizer fz(train.schema(), label.attr);
+  int n = train.num_rows();
+  int dim = fz.dim();
+  PB_THROW_IF(!extra_linear.empty() &&
+                  static_cast<int>(extra_linear.size()) != dim,
+              "perturbation vector dimension mismatch");
+  std::vector<double> w(dim, 0.0);
+  std::vector<double> grad(dim, 0.0);
+  std::vector<int> active;
+  double v = fz.feature_value();
+  double nd = static_cast<double>(n);
+  // Smooth strongly convex objective: plain GD with step 1/L converges
+  // linearly; L <= c·max‖x‖² + λ = 1/(2h) + λ since ‖x‖ = 1.
+  double lipschitz = 1.0 / (2.0 * options.huber_h) + options.lambda;
+  double step = options.learning_rate / lipschitz;
+  for (int it = 0; it < options.iterations; ++it) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int r = 0; r < n; ++r) {
+      int y = label.LabelOf(train, r);
+      double z = y * fz.Dot(w, train, r);
+      double dldz = HuberLossDeriv(z, options.huber_h, nullptr);
+      if (dldz == 0) continue;
+      fz.ActiveIndices(train, r, &active);
+      double coeff = dldz * y * v / nd;
+      for (int idx : active) grad[idx] += coeff;
+    }
+    for (int i = 0; i < dim; ++i) {
+      grad[i] += options.lambda * w[i];
+      if (!extra_linear.empty()) grad[i] += extra_linear[i] / nd;
+      w[i] -= step * grad[i];
+    }
+  }
+  return SvmModel{std::move(w)};
+}
+
+double MisclassificationRate(const Dataset& test, const LabelSpec& label,
+                             const SvmModel& model) {
+  PB_THROW_IF(test.num_rows() == 0, "empty test set");
+  SparseFeaturizer fz(test.schema(), label.attr);
+  int errors = 0;
+  for (int r = 0; r < test.num_rows(); ++r) {
+    double decision = fz.Dot(model.w, test, r);
+    int predicted = decision >= 0 ? 1 : -1;
+    if (predicted != label.LabelOf(test, r)) ++errors;
+  }
+  return static_cast<double>(errors) / test.num_rows();
+}
+
+double PositiveRate(const Dataset& data, const LabelSpec& label) {
+  PB_THROW_IF(data.num_rows() == 0, "empty dataset");
+  int positives = 0;
+  for (int r = 0; r < data.num_rows(); ++r) {
+    if (label.LabelOf(data, r) == 1) ++positives;
+  }
+  return static_cast<double>(positives) / data.num_rows();
+}
+
+}  // namespace privbayes

@@ -1,0 +1,77 @@
+// Linear SVM training (paper §6.1, task 2).
+//
+// Two trainers:
+//   TrainHingeSvm  — the standard hinge-loss C-SVM (paper: C = 1) via the
+//                    Pegasos stochastic sub-gradient method, used by
+//                    NoPrivacy, PrivBayes-on-synthetic-data and PrivGene's
+//                    fitness evaluation.
+//   TrainHuberErm  — L2-regularized Huber-loss ERM minimized by full-batch
+//                    gradient descent; the smooth objective PrivateERM [8]
+//                    requires, also used non-privately in tests.
+//
+// Misclassification rate on a held-out test set is the §6.6 error metric.
+
+#ifndef PRIVBAYES_SVM_LINEAR_SVM_H_
+#define PRIVBAYES_SVM_LINEAR_SVM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "svm/featurize.h"
+
+namespace privbayes {
+
+/// A trained linear separator.
+struct SvmModel {
+  std::vector<double> w;
+
+  /// Signed decision value for one row.
+  double Decision(const SparseFeaturizer& fz, const Dataset& data,
+                  int row) const {
+    return fz.Dot(w, data, row);
+  }
+};
+
+/// Pegasos options. lambda = 1/(n·C) matches the C-SVM objective; the paper
+/// uses C = 1.
+struct PegasosOptions {
+  double lambda = 0;  ///< 0 = derive from C and n
+  double c = 1.0;
+  int epochs = 20;
+};
+
+/// Trains a hinge-loss SVM on (train, label).
+SvmModel TrainHingeSvm(const Dataset& train, const LabelSpec& label,
+                       const PegasosOptions& options, Rng& rng);
+
+/// Average hinge loss + (λ/2)‖w‖² of a model (tests/diagnostics).
+double HingeObjective(const Dataset& data, const LabelSpec& label,
+                      const SparseFeaturizer& fz, const SvmModel& model,
+                      double lambda);
+
+/// Huber-loss ERM options (Chaudhuri et al. [8]; h is the Huber width, so
+/// the loss has second-derivative bound c = 1/(2h)).
+struct HuberErmOptions {
+  double lambda = 1e-3;
+  double huber_h = 0.5;
+  int iterations = 300;
+  double learning_rate = 1.0;
+};
+
+/// Minimizes (1/n)Σ huber(y·w·x) + (λ/2)‖w‖² + extra_linear·w/n by gradient
+/// descent. `extra_linear` (may be empty) is the perturbation vector b of
+/// objective-perturbation ERM; pass empty for the non-private version.
+SvmModel TrainHuberErm(const Dataset& train, const LabelSpec& label,
+                       const HuberErmOptions& options,
+                       const std::vector<double>& extra_linear);
+
+/// Fraction of rows in `test` misclassified by `model` (§6.6 metric).
+double MisclassificationRate(const Dataset& test, const LabelSpec& label,
+                             const SvmModel& model);
+
+/// Fraction of positive labels (base rate; used by Majority and tests).
+double PositiveRate(const Dataset& data, const LabelSpec& label);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_SVM_LINEAR_SVM_H_

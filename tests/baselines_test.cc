@@ -1,0 +1,262 @@
+// Tests for baselines/: correctness of each comparison method — noiseless
+// limits, budget scaling, WHT algebra, MWEM improvement, classifier
+// baselines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/contingency.h"
+#include "baselines/fourier.h"
+#include "baselines/laplace_marginals.h"
+#include "baselines/majority.h"
+#include "baselines/mwem.h"
+#include "baselines/private_erm.h"
+#include "baselines/privgene.h"
+#include "baselines/uniform.h"
+#include "data/generators.h"
+
+namespace privbayes {
+namespace {
+
+MarginalWorkload SmallWorkload(const Schema& s, int alpha, size_t n,
+                               uint64_t seed) {
+  MarginalWorkload w = MarginalWorkload::AllAlphaWay(s, alpha);
+  Rng rng(seed);
+  w.SubsampleTo(n, rng);
+  return w;
+}
+
+TEST(Uniform, MarginalIsUniform) {
+  Dataset d = MakeNltcs(1, 100);
+  std::vector<int> attrs = {0, 3, 5};
+  ProbTable m = UniformMarginal(d.schema(), attrs);
+  EXPECT_EQ(m.size(), 8u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_DOUBLE_EQ(m[i], 0.125);
+  double err = AverageMarginalTvd(d, SmallWorkload(d.schema(), 2, 10, 1),
+                                  UniformProvider(d.schema()));
+  EXPECT_GT(err, 0.0);
+  EXPECT_LE(err, 1.0);
+}
+
+TEST(LaplaceBaseline, HighEpsilonIsNearExact) {
+  Dataset d = MakeNltcs(2, 2000);
+  MarginalWorkload w = SmallWorkload(d.schema(), 2, 12, 2);
+  Rng rng(3);
+  std::vector<ProbTable> noisy = LaplaceMarginals(d, w, 1e7, rng);
+  ASSERT_EQ(noisy.size(), w.size());
+  for (size_t q = 0; q < w.size(); ++q) {
+    ProbTable truth = EmpiricalMarginal(d, w.attr_sets[q]);
+    EXPECT_LT(truth.TotalVariationDistance(noisy[q]), 1e-3);
+  }
+}
+
+TEST(LaplaceBaseline, ErrorGrowsWithWorkloadBudget) {
+  Dataset d = MakeNltcs(3, 2000);
+  MarginalWorkload w = SmallWorkload(d.schema(), 2, 10, 4);
+  auto avg_err = [&](size_t budget_size, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<ProbTable> noisy =
+        LaplaceMarginals(d, w, 0.5, rng, budget_size);
+    double total = 0;
+    for (size_t q = 0; q < w.size(); ++q) {
+      total +=
+          EmpiricalMarginal(d, w.attr_sets[q]).TotalVariationDistance(noisy[q]);
+    }
+    return total / w.size();
+  };
+  double small = 0, large = 0;
+  for (uint64_t s = 0; s < 5; ++s) {
+    small += avg_err(10, 10 + s);
+    large += avg_err(560, 20 + s);  // paying for the full Q3 workload
+  }
+  EXPECT_GT(large, small);
+}
+
+TEST(LaplaceBaseline, Validation) {
+  Dataset d = MakeNltcs(4, 100);
+  MarginalWorkload w = SmallWorkload(d.schema(), 2, 10, 5);
+  Rng rng(6);
+  EXPECT_THROW(LaplaceMarginals(d, w, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(LaplaceMarginals(d, w, 1.0, rng, 3), std::invalid_argument);
+}
+
+TEST(Contingency, NoiselessLimitMatchesData) {
+  Dataset d = MakeNltcs(5, 1500);
+  Rng rng(7);
+  MarginalProvider provider = ContingencyProvider(d, 1e7, rng);
+  MarginalWorkload w = SmallWorkload(d.schema(), 3, 10, 8);
+  EXPECT_LT(AverageMarginalTvd(d, w, provider), 1e-3);
+}
+
+TEST(Contingency, SmallEpsilonApproachesUniform) {
+  Dataset d = MakeNltcs(6, 1000);
+  Rng rng(9);
+  MarginalProvider noisy = ContingencyProvider(d, 0.01, rng);
+  MarginalWorkload w = SmallWorkload(d.schema(), 2, 10, 10);
+  double err_noisy = AverageMarginalTvd(d, w, noisy);
+  double err_uniform = AverageMarginalTvd(d, w, UniformProvider(d.schema()));
+  // The noisy contingency table degenerates toward uniformity.
+  EXPECT_GT(err_noisy, err_uniform * 0.3);
+}
+
+TEST(Contingency, RefusesHugeDomains) {
+  Dataset d = MakeAdult(7, 50);
+  Rng rng(11);
+  EXPECT_THROW(NoisyContingencyTable(d, 1.0, rng, 1 << 20),
+               std::invalid_argument);
+}
+
+TEST(Wht, InvolutionAndParseval) {
+  Rng rng(12);
+  std::vector<double> v(16);
+  for (double& x : v) x = rng.Uniform();
+  std::vector<double> orig = v;
+  WalshHadamardTransform(v);
+  WalshHadamardTransform(v);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], 16.0 * orig[i], 1e-9);  // WHT² = n·I
+  }
+  EXPECT_THROW(
+      [] {
+        std::vector<double> bad(3, 0.0);
+        WalshHadamardTransform(bad);
+      }(),
+      std::invalid_argument);
+}
+
+TEST(Fourier, CoefficientCountMatchesBarakFormulaOnBinaryData) {
+  Dataset d = MakeNltcs(8, 50);
+  // Q2 over 16 binary attributes: m = C(16,1) + C(16,2) = 16 + 120.
+  MarginalWorkload w = MarginalWorkload::AllAlphaWay(d.schema(), 2);
+  EXPECT_EQ(FourierCoefficientCount(d.schema(), w), 136u);
+}
+
+TEST(Fourier, NoiselessLimitReconstructsMarginals) {
+  Dataset d = MakeNltcs(9, 1200);
+  MarginalWorkload w = SmallWorkload(d.schema(), 3, 8, 13);
+  Rng rng(14);
+  std::vector<ProbTable> out = FourierMarginals(d, w, 1e9, rng);
+  for (size_t q = 0; q < w.size(); ++q) {
+    ProbTable truth = EmpiricalMarginal(d, w.attr_sets[q]);
+    EXPECT_LT(truth.TotalVariationDistance(out[q]), 1e-4) << q;
+  }
+}
+
+TEST(Fourier, NoiselessLimitOnMixedDomains) {
+  Dataset d = MakeBr2000(10, 800);
+  MarginalWorkload w = SmallWorkload(d.schema(), 2, 6, 15);
+  Rng rng(16);
+  std::vector<ProbTable> out = FourierMarginals(d, w, 1e9, rng);
+  for (size_t q = 0; q < w.size(); ++q) {
+    ProbTable truth = EmpiricalMarginal(d, w.attr_sets[q]);
+    EXPECT_LT(truth.TotalVariationDistance(out[q]), 1e-4) << q;
+  }
+}
+
+TEST(Fourier, SharedCoefficientsAreConsistent) {
+  // Two overlapping marginals must use the SAME noisy coefficient for their
+  // shared attribute subsets: their common sub-marginal then agrees.
+  Dataset d = MakeNltcs(11, 900);
+  MarginalWorkload w;
+  w.alpha = 2;
+  w.attr_sets = {{0, 1}, {0, 2}};
+  Rng rng(17);
+  std::vector<ProbTable> out = FourierMarginals(d, w, 0.5, rng);
+  std::vector<int> zero = {GenVarId(0)};
+  ProbTable m0a = out[0].MarginalizeOnto(zero);
+  ProbTable m0b = out[1].MarginalizeOnto(zero);
+  // Clamping/normalization breaks exact equality; they must still be close
+  // relative to the noise level.
+  EXPECT_LT(m0a.TotalVariationDistance(m0b), 0.15);
+}
+
+TEST(Mwem, ImprovesOverUniformAtHighEpsilon) {
+  Dataset d = MakeNltcs(12, 3000);
+  MarginalWorkload w = SmallWorkload(d.schema(), 3, 25, 18);
+  MwemOptions opts;
+  Rng rng(19);
+  ProbTable approx = RunMwem(d, w, 1.6, opts, rng);
+  EXPECT_NEAR(approx.Sum(), 1.0, 1e-6);
+  double err_mwem = AverageMarginalTvd(d, w, FullTableProvider(approx));
+  double err_uniform = AverageMarginalTvd(d, w, UniformProvider(d.schema()));
+  EXPECT_LT(err_mwem, err_uniform);
+}
+
+TEST(Mwem, SingleIterationAtTinyEpsilon) {
+  Dataset d = MakeNltcs(13, 500);
+  MarginalWorkload w = SmallWorkload(d.schema(), 2, 10, 20);
+  MwemOptions opts;
+  Rng rng(21);
+  // ε = 0.05 → exactly one round; must run and stay normalized.
+  ProbTable approx = RunMwem(d, w, 0.05, opts, rng);
+  EXPECT_NEAR(approx.Sum(), 1.0, 1e-6);
+}
+
+TEST(Majority, PredictsMajorityClassAtReasonableEpsilon) {
+  Dataset d = MakeNltcs(14, 4000);
+  LabelSpec label{"outside", 0, {1}};
+  double base = PositiveRate(d, label);
+  Rng rng(22);
+  MajorityModel m = TrainMajority(d, label, 1.0, rng);
+  EXPECT_EQ(m.prediction, base > 0.5 ? 1 : -1);
+  double err = MajorityMisclassification(d, label, m);
+  EXPECT_NEAR(err, std::min(base, 1 - base), 1e-12);
+}
+
+TEST(PrivateErm, CalibrationMatchesAlgorithm) {
+  Dataset d = MakeNltcs(15, 3000);
+  LabelSpec label{"outside", 0, {1}};
+  PrivateErmOptions opts;
+  Rng rng(23);
+  PrivateErmInfo info;
+  TrainPrivateErm(d, label, 0.8, opts, rng, &info);
+  double c = 1.0 / (2 * opts.huber_h);
+  double n = d.num_rows();
+  double expect = 0.8 - std::log(1 + 2 * c / (n * opts.lambda) +
+                                 c * c / (n * n * opts.lambda * opts.lambda));
+  if (expect > 0) {
+    EXPECT_NEAR(info.eps_p, expect, 1e-9);
+    EXPECT_DOUBLE_EQ(info.lambda_used, opts.lambda);
+  } else {
+    EXPECT_NEAR(info.eps_p, 0.4, 1e-9);
+    EXPECT_GT(info.lambda_used, opts.lambda);
+  }
+  EXPECT_GT(info.b_norm, 0);
+}
+
+TEST(PrivateErm, HighEpsilonApproachesNonPrivate) {
+  Dataset data = MakeNltcs(16, 5000);
+  Rng split_rng(24);
+  auto [train, test] = data.Split(0.8, split_rng);
+  LabelSpec label{"outside", 0, {1}};
+  PrivateErmOptions opts;
+  Rng rng(25);
+  SvmModel priv = TrainPrivateErm(train, label, 1000.0, opts, rng);
+  HuberErmOptions plain;
+  plain.lambda = opts.lambda;
+  SvmModel clean = TrainHuberErm(train, label, plain, {});
+  double err_priv = MisclassificationRate(test, label, priv);
+  double err_clean = MisclassificationRate(test, label, clean);
+  EXPECT_NEAR(err_priv, err_clean, 0.05);
+}
+
+TEST(PrivGene, RunsAndRoundsScaleWithEpsilon) {
+  Dataset data = MakeNltcs(17, 1500);
+  Rng split_rng(26);
+  auto [train, test] = data.Split(0.8, split_rng);
+  LabelSpec label{"outside", 0, {1}};
+  PrivGeneOptions opts;
+  opts.population = 30;
+  Rng rng(27);
+  SvmModel m = TrainPrivGene(train, label, 0.4, opts, rng);
+  EXPECT_EQ(m.w.size(), static_cast<size_t>(
+                            SparseFeaturizer(train.schema(), 0).dim()));
+  double err = MisclassificationRate(test, label, m);
+  EXPECT_LE(err, 1.0);
+  EXPECT_THROW(TrainPrivGene(train, label, 0.0, opts, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privbayes

@@ -1,0 +1,116 @@
+// Tests for bn/bayes_net: structural invariants and Σ mutual information.
+
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+#include "data/generators.h"
+#include "prob/information.h"
+
+namespace privbayes {
+namespace {
+
+Schema FourBinary() {
+  return Schema({Attribute::Binary("a"), Attribute::Binary("b"),
+                 Attribute::Binary("c"), Attribute::Binary("d")});
+}
+
+TEST(BayesNet, AddEnforcesOrderAcyclicity) {
+  BayesNet net;
+  net.Add(APPair{0, {}});
+  net.Add(APPair{1, {{0, 0}}});
+  net.Add(APPair{2, {{0, 0}, {1, 0}}});
+  EXPECT_EQ(net.size(), 3);
+  EXPECT_EQ(net.degree(), 2);
+  // Parent not yet added.
+  EXPECT_THROW(net.Add(APPair{3, {{5, 0}}}), std::invalid_argument);
+  // Duplicate attribute.
+  EXPECT_THROW(net.Add(APPair{1, {}}), std::invalid_argument);
+  // Self-parent.
+  EXPECT_THROW(net.Add(APPair{3, {{3, 0}}}), std::invalid_argument);
+  // Duplicate parent attribute in one pair.
+  EXPECT_THROW(net.Add(APPair{3, {{0, 0}, {0, 1}}}), std::invalid_argument);
+}
+
+TEST(BayesNet, ContainsAndDegree) {
+  BayesNet net;
+  net.Add(APPair{2, {}});
+  EXPECT_TRUE(net.Contains(2));
+  EXPECT_FALSE(net.Contains(0));
+  EXPECT_EQ(net.degree(), 0);
+}
+
+TEST(BayesNet, ValidateAgainstChecksLevels) {
+  Schema s({Attribute::Binary("a"), Attribute::Continuous("b", 0, 16, 16)});
+  BayesNet net;
+  net.Add(APPair{1, {}});
+  net.Add(APPair{0, {{1, 2}}});  // b at level 2 (card 4): valid
+  net.ValidateAgainst(s);
+  BayesNet bad;
+  bad.Add(APPair{1, {}});
+  bad.Add(APPair{0, {{1, 9}}});  // level 9 does not exist
+  EXPECT_THROW(bad.ValidateAgainst(s), std::invalid_argument);
+}
+
+TEST(BayesNet, DebugStringNamesAttributes) {
+  Schema s = FourBinary();
+  BayesNet net;
+  net.Add(APPair{0, {}});
+  net.Add(APPair{2, {{0, 0}}});
+  std::string str = net.DebugString(s);
+  EXPECT_NE(str.find("c <- {a}"), std::string::npos);
+}
+
+TEST(BayesNet, SumMutualInformationMatchesDirectComputation) {
+  Dataset data = MakeToyDataset(FourBinary(), 2000, 3, 0.8);
+  BayesNet net;
+  net.Add(APPair{0, {}});
+  net.Add(APPair{1, {{0, 0}}});
+  net.Add(APPair{2, {{0, 0}, {1, 0}}});
+  net.Add(APPair{3, {{2, 0}}});
+  double total = SumMutualInformation(data, net);
+
+  double expect = 0;
+  {
+    std::vector<int> attrs = {0, 1};
+    ProbTable j = data.JointCounts(attrs);
+    j.Normalize();
+    expect += MutualInformation(j, GenVarId(1));
+  }
+  {
+    std::vector<int> attrs = {0, 1, 2};
+    ProbTable j = data.JointCounts(attrs);
+    j.Normalize();
+    expect += MutualInformation(j, GenVarId(2));
+  }
+  {
+    std::vector<int> attrs = {2, 3};
+    ProbTable j = data.JointCounts(attrs);
+    j.Normalize();
+    expect += MutualInformation(j, GenVarId(3));
+  }
+  EXPECT_NEAR(total, expect, 1e-9);
+}
+
+TEST(BayesNet, SumMutualInformationEmptyParentsIsZero) {
+  Dataset data = MakeToyDataset(FourBinary(), 500, 4, 0.5);
+  BayesNet net;
+  for (int a = 0; a < 4; ++a) net.Add(APPair{a, {}});
+  EXPECT_DOUBLE_EQ(SumMutualInformation(data, net), 0.0);
+}
+
+TEST(BayesNet, SumMutualInformationMonotoneInParents) {
+  // I(X; Π) <= I(X; Π′) for Π ⊆ Π′ — the monotonicity §5.2 relies on.
+  Dataset data = MakeToyDataset(FourBinary(), 3000, 5, 0.8);
+  BayesNet small, large;
+  small.Add(APPair{0, {}});
+  small.Add(APPair{1, {}});
+  small.Add(APPair{2, {{0, 0}}});
+  large.Add(APPair{0, {}});
+  large.Add(APPair{1, {}});
+  large.Add(APPair{2, {{0, 0}, {1, 0}}});
+  EXPECT_LE(SumMutualInformation(data, small),
+            SumMutualInformation(data, large) + 1e-9);
+}
+
+}  // namespace
+}  // namespace privbayes

@@ -1,0 +1,170 @@
+// Tests for common/: Rng determinism and distribution sanity, env knobs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/env.h"
+#include "common/random.h"
+
+namespace privbayes {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.Uniform(-3, 5);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.UniformInt(10)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, 500);
+  }
+}
+
+TEST(Rng, LaplaceMeanAndScale) {
+  Rng rng(11);
+  const int kDraws = 200000;
+  double scale = 2.5;
+  double sum = 0, abs_sum = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.Laplace(scale);
+    sum += x;
+    abs_sum += std::abs(x);
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);          // mean 0
+  EXPECT_NEAR(abs_sum / kDraws, scale, 0.05);    // E|X| = b
+}
+
+TEST(Rng, LaplaceZeroScaleIsNoiseless) {
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Laplace(0.0), 0.0);
+    EXPECT_EQ(rng.Laplace(-1.0), 0.0);
+  }
+}
+
+TEST(Rng, GumbelMeanIsEulerGamma) {
+  Rng rng(13);
+  const int kDraws = 200000;
+  double sum = 0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Gumbel();
+  EXPECT_NEAR(sum / kDraws, 0.5772, 0.02);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng(14);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.Discrete(w)]++;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / double(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / double(kDraws), 0.6, 0.01);
+}
+
+TEST(Rng, LogDiscretePrefersLargerLogits) {
+  Rng rng(15);
+  std::vector<double> logits = {0.0, 2.0};  // odds e^2 ≈ 7.39 : 1
+  int second = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.LogDiscrete(logits) == 1) ++second;
+  }
+  double p = std::exp(2.0) / (1.0 + std::exp(2.0));
+  EXPECT_NEAR(second / double(kDraws), p, 0.01);
+}
+
+TEST(Rng, LogDiscreteHandlesVeryNegativeLogits) {
+  Rng rng(16);
+  std::vector<double> logits = {-1e9, -1e9 + 1, -1e9};
+  // Must not crash or return out-of-range; middle should win most often.
+  int mid = 0;
+  for (int i = 0; i < 1000; ++i) {
+    size_t pick = rng.LogDiscrete(logits);
+    ASSERT_LT(pick, logits.size());
+    if (pick == 1) ++mid;
+  }
+  EXPECT_GT(mid, 500);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.Fork();
+  // Streams should differ.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix, DeriveSeedIsStable) {
+  EXPECT_EQ(DeriveSeed(1, 2), DeriveSeed(1, 2));
+  EXPECT_NE(DeriveSeed(1, 2), DeriveSeed(1, 3));
+  EXPECT_NE(DeriveSeed(1, 2), DeriveSeed(2, 2));
+}
+
+TEST(Env, IntAndDoubleAndFlag) {
+  ::setenv("PB_TEST_INT", "42", 1);
+  ::setenv("PB_TEST_DBL", "2.5", 1);
+  ::setenv("PB_TEST_FLAG", "1", 1);
+  ::setenv("PB_TEST_EMPTY", "", 1);
+  EXPECT_EQ(EnvInt("PB_TEST_INT", 7), 42);
+  EXPECT_EQ(EnvInt("PB_TEST_MISSING", 7), 7);
+  EXPECT_DOUBLE_EQ(EnvDouble("PB_TEST_DBL", 1.0), 2.5);
+  EXPECT_TRUE(EnvFlag("PB_TEST_FLAG"));
+  EXPECT_FALSE(EnvFlag("PB_TEST_EMPTY"));
+  EXPECT_FALSE(EnvFlag("PB_TEST_MISSING"));
+  ::setenv("PB_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(EnvFlag("PB_TEST_FLAG"));
+}
+
+TEST(Env, GarbageFallsBackToDefault) {
+  ::setenv("PB_TEST_GARBAGE", "abc", 1);
+  EXPECT_EQ(EnvInt("PB_TEST_GARBAGE", 5), 5);
+  EXPECT_DOUBLE_EQ(EnvDouble("PB_TEST_GARBAGE", 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace privbayes

@@ -1,0 +1,127 @@
+// Tests for dp/: Laplace mechanism scale, exponential mechanism sampling
+// distribution, budget accountant, noiseless ablation paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/budget.h"
+#include "dp/mechanisms.h"
+
+namespace privbayes {
+namespace {
+
+TEST(LaplaceMechanism, ScaleIsSensitivityOverEpsilon) {
+  LaplaceMechanism m(0.5, 0.1);
+  EXPECT_DOUBLE_EQ(m.scale(), 5.0);
+  LaplaceMechanism noiseless(0.5, 0.0);
+  EXPECT_DOUBLE_EQ(noiseless.scale(), 0.0);
+  EXPECT_THROW(LaplaceMechanism(-1, 0.1), std::invalid_argument);
+}
+
+TEST(LaplaceMechanism, EmpiricalNoiseMagnitude) {
+  LaplaceMechanism m(2.0, 1.0);  // scale 2
+  Rng rng(1);
+  std::vector<double> v(200000, 0.0);
+  m.Apply(v, rng);
+  double abs_mean = 0;
+  for (double x : v) abs_mean += std::abs(x);
+  abs_mean /= v.size();
+  EXPECT_NEAR(abs_mean, 2.0, 0.05);
+}
+
+TEST(LaplaceMechanism, NoiselessLeavesValuesAndBudget) {
+  LaplaceMechanism m(1.0, 0.0);
+  Rng rng(2);
+  BudgetAccountant acct(1.0);
+  std::vector<double> v = {1, 2, 3};
+  m.Apply(v, rng, &acct);
+  EXPECT_EQ(v, (std::vector<double>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(acct.spent(), 0.0);
+}
+
+TEST(LaplaceMechanism, ChargesAccountant) {
+  LaplaceMechanism m(1.0, 0.25);
+  Rng rng(3);
+  BudgetAccountant acct(1.0);
+  std::vector<double> v = {0.0};
+  m.Apply(v, rng, &acct);
+  m.Apply(v, rng, &acct);
+  EXPECT_DOUBLE_EQ(acct.spent(), 0.5);
+  EXPECT_EQ(acct.charges().size(), 2u);
+}
+
+TEST(ExponentialMechanism, NoiselessIsArgmax) {
+  ExponentialMechanism em(1.0, 0.0);
+  Rng rng(4);
+  std::vector<double> scores = {0.1, 0.9, 0.5};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(em.Select(scores, rng), 1u);
+}
+
+TEST(ExponentialMechanism, SamplingMatchesTheory) {
+  // With sensitivity S and budget ε, P(i) ∝ exp(ε·s_i/(2S)).
+  double sensitivity = 1.0, epsilon = 2.0;
+  ExponentialMechanism em(sensitivity, epsilon);
+  Rng rng(5);
+  std::vector<double> scores = {0.0, 1.0};
+  int ones = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ones += (em.Select(scores, rng) == 1);
+  double w1 = std::exp(epsilon * 1.0 / (2 * sensitivity));
+  double expect = w1 / (1 + w1);
+  EXPECT_NEAR(ones / double(kDraws), expect, 0.01);
+}
+
+TEST(ExponentialMechanism, LowEpsilonIsNearUniform) {
+  ExponentialMechanism em(1.0, 1e-6);
+  Rng rng(6);
+  std::vector<double> scores = {0.0, 0.5, 1.0};
+  std::vector<int> counts(3, 0);
+  const int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) counts[em.Select(scores, rng)]++;
+  for (int c : counts) EXPECT_NEAR(c / double(kDraws), 1.0 / 3, 0.02);
+}
+
+TEST(ExponentialMechanism, EmptyCandidatesThrow) {
+  ExponentialMechanism em(1.0, 1.0);
+  Rng rng(7);
+  std::vector<double> empty;
+  EXPECT_THROW(em.Select(empty, rng), std::invalid_argument);
+}
+
+TEST(ExponentialMechanism, ChargesAccountantOncePerInvocation) {
+  ExponentialMechanism em(1.0, 0.125);
+  Rng rng(8);
+  BudgetAccountant acct(1.0);
+  std::vector<double> scores = {1.0, 2.0};
+  for (int i = 0; i < 4; ++i) em.Select(scores, rng, &acct);
+  EXPECT_DOUBLE_EQ(acct.spent(), 0.5);
+}
+
+TEST(BudgetAccountant, TracksAndBounds) {
+  BudgetAccountant acct(1.0);
+  EXPECT_DOUBLE_EQ(acct.total(), 1.0);
+  acct.Charge(0.4);
+  EXPECT_DOUBLE_EQ(acct.spent(), 0.4);
+  EXPECT_DOUBLE_EQ(acct.remaining(), 0.6);
+  acct.Charge(0.6);
+  EXPECT_NEAR(acct.remaining(), 0.0, 1e-12);
+  EXPECT_THROW(BudgetAccountant(-1), std::invalid_argument);
+}
+
+TEST(BudgetAccountant, OverrunAborts) {
+  BudgetAccountant acct(0.5);
+  acct.Charge(0.5);
+  EXPECT_DEATH(acct.Charge(0.1), "budget overrun");
+}
+
+TEST(BudgetAccountant, ToleratesFloatAccumulation) {
+  // 10 charges of ε/10 must not trip the cap on rounding error.
+  BudgetAccountant acct(0.1);
+  for (int i = 0; i < 10; ++i) acct.Charge(0.1 / 10);
+  EXPECT_NEAR(acct.spent(), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace privbayes

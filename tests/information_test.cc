@@ -1,0 +1,162 @@
+// Tests for prob/information: entropy, mutual information, KL divergence,
+// independent products — against hand-computed values and invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "prob/information.h"
+
+namespace privbayes {
+namespace {
+
+ProbTable UniformJoint(int ca, int cb) {
+  ProbTable t({1, 2}, {ca, cb});
+  t.Fill(1.0 / (ca * cb));
+  return t;
+}
+
+TEST(Entropy, KnownValues) {
+  ProbTable fair({1}, {2});
+  fair.Fill(0.5);
+  EXPECT_NEAR(Entropy(fair), 1.0, 1e-12);
+
+  ProbTable det({1}, {4});
+  det[2] = 1.0;
+  EXPECT_NEAR(Entropy(det), 0.0, 1e-12);
+
+  ProbTable quarter({1}, {4});
+  quarter.Fill(0.25);
+  EXPECT_NEAR(Entropy(quarter), 2.0, 1e-12);
+}
+
+TEST(Entropy, SkewedBinary) {
+  ProbTable t({1}, {2});
+  t[0] = 0.25;
+  t[1] = 0.75;
+  double expected = -(0.25 * std::log2(0.25) + 0.75 * std::log2(0.75));
+  EXPECT_NEAR(Entropy(t), expected, 1e-12);
+}
+
+TEST(MutualInformation, IndependentIsZero) {
+  ProbTable t = UniformJoint(2, 3);
+  EXPECT_NEAR(MutualInformation(t, 1), 0.0, 1e-12);
+}
+
+TEST(MutualInformation, PerfectlyCorrelatedBinary) {
+  ProbTable t({1, 2}, {2, 2});
+  std::vector<Value> a;
+  t[0] = 0.5;  // (0,0)
+  t[3] = 0.5;  // (1,1)
+  EXPECT_NEAR(MutualInformation(t, 1), 1.0, 1e-12);
+}
+
+TEST(MutualInformation, PaperLemma41Example) {
+  // The example after Lemma 4.1: left distribution has I = 0... the right
+  // one I = (1/n)log n + ((n−1)/n)log(n/(n−1)) with n tuples.
+  const int n = 100;
+  ProbTable t({1, 2}, {2, 2});
+  t[0] = 1.0 / n;             // (0,0)
+  t[3] = (n - 1.0) / n;       // (1,1)
+  double expected = std::log2(double(n)) / n +
+                    (n - 1.0) / n * std::log2(double(n) / (n - 1.0));
+  EXPECT_NEAR(MutualInformation(t, 1), expected, 1e-12);
+}
+
+TEST(MutualInformation, MaximumJointDistributionExample44) {
+  // Example 4.4: both distributions have I = 1 (dom(X)=2).
+  ProbTable a({1, 2}, {2, 3});
+  std::vector<Value> v;
+  a.values() = {0.5, 0, 0, 0, 0.5, 0};
+  EXPECT_NEAR(MutualInformation(a, 1), 1.0, 1e-12);
+  ProbTable b({1, 2}, {2, 3});
+  b.values() = {0, 0.2, 0.3, 0.5, 0, 0};
+  EXPECT_NEAR(MutualInformation(b, 1), 1.0, 1e-12);
+}
+
+TEST(MutualInformation, SymmetricInGroups) {
+  Rng rng(3);
+  ProbTable t({1, 2, 3}, {2, 3, 2});
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Uniform();
+  t.Normalize();
+  std::vector<int> a = {1};
+  std::vector<int> bc = {2, 3};
+  EXPECT_NEAR(MutualInformation(t, a), MutualInformation(t, bc), 1e-10);
+}
+
+TEST(MutualInformation, NonNegativeAndBoundedProperty) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    int ca = 2 + static_cast<int>(rng.UniformInt(3));
+    int cb = 2 + static_cast<int>(rng.UniformInt(4));
+    ProbTable t({1, 2}, {ca, cb});
+    for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Uniform();
+    t.Normalize();
+    double mi = MutualInformation(t, 1);
+    EXPECT_GE(mi, -1e-10);
+    EXPECT_LE(mi, std::log2(std::min(ca, cb)) + 1e-10);
+  }
+}
+
+TEST(MutualInformation, EmptyComplementIsZero) {
+  ProbTable t({1}, {4});
+  t.Fill(0.25);
+  EXPECT_DOUBLE_EQ(MutualInformation(t, 1), 0.0);
+}
+
+TEST(KL, IdenticalIsZeroAndDisjointIsInf) {
+  ProbTable p({1}, {3});
+  p.values() = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(KLDivergence(p, p), 0.0, 1e-12);
+  ProbTable q({1}, {3});
+  q.values() = {0.0, 0.5, 0.5};
+  EXPECT_TRUE(std::isinf(KLDivergence(p, q)));
+  // q covers p's support: finite.
+  ProbTable r({1}, {3});
+  r.values() = {0.1, 0.1, 0.8};
+  EXPECT_TRUE(std::isfinite(KLDivergence(p, r)));
+  EXPECT_GT(KLDivergence(p, r), 0.0);
+}
+
+TEST(KL, MismatchedShapesThrow) {
+  ProbTable p({1}, {3}), q({2}, {3});
+  EXPECT_THROW(KLDivergence(p, q), std::invalid_argument);
+}
+
+TEST(IndependentProduct, MatchesMarginalsAndKillsMI) {
+  Rng rng(9);
+  ProbTable t({1, 2}, {3, 4});
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Uniform();
+  t.Normalize();
+  std::vector<int> a = {1};
+  ProbTable indep = IndependentProduct(t, a);
+  EXPECT_NEAR(indep.Sum(), 1.0, 1e-10);
+  // Same marginals.
+  std::vector<int> va = {1}, vb = {2};
+  EXPECT_NEAR(
+      t.MarginalizeOnto(va).L1Distance(indep.MarginalizeOnto(va)), 0, 1e-10);
+  EXPECT_NEAR(
+      t.MarginalizeOnto(vb).L1Distance(indep.MarginalizeOnto(vb)), 0, 1e-10);
+  // Zero mutual information.
+  EXPECT_NEAR(MutualInformation(indep, 1), 0.0, 1e-10);
+}
+
+TEST(IndependentProduct, PinskerRelatesRandI) {
+  // R = ½‖P − P̄‖₁ <= sqrt(ln2/2 · I) (§5.3).
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(100 + seed);
+    ProbTable t({1, 2}, {2, 3});
+    for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Uniform();
+    t.Normalize();
+    std::vector<int> a = {1};
+    ProbTable indep = IndependentProduct(t, a);
+    double r = 0.5 * t.L1Distance(indep);
+    double mi = MutualInformation(t, 1);
+    EXPECT_LE(r, std::sqrt(0.5 * std::log(2.0) * mi) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace privbayes

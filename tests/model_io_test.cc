@@ -1,0 +1,137 @@
+// Tests for core/model_io: bit-exact round trips across encodings, sampling
+// equivalence of loaded models, and rejection of malformed input.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/inference.h"
+#include "core/model_io.h"
+#include "core/privbayes.h"
+#include "data/generators.h"
+
+namespace privbayes {
+namespace {
+
+PrivBayesModel FitSmall(EncodingKind encoding, uint64_t seed) {
+  Dataset data = MakeBr2000(seed, 900);
+  PrivBayesOptions opts;
+  opts.epsilon = 0.7;
+  opts.encoding = encoding;
+  opts.candidate_cap = 60;
+  PrivBayes pb(opts);
+  Rng rng(seed);
+  return pb.Fit(data, rng);
+}
+
+TEST(ModelIo, RoundTripAllEncodings) {
+  for (EncodingKind encoding :
+       {EncodingKind::kBinary, EncodingKind::kGray, EncodingKind::kVanilla,
+        EncodingKind::kHierarchical}) {
+    PrivBayesModel model = FitSmall(encoding, 3);
+    std::ostringstream out;
+    SaveModel(model, out);
+    std::istringstream in(out.str());
+    PrivBayesModel loaded = LoadModel(in);
+
+    EXPECT_EQ(loaded.encoding, model.encoding);
+    EXPECT_EQ(loaded.used_binary_algorithm, model.used_binary_algorithm);
+    EXPECT_EQ(loaded.degree_k, model.degree_k);
+    EXPECT_DOUBLE_EQ(loaded.epsilon1, model.epsilon1);
+    EXPECT_DOUBLE_EQ(loaded.epsilon2, model.epsilon2);
+    EXPECT_EQ(loaded.input_rows, model.input_rows);
+    EXPECT_EQ(loaded.network.pairs(), model.network.pairs());
+    ASSERT_EQ(loaded.conditionals.conditionals.size(),
+              model.conditionals.conditionals.size());
+    for (size_t i = 0; i < model.conditionals.conditionals.size(); ++i) {
+      const ProbTable& a = model.conditionals.conditionals[i];
+      const ProbTable& b = loaded.conditionals.conditionals[i];
+      ASSERT_EQ(a.vars(), b.vars());
+      ASSERT_EQ(a.cards(), b.cards());
+      // Hex-float encoding: bit-exact.
+      for (size_t c = 0; c < a.size(); ++c) {
+        ASSERT_EQ(a[c], b[c]) << EncodingName(encoding);
+      }
+    }
+    // Schema round trip including taxonomies.
+    ASSERT_EQ(loaded.original_schema.num_attrs(),
+              model.original_schema.num_attrs());
+    for (int a = 0; a < model.original_schema.num_attrs(); ++a) {
+      EXPECT_EQ(loaded.original_schema.attr(a).name,
+                model.original_schema.attr(a).name);
+      EXPECT_EQ(loaded.original_schema.attr(a).taxonomy.num_levels(),
+                model.original_schema.attr(a).taxonomy.num_levels());
+    }
+  }
+}
+
+TEST(ModelIo, LoadedModelSamplesIdentically) {
+  PrivBayesModel model = FitSmall(EncodingKind::kHierarchical, 5);
+  std::ostringstream out;
+  SaveModel(model, out);
+  std::istringstream in(out.str());
+  PrivBayesModel loaded = LoadModel(in);
+  Rng r1(77), r2(77);
+  Dataset a = SampleSyntheticData(model, 300, r1);
+  Dataset b = SampleSyntheticData(loaded, 300, r2);
+  for (int r = 0; r < 300; ++r) {
+    for (int c = 0; c < a.num_attrs(); ++c) {
+      ASSERT_EQ(a.at(r, c), b.at(r, c));
+    }
+  }
+}
+
+TEST(ModelIo, LoadedModelAnswersIdentically) {
+  PrivBayesModel model = FitSmall(EncodingKind::kBinary, 7);
+  std::ostringstream out;
+  SaveModel(model, out);
+  std::istringstream in(out.str());
+  PrivBayesModel loaded = LoadModel(in);
+  std::vector<int> attrs = {0, 3};
+  ProbTable pa = ModelMarginal(model, attrs);
+  ProbTable pb = ModelMarginal(loaded, attrs);
+  EXPECT_EQ(pa.values(), pb.values());
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  PrivBayesModel model = FitSmall(EncodingKind::kVanilla, 9);
+  std::string path = ::testing::TempDir() + "/pb_model_io_test.model";
+  SaveModelFile(model, path);
+  PrivBayesModel loaded = LoadModelFile(path);
+  EXPECT_EQ(loaded.network.pairs(), model.network.pairs());
+  EXPECT_THROW(LoadModelFile(path + ".missing"), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("garbage");
+    EXPECT_THROW(LoadModel(in), std::runtime_error);
+  }
+  PrivBayesModel model = FitSmall(EncodingKind::kHierarchical, 11);
+  std::ostringstream out;
+  SaveModel(model, out);
+  std::string text = out.str();
+  {
+    // Truncate mid-file.
+    std::istringstream in(text.substr(0, text.size() / 2));
+    EXPECT_THROW(LoadModel(in), std::runtime_error);
+  }
+  {
+    // Corrupt the encoding name.
+    std::string bad = text;
+    bad.replace(bad.find("Hierarchical"), 4, "XXXX");
+    std::istringstream in(bad);
+    EXPECT_THROW(LoadModel(in), std::runtime_error);
+  }
+  {
+    // Corrupt a probability cell into a non-number.
+    std::string bad = text;
+    size_t pos = bad.rfind("0x");
+    bad.replace(pos, 2, "zz");
+    std::istringstream in(bad);
+    EXPECT_THROW(LoadModel(in), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace privbayes

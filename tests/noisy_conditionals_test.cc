@@ -1,0 +1,184 @@
+// Tests for core/noisy_conditionals: Algorithm 1 (binary, zero-cost
+// derivation of the first k conditionals) and Algorithm 3 (general), budget
+// accounting and noiseless fidelity.
+
+#include <gtest/gtest.h>
+
+#include "bn/sampling.h"
+#include "core/noisy_conditionals.h"
+#include "core/private_greedy.h"
+#include "data/generators.h"
+
+namespace privbayes {
+namespace {
+
+BayesNet ChainNet(int d, int k) {
+  // Prefix-chain network of degree k over attributes 0..d−1 in order.
+  BayesNet net;
+  for (int i = 0; i < d; ++i) {
+    APPair p;
+    p.attr = i;
+    for (int j = std::max(0, i - k); j < i; ++j) {
+      p.parents.push_back(GenAttr{j, 0});
+    }
+    // For i <= k the parents are all previous attributes (chain property).
+    net.Add(std::move(p));
+  }
+  return net;
+}
+
+TEST(NoisyConditionalsBinary, ShapesAndNormalization) {
+  Dataset data = MakeNltcs(1, 1200);
+  int k = 2;
+  BayesNet net = ChainNet(data.num_attrs(), k);
+  Rng rng(1);
+  BudgetAccountant acct(0.7);
+  ConditionalSet cs = NoisyConditionalsBinary(data, net, k, 0.7, rng, &acct);
+  ASSERT_EQ(cs.conditionals.size(), static_cast<size_t>(data.num_attrs()));
+  for (int i = 0; i < net.size(); ++i) {
+    const ProbTable& t = cs.conditionals[i];
+    EXPECT_EQ(t.num_vars(), static_cast<int>(net.pair(i).parents.size()) + 1);
+    // Every parent slice sums to 1.
+    size_t child_card = 2;
+    for (size_t base = 0; base < t.size(); base += child_card) {
+      double sum = t[base] + t[base + 1];
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+  // Budget: d−k charges of ε2/(d−k); first k pairs derived for free.
+  EXPECT_EQ(acct.charges().size(), static_cast<size_t>(data.num_attrs() - k));
+  EXPECT_NEAR(acct.spent(), 0.7, 1e-9);
+}
+
+TEST(NoisyConditionalsBinary, NoiselessMatchesEmpiricalConditionals) {
+  Dataset data = MakeNltcs(2, 3000);
+  int k = 2;
+  BayesNet net = ChainNet(data.num_attrs(), k);
+  Rng rng(2);
+  ConditionalSet cs = NoisyConditionalsBinary(data, net, k, 0.0, rng, nullptr);
+  // Check one non-derived pair (i >= k) against direct empirical
+  // conditionals.
+  int i = k + 3;
+  const APPair& pair = net.pair(i);
+  std::vector<GenAttr> gattrs = pair.parents;
+  gattrs.push_back(GenAttr{pair.attr, 0});
+  ProbTable expect = data.JointCountsGeneralized(gattrs);
+  expect.Normalize();
+  expect.NormalizeSlicesOverLastVar();
+  EXPECT_NEAR(expect.L1Distance(cs.conditionals[i]), 0.0, 1e-9);
+}
+
+TEST(NoisyConditionalsBinary, DerivedPrefixConsistentWithChainJoint) {
+  // With zero noise, the derived Pr[X_i | Π_i] for i < k must equal the
+  // marginal conditionals of the (k+1)-pair joint — which with no noise is
+  // the empirical distribution itself.
+  Dataset data = MakeNltcs(3, 2500);
+  int k = 3;
+  BayesNet net = ChainNet(data.num_attrs(), k);
+  Rng rng(3);
+  ConditionalSet cs = NoisyConditionalsBinary(data, net, k, 0.0, rng, nullptr);
+  for (int i = 0; i < k; ++i) {
+    const APPair& pair = net.pair(i);
+    std::vector<GenAttr> gattrs = pair.parents;
+    gattrs.push_back(GenAttr{pair.attr, 0});
+    ProbTable expect = data.JointCountsGeneralized(gattrs);
+    expect.Normalize();
+    expect.NormalizeSlicesOverLastVar();
+    EXPECT_NEAR(expect.L1Distance(cs.conditionals[i]), 0.0, 1e-9) << i;
+  }
+}
+
+TEST(NoisyConditionalsBinary, KZeroNoisesAllMarginals) {
+  Dataset data = MakeNltcs(4, 800);
+  BayesNet net = ChainNet(data.num_attrs(), 0);
+  Rng rng(4);
+  BudgetAccountant acct(0.4);
+  ConditionalSet cs = NoisyConditionalsBinary(data, net, 0, 0.4, rng, &acct);
+  EXPECT_EQ(acct.charges().size(), static_cast<size_t>(data.num_attrs()));
+  EXPECT_EQ(cs.conditionals[0].num_vars(), 1);
+}
+
+TEST(NoisyConditionalsGeneral, GeneralizedParentsAndBudget) {
+  Dataset data = MakeAdult(5, 1500);
+  BayesNet net;
+  int age = data.schema().FindAttr("age");
+  int wc = data.schema().FindAttr("workclass");
+  int edu = data.schema().FindAttr("education");
+  net.Add(APPair{age, {}});
+  net.Add(APPair{wc, {GenAttr{age, 2}}});   // age generalized to level 2
+  net.Add(APPair{edu, {GenAttr{wc, 1}}});   // workclass at level 1
+  // Remaining attributes independent.
+  for (int a = 0; a < data.num_attrs(); ++a) {
+    if (!net.Contains(a)) net.Add(APPair{a, {}});
+  }
+  Rng rng(5);
+  BudgetAccountant acct(0.6);
+  ConditionalSet cs = NoisyConditionalsGeneral(data, net, 0.6, rng, &acct);
+  EXPECT_EQ(acct.charges().size(), static_cast<size_t>(data.num_attrs()));
+  EXPECT_NEAR(acct.spent(), 0.6, 1e-9);
+  // The workclass conditional's parent variable is age at level 2 (card 4).
+  const ProbTable& t = cs.conditionals[1];
+  EXPECT_EQ(t.vars()[0], GenVarId(GenAttr{age, 2}));
+  EXPECT_EQ(t.card(0), data.schema().CardinalityAt(age, 2));
+}
+
+TEST(NoisyConditionalsGeneral, NoiselessRoundTripsThroughSampling) {
+  // Fit noiseless conditionals on generated data, sample a large synthetic
+  // set, and verify a 2-way marginal is close to the original.
+  Dataset data = MakeBr2000(6, 4000);
+  BayesNet net;
+  for (int a = 0; a < data.num_attrs(); ++a) {
+    APPair p;
+    p.attr = a;
+    if (a > 0) p.parents.push_back(GenAttr{a - 1, 0});
+    net.Add(std::move(p));
+  }
+  Rng rng(6);
+  ConditionalSet cs = NoisyConditionalsGeneral(data, net, 0.0, rng, nullptr);
+  Dataset synth = SampleFromNetwork(data.schema(), net, cs, 30000, rng);
+  std::vector<int> attrs = {0, 1};
+  ProbTable real = data.JointCounts(attrs);
+  real.Normalize();
+  ProbTable fake = synth.JointCounts(attrs);
+  fake.Normalize();
+  EXPECT_LT(real.TotalVariationDistance(fake), 0.03);
+}
+
+TEST(NoisyConditionals, NoiseDecreasesWithEpsilon) {
+  Dataset data = MakeNltcs(7, 1500);
+  BayesNet net = ChainNet(data.num_attrs(), 1);
+  auto distortion = [&](double eps2, uint64_t seed) {
+    Rng rng(seed);
+    ConditionalSet noisy =
+        NoisyConditionalsBinary(data, net, 1, eps2, rng, nullptr);
+    Rng rng2(seed);
+    ConditionalSet clean =
+        NoisyConditionalsBinary(data, net, 1, 0.0, rng2, nullptr);
+    double total = 0;
+    for (size_t i = 0; i < noisy.conditionals.size(); ++i) {
+      total += noisy.conditionals[i].L1Distance(clean.conditionals[i]);
+    }
+    return total;
+  };
+  double lo = 0, hi = 0;
+  for (uint64_t s = 0; s < 5; ++s) {
+    lo += distortion(0.05, 100 + s);
+    hi += distortion(5.0, 200 + s);
+  }
+  EXPECT_GT(lo, hi);
+}
+
+TEST(NoisyConditionals, InvalidArgs) {
+  Dataset data = MakeNltcs(8, 300);
+  BayesNet net = ChainNet(data.num_attrs(), 1);
+  Rng rng(8);
+  EXPECT_THROW(
+      NoisyConditionalsBinary(data, net, -1, 0.5, rng, nullptr),
+      std::invalid_argument);
+  EXPECT_THROW(
+      NoisyConditionalsBinary(data, net, data.num_attrs(), 0.5, rng, nullptr),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privbayes

@@ -1,0 +1,196 @@
+// Tests for core/private_greedy: structural guarantees, budget charging,
+// noiseless-selection equivalence, quality ordering in ε.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/greedy_bayes.h"
+#include "core/maximal_parent_sets.h"
+#include "core/private_greedy.h"
+#include "core/theta_usefulness.h"
+#include "data/generators.h"
+
+namespace privbayes {
+namespace {
+
+TEST(PrivateGreedyBinary, StructureAndChainProperty) {
+  Dataset data = MakeNltcs(1, 1500);
+  PrivateGreedyOptions opts;
+  opts.score = ScoreKind::kR;
+  opts.epsilon1 = 0.3;
+  opts.fixed_k = 3;
+  opts.candidate_cap = 150;
+  Rng rng(1);
+  BudgetAccountant acct(0.3);
+  LearnedNetwork learned = LearnNetworkBinary(data, opts, rng, &acct);
+  EXPECT_EQ(learned.k, 3);
+  EXPECT_EQ(learned.net.size(), data.num_attrs());
+  EXPECT_LE(learned.net.degree(), 3);
+  // Chain property: pair i (0-based) for i <= k has parents {X_0..X_{i-1}}.
+  for (int i = 0; i <= 3; ++i) {
+    const APPair& p = learned.net.pair(i);
+    EXPECT_EQ(static_cast<int>(p.parents.size()), std::min(i, 3));
+    for (const GenAttr& g : p.parents) {
+      bool found = false;
+      for (int j = 0; j < i; ++j) found |= (learned.net.pair(j).attr == g.attr);
+      EXPECT_TRUE(found);
+    }
+  }
+  // Budget: d−1 charges of ε1/(d−1).
+  EXPECT_EQ(acct.charges().size(), static_cast<size_t>(data.num_attrs() - 1));
+  EXPECT_NEAR(acct.spent(), 0.3, 1e-9);
+}
+
+TEST(PrivateGreedyBinary, KZeroSkipsBudgetEntirely) {
+  Dataset data = MakeNltcs(2, 800);
+  PrivateGreedyOptions opts;
+  opts.epsilon1 = 0.5;
+  opts.fixed_k = 0;
+  Rng rng(2);
+  BudgetAccountant acct(0.5);
+  LearnedNetwork learned = LearnNetworkBinary(data, opts, rng, &acct);
+  EXPECT_EQ(learned.k, 0);
+  EXPECT_EQ(learned.net.degree(), 0);
+  EXPECT_DOUBLE_EQ(acct.spent(), 0.0);
+}
+
+TEST(PrivateGreedyBinary, ThetaDerivedKWhenUnset) {
+  Dataset data = MakeNltcs(3, 21574);
+  PrivateGreedyOptions opts;
+  opts.epsilon1 = 0.48;
+  opts.epsilon2_plan = 1.12;
+  opts.theta = 4.0;
+  opts.candidate_cap = 100;
+  Rng rng(3);
+  LearnedNetwork learned = LearnNetworkBinary(data, opts, rng, nullptr);
+  EXPECT_EQ(learned.k, 7);  // matches ChooseDegreeK(21574, 16, 1.12, 4)
+}
+
+TEST(PrivateGreedyBinary, NoiselessWithFullEnumerationEqualsNonPrivate) {
+  Dataset data = MakeNltcs(4, 600);
+  PrivateGreedyOptions opts;
+  opts.score = ScoreKind::kI;
+  opts.epsilon1 = 0.0;  // argmax selection
+  opts.fixed_k = 1;
+  opts.candidate_cap = 0;  // exact enumeration
+  opts.first_attr = 2;
+  Rng rng1(5);
+  LearnedNetwork learned = LearnNetworkBinary(data, opts, rng1, nullptr);
+
+  GreedyBayesOptions gopts;
+  gopts.k = 1;
+  gopts.first_attr = 2;
+  Rng rng2(6);
+  BayesNet reference = GreedyBayesNonPrivate(data, gopts, rng2);
+  ASSERT_EQ(learned.net.size(), reference.size());
+  for (int i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(learned.net.pair(i).attr, reference.pair(i).attr) << i;
+    EXPECT_EQ(learned.net.pair(i).parents, reference.pair(i).parents) << i;
+  }
+}
+
+TEST(PrivateGreedyBinary, RejectsNonBinarySchema) {
+  Dataset data = MakeAdult(5, 200);
+  PrivateGreedyOptions opts;
+  opts.fixed_k = 1;
+  Rng rng(7);
+  EXPECT_THROW(LearnNetworkBinary(data, opts, rng, nullptr),
+               std::invalid_argument);
+}
+
+TEST(PrivateGreedyGeneral, StructureRespectsTauAndBudget) {
+  Dataset data = MakeAdult(6, 3000);
+  PrivateGreedyOptions opts;
+  opts.score = ScoreKind::kR;
+  opts.epsilon1 = 0.24;
+  opts.epsilon2_plan = 0.56;
+  opts.theta = 4.0;
+  opts.candidate_cap = 120;
+  Rng rng(8);
+  BudgetAccountant acct(0.24);
+  LearnedNetwork learned = LearnNetworkGeneral(data, opts, rng, &acct);
+  EXPECT_EQ(learned.net.size(), data.num_attrs());
+  EXPECT_EQ(learned.k, -1);
+  EXPECT_NEAR(acct.spent(), 0.24, 1e-9);
+  // Every materialized joint respects the τ cap (θ-usefulness): parent
+  // domain <= τ(X) (when the parent set is non-empty).
+  const Schema& schema = data.schema();
+  for (const APPair& p : learned.net.pairs()) {
+    if (p.parents.empty()) continue;
+    double tau = ParentDomainCap(data.num_rows(), data.num_attrs(),
+                                 opts.epsilon2_plan, opts.theta,
+                                 schema.Cardinality(p.attr));
+    EXPECT_LE(GenDomainSize(schema, p.parents), tau + 1e-9)
+        << "attribute " << p.attr;
+  }
+  learned.net.ValidateAgainst(schema);
+}
+
+TEST(PrivateGreedyGeneral, RejectsScoreF) {
+  Dataset data = MakeAdult(9, 200);
+  PrivateGreedyOptions opts;
+  opts.score = ScoreKind::kF;
+  Rng rng(9);
+  EXPECT_THROW(LearnNetworkGeneral(data, opts, rng, nullptr),
+               std::invalid_argument);
+}
+
+TEST(PrivateGreedyGeneral, TinyTauYieldsIndependentNetwork) {
+  Dataset data = MakeAdult(10, 500);
+  PrivateGreedyOptions opts;
+  opts.score = ScoreKind::kR;
+  opts.epsilon1 = 0.1;
+  opts.epsilon2_plan = 1e-6;  // τ < 1 for every attribute
+  opts.theta = 4.0;
+  Rng rng(10);
+  LearnedNetwork learned = LearnNetworkGeneral(data, opts, rng, nullptr);
+  EXPECT_EQ(learned.net.degree(), 0);
+}
+
+// Network quality (Σ mutual information on the data) should, on average,
+// improve with ε1 — the Fig. 4 trend.
+TEST(PrivateGreedy, QualityImprovesWithEpsilon) {
+  Dataset data = MakeNltcs(11, 4000);
+  auto quality = [&](double eps1) {
+    double total = 0;
+    for (uint64_t s = 0; s < 5; ++s) {
+      PrivateGreedyOptions opts;
+      opts.score = ScoreKind::kF;
+      opts.epsilon1 = eps1;
+      opts.fixed_k = 2;
+      opts.candidate_cap = 150;
+      Rng rng(50 + s);
+      LearnedNetwork learned = LearnNetworkBinary(data, opts, rng, nullptr);
+      total += SumMutualInformation(data, learned.net);
+    }
+    return total / 5;
+  };
+  double lo = quality(0.01);
+  double hi = quality(100.0);
+  EXPECT_GT(hi, lo);
+}
+
+// With identical seeds, F should on average produce networks at least as
+// good as I under tight budgets (the paper's §4.3 motivation).
+TEST(PrivateGreedy, ScoreFBeatsIAtTightBudget) {
+  Dataset data = MakeNltcs(12, 8000);
+  auto quality = [&](ScoreKind score) {
+    double total = 0;
+    for (uint64_t s = 0; s < 6; ++s) {
+      PrivateGreedyOptions opts;
+      opts.score = score;
+      opts.epsilon1 = 0.02;
+      opts.fixed_k = 2;
+      opts.candidate_cap = 150;
+      Rng rng(80 + s);
+      LearnedNetwork learned = LearnNetworkBinary(data, opts, rng, nullptr);
+      total += SumMutualInformation(data, learned.net);
+    }
+    return total / 6;
+  };
+  EXPECT_GT(quality(ScoreKind::kF), quality(ScoreKind::kI) * 0.95);
+}
+
+}  // namespace
+}  // namespace privbayes

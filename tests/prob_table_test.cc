@@ -1,0 +1,201 @@
+// Tests for prob/prob_table: indexing, marginalization, normalization,
+// conditionals, distances — including parameterized shape sweeps.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "prob/prob_table.h"
+
+namespace privbayes {
+namespace {
+
+TEST(ProbTable, ScalarTable) {
+  ProbTable t;
+  EXPECT_EQ(t.num_vars(), 0);
+  EXPECT_EQ(t.size(), 1u);
+  t[0] = 3.0;
+  EXPECT_DOUBLE_EQ(t.Sum(), 3.0);
+}
+
+TEST(ProbTable, ConstructionValidation) {
+  EXPECT_THROW(ProbTable({1, 1}, {2, 2}), std::invalid_argument);  // dup var
+  EXPECT_THROW(ProbTable({1}, {0}), std::invalid_argument);        // card 0
+  EXPECT_THROW(ProbTable({1, 2}, {2}), std::invalid_argument);     // mismatch
+}
+
+TEST(ProbTable, RowMajorIndexing) {
+  ProbTable t({10, 20}, {3, 4});
+  // Last var has stride 1.
+  std::vector<Value> a = {2, 3};
+  EXPECT_EQ(t.FlatIndex(a), 2u * 4 + 3);
+  std::vector<Value> back(2);
+  t.AssignmentFromFlat(11, back);
+  EXPECT_EQ(back[0], 2);
+  EXPECT_EQ(back[1], 3);
+}
+
+TEST(ProbTable, FlatRoundTripAllCells) {
+  ProbTable t({1, 2, 3}, {2, 3, 4});
+  std::vector<Value> a(3);
+  for (size_t flat = 0; flat < t.size(); ++flat) {
+    t.AssignmentFromFlat(flat, a);
+    EXPECT_EQ(t.FlatIndex(a), flat);
+  }
+}
+
+TEST(ProbTable, FindVar) {
+  ProbTable t({5, 9}, {2, 2});
+  EXPECT_EQ(t.FindVar(5), 0);
+  EXPECT_EQ(t.FindVar(9), 1);
+  EXPECT_EQ(t.FindVar(7), -1);
+}
+
+TEST(ProbTable, SumFillClamp) {
+  ProbTable t({0}, {4});
+  t.Fill(0.25);
+  EXPECT_DOUBLE_EQ(t.Sum(), 1.0);
+  t[1] = -0.5;
+  t.ClampNegatives();
+  EXPECT_DOUBLE_EQ(t[1], 0.0);
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.75);
+}
+
+TEST(ProbTable, NormalizeRegularAndDegenerate) {
+  ProbTable t({0}, {4});
+  t[0] = 1;
+  t[1] = 3;
+  double pre = t.Normalize();
+  EXPECT_DOUBLE_EQ(pre, 4.0);
+  EXPECT_DOUBLE_EQ(t[0], 0.25);
+  EXPECT_DOUBLE_EQ(t[1], 0.75);
+  // All-zero collapses to uniform.
+  ProbTable z({0}, {4});
+  z.Normalize();
+  for (size_t i = 0; i < z.size(); ++i) EXPECT_DOUBLE_EQ(z[i], 0.25);
+}
+
+TEST(ProbTable, MarginalizePreservesMassAndOrder) {
+  ProbTable t({1, 2, 3}, {2, 3, 2});
+  Rng rng(3);
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Uniform();
+  double total = t.Sum();
+  std::vector<int> keep = {3, 1};  // reversed order on purpose
+  ProbTable m = t.MarginalizeOnto(keep);
+  EXPECT_EQ(m.vars(), keep);
+  EXPECT_EQ(m.cards(), (std::vector<int>{2, 2}));
+  EXPECT_NEAR(m.Sum(), total, 1e-12);
+  // Cross-check one cell by hand: m(x3=1, x1=0) = Σ_{x2} t(0, x2, 1).
+  double expect = 0;
+  for (Value x2 = 0; x2 < 3; ++x2) {
+    std::vector<Value> a = {0, x2, 1};
+    expect += t.At(a);
+  }
+  std::vector<Value> q = {1, 0};
+  EXPECT_NEAR(m.At(q), expect, 1e-12);
+}
+
+TEST(ProbTable, MarginalizeOntoAllVarsIsReorder) {
+  ProbTable t({1, 2}, {2, 3});
+  Rng rng(4);
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Uniform();
+  std::vector<int> order = {2, 1};
+  ProbTable m = t.MarginalizeOnto(order);
+  ProbTable r = t.Reorder(order);
+  EXPECT_NEAR(m.L1Distance(r), 0.0, 1e-12);
+}
+
+TEST(ProbTable, MarginalizeUnknownVarThrows) {
+  ProbTable t({1}, {2});
+  std::vector<int> bad = {9};
+  EXPECT_THROW(t.MarginalizeOnto(bad), std::invalid_argument);
+}
+
+TEST(ProbTable, NormalizeSlicesOverLastVar) {
+  // (parent card 2, child card 3).
+  ProbTable t({1, 2}, {2, 3});
+  // Parent 0 slice: 1,1,2 -> 0.25,0.25,0.5; parent 1 slice all zero ->
+  // uniform.
+  t[0] = 1;
+  t[1] = 1;
+  t[2] = 2;
+  t.NormalizeSlicesOverLastVar();
+  EXPECT_DOUBLE_EQ(t[0], 0.25);
+  EXPECT_DOUBLE_EQ(t[2], 0.5);
+  for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t[3 + j], 1.0 / 3);
+}
+
+TEST(ProbTable, ReorderRoundTrip) {
+  ProbTable t({1, 2, 3}, {2, 3, 4});
+  Rng rng(5);
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Uniform();
+  std::vector<int> order = {3, 1, 2};
+  ProbTable u = t.Reorder(order);
+  ProbTable back = u.Reorder(t.vars());
+  EXPECT_NEAR(t.L1Distance(back), 0.0, 1e-12);
+}
+
+TEST(ProbTable, DistancesAndValidation) {
+  ProbTable a({1}, {2}), b({1}, {2});
+  a[0] = 0.2;
+  a[1] = 0.8;
+  b[0] = 0.5;
+  b[1] = 0.5;
+  EXPECT_NEAR(a.L1Distance(b), 0.6, 1e-12);
+  EXPECT_NEAR(a.TotalVariationDistance(b), 0.3, 1e-12);
+  ProbTable c({2}, {2});
+  EXPECT_THROW(a.L1Distance(c), std::invalid_argument);
+}
+
+TEST(ProbTable, AddLaplaceNoiseChangesCells) {
+  ProbTable t({1}, {8});
+  t.Fill(1.0);
+  Rng rng(6);
+  t.AddLaplaceNoise(0.5, rng);
+  bool changed = false;
+  for (size_t i = 0; i < t.size(); ++i) changed |= (t[i] != 1.0);
+  EXPECT_TRUE(changed);
+  // scale <= 0: untouched.
+  ProbTable u({1}, {8});
+  u.Fill(1.0);
+  u.AddLaplaceNoise(0.0, rng);
+  for (size_t i = 0; i < u.size(); ++i) EXPECT_EQ(u[i], 1.0);
+}
+
+TEST(ProbTable, CheckedDomainSizeGuards) {
+  std::vector<int> cards = {1 << 10, 1 << 10, 1 << 10};
+  EXPECT_THROW(CheckedDomainSize(cards, size_t{1} << 29),
+               std::invalid_argument);
+  std::vector<int> ok = {16, 16};
+  EXPECT_EQ(CheckedDomainSize(ok, 1 << 20), 256u);
+}
+
+// Property sweep: marginalization is consistent for random shapes — the
+// marginal of a marginal equals the direct marginal.
+class MarginalConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarginalConsistency, TwoStepEqualsDirect) {
+  Rng rng(100 + GetParam());
+  int nv = 3 + static_cast<int>(rng.UniformInt(2));  // 3..4 vars
+  std::vector<int> vars(nv), cards(nv);
+  for (int i = 0; i < nv; ++i) {
+    vars[i] = i + 1;
+    cards[i] = 2 + static_cast<int>(rng.UniformInt(3));
+  }
+  ProbTable t(vars, cards);
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Uniform();
+  t.Normalize();
+  // Direct: marginal onto {v1}. Two-step: onto {v1, v2} then {v1}.
+  std::vector<int> one = {1}, two = {1, 2};
+  ProbTable direct = t.MarginalizeOnto(one);
+  ProbTable step = t.MarginalizeOnto(two).MarginalizeOnto(one);
+  EXPECT_NEAR(direct.L1Distance(step), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MarginalConsistency,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace privbayes

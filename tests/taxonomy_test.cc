@@ -1,0 +1,121 @@
+// Tests for data/taxonomy: flat trees, binary trees, custom chains.
+
+#include <gtest/gtest.h>
+
+#include "data/taxonomy.h"
+
+namespace privbayes {
+namespace {
+
+TEST(Taxonomy, FlatIsIdentity) {
+  TaxonomyTree t = TaxonomyTree::Flat(5);
+  EXPECT_EQ(t.num_levels(), 1);
+  EXPECT_TRUE(t.IsFlat());
+  EXPECT_EQ(t.CardinalityAt(0), 5);
+  for (Value v = 0; v < 5; ++v) EXPECT_EQ(t.Generalize(v, 0), v);
+}
+
+TEST(Taxonomy, BinaryTreePowerOfTwo) {
+  // Fig. 2: 8 age bins -> levels of cardinality 8, 4, 2 (root omitted).
+  TaxonomyTree t = TaxonomyTree::BinaryTree(8);
+  EXPECT_EQ(t.num_levels(), 3);
+  EXPECT_EQ(t.CardinalityAt(0), 8);
+  EXPECT_EQ(t.CardinalityAt(1), 4);
+  EXPECT_EQ(t.CardinalityAt(2), 2);
+  // (30,40] is bin 3; at level 1 it joins (20,40] = group 1; at level 2 it
+  // is in (0,40] = group 0.
+  EXPECT_EQ(t.Generalize(3, 1), 1);
+  EXPECT_EQ(t.Generalize(3, 2), 0);
+  EXPECT_EQ(t.Generalize(7, 2), 1);
+}
+
+TEST(Taxonomy, BinaryTreeSixteen) {
+  TaxonomyTree t = TaxonomyTree::BinaryTree(16);
+  EXPECT_EQ(t.num_levels(), 4);
+  EXPECT_EQ(t.CardinalityAt(3), 2);
+  EXPECT_EQ(t.Generalize(15, 3), 1);
+  EXPECT_EQ(t.Generalize(7, 3), 0);
+}
+
+TEST(Taxonomy, BinaryTreeNonPowerOfTwo) {
+  TaxonomyTree t = TaxonomyTree::BinaryTree(6);
+  // Levels: 6, 3, 2 (ceil(6/4) = 2).
+  EXPECT_EQ(t.num_levels(), 3);
+  EXPECT_EQ(t.CardinalityAt(1), 3);
+  EXPECT_EQ(t.CardinalityAt(2), 2);
+  EXPECT_EQ(t.Generalize(5, 1), 2);
+  EXPECT_EQ(t.Generalize(5, 2), 1);
+}
+
+TEST(Taxonomy, BinaryTreeOfTwoIsFlat) {
+  TaxonomyTree t = TaxonomyTree::BinaryTree(2);
+  EXPECT_EQ(t.num_levels(), 1);
+}
+
+TEST(Taxonomy, FromChainWorkclassExample) {
+  // Fig. 3: 8 workclass values -> {self-employed, government, private,
+  // unemployed}.
+  TaxonomyTree t =
+      TaxonomyTree::FromChain(8, {{0, 0, 1, 1, 1, 2, 3, 3}});
+  EXPECT_EQ(t.num_levels(), 2);
+  EXPECT_EQ(t.CardinalityAt(1), 4);
+  EXPECT_EQ(t.Generalize(0, 1), 0);
+  EXPECT_EQ(t.Generalize(4, 1), 1);
+  EXPECT_EQ(t.Generalize(5, 1), 2);
+  EXPECT_EQ(t.Generalize(7, 1), 3);
+}
+
+TEST(Taxonomy, FromChainTwoLevels) {
+  // country: 6 -> 3 regions -> 2 continents? (3 -> 2).
+  TaxonomyTree t = TaxonomyTree::FromChain(
+      6, {{0, 0, 1, 1, 2, 2}, {0, 0, 1}});
+  EXPECT_EQ(t.num_levels(), 3);
+  EXPECT_EQ(t.CardinalityAt(2), 2);
+  EXPECT_EQ(t.Generalize(3, 2), 0);
+  EXPECT_EQ(t.Generalize(5, 2), 1);
+}
+
+TEST(Taxonomy, FromChainValidation) {
+  // Non-shrinking level.
+  EXPECT_THROW(TaxonomyTree::FromChain(3, {{0, 1, 2}}),
+               std::invalid_argument);
+  // Gap in group ids (0 and 2 used, 1 missing -> next_card=3 not shrinking;
+  // use 4 leaves mapping to {0,2} only).
+  EXPECT_THROW(TaxonomyTree::FromChain(4, {{0, 0, 2, 2}}),
+               std::invalid_argument);
+  // Wrong map width.
+  EXPECT_THROW(TaxonomyTree::FromChain(4, {{0, 0, 1}}),
+               std::invalid_argument);
+}
+
+TEST(Taxonomy, OutOfRangeLevelThrows) {
+  TaxonomyTree t = TaxonomyTree::Flat(4);
+  EXPECT_THROW(t.CardinalityAt(1), std::invalid_argument);
+  EXPECT_THROW(t.CardinalityAt(-1), std::invalid_argument);
+  EXPECT_THROW(t.Generalize(0, 1), std::invalid_argument);
+}
+
+TEST(Taxonomy, EmptyTreeIsInvalid) {
+  TaxonomyTree t;
+  EXPECT_EQ(t.num_levels(), 0);
+  EXPECT_THROW(t.CardinalityAt(0), std::invalid_argument);
+}
+
+// Property: generalization maps are consistent across levels — if two leaves
+// share a group at level l, they share a group at every level above l.
+TEST(Taxonomy, GeneralizationIsMonotone) {
+  TaxonomyTree t = TaxonomyTree::FromChain(
+      8, {{0, 0, 1, 1, 2, 2, 3, 3}, {0, 0, 1, 1}});
+  for (int l = 0; l + 1 < t.num_levels(); ++l) {
+    for (Value a = 0; a < 8; ++a) {
+      for (Value b = 0; b < 8; ++b) {
+        if (t.Generalize(a, l) == t.Generalize(b, l)) {
+          EXPECT_EQ(t.Generalize(a, l + 1), t.Generalize(b, l + 1));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privbayes

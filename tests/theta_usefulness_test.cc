@@ -1,0 +1,98 @@
+// Tests for core/theta_usefulness: Lemma 4.8 usefulness, k selection and
+// the general-domain τ cap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/theta_usefulness.h"
+
+namespace privbayes {
+namespace {
+
+TEST(Usefulness, MatchesLemma48Formula) {
+  // usefulness = n·ε2 / ((d−k)·2^{k+2}).
+  EXPECT_NEAR(BinaryUsefulness(1000, 10, 2, 0.8),
+              1000 * 0.8 / ((10 - 2) * 16.0), 1e-12);
+  EXPECT_NEAR(BinaryUsefulness(21574, 16, 3, 0.7 * 1.6),
+              21574 * 1.12 / (13 * 32.0), 1e-12);
+}
+
+TEST(Usefulness, UnlimitedBudgetIsInfinite) {
+  EXPECT_TRUE(std::isinf(BinaryUsefulness(100, 5, 1, 0.0)));
+}
+
+TEST(Usefulness, Validation) {
+  EXPECT_THROW(BinaryUsefulness(0, 5, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW(BinaryUsefulness(10, 5, 5, 0.5), std::invalid_argument);
+  EXPECT_THROW(BinaryUsefulness(10, 5, -1, 0.5), std::invalid_argument);
+}
+
+TEST(ChooseK, LargestSatisfyingTheta) {
+  // NLTCS-like: n = 21574, d = 16, θ = 4. At ε2 = 1.12 (ε = 1.6, β = 0.3):
+  // (d−k)·2^{k+2} <= n·ε2/θ = 6040.7 → k = 7 works (9·512 = 4608), k = 8
+  // fails (8·1024 = 8192).
+  EXPECT_EQ(ChooseDegreeK(21574, 16, 1.12, 4.0), 7);
+  // Small budget drives k to 0.
+  EXPECT_EQ(ChooseDegreeK(21574, 16, 0.001, 4.0), 0);
+}
+
+TEST(ChooseK, MonotoneInEpsilon) {
+  int prev = 0;
+  for (double eps2 : {0.035, 0.07, 0.14, 0.28, 0.56, 1.12}) {
+    int k = ChooseDegreeK(21574, 16, eps2, 4.0);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+}
+
+TEST(ChooseK, MonotoneNonIncreasingInTheta) {
+  int prev = 15;
+  for (double theta : {0.5, 1.0, 2.0, 4.0, 8.0, 12.0}) {
+    int k = ChooseDegreeK(21574, 16, 0.56, theta);
+    EXPECT_LE(k, prev);
+    prev = k;
+  }
+}
+
+TEST(ChooseK, CappedAtDMinus1AndUnlimited) {
+  EXPECT_EQ(ChooseDegreeK(100000000, 4, 10.0, 0.5), 3);
+  EXPECT_EQ(ChooseDegreeK(100, 4, 0.0, 4.0), 3);  // unlimited budget
+}
+
+TEST(ChooseK, SelectedKIsActuallyUseful) {
+  for (double eps2 : {0.05, 0.2, 0.8}) {
+    int k = ChooseDegreeK(47461, 23, eps2, 4.0);
+    if (k > 0) {
+      EXPECT_GE(BinaryUsefulness(47461, 23, k, eps2), 4.0);
+    }
+    if (k + 1 <= 22) {
+      // Nothing larger works (allowing the non-monotone d−k tail).
+      for (int k2 = k + 1; k2 <= 22; ++k2) {
+        EXPECT_LT(BinaryUsefulness(47461, 23, k2, eps2), 4.0);
+      }
+    }
+  }
+}
+
+TEST(ParentCap, MatchesFormulaAndScalesInversely) {
+  // τ = n·ε2 / (2dθ|dom(X)|).
+  EXPECT_NEAR(ParentDomainCap(45222, 15, 0.7, 4.0, 16),
+              45222 * 0.7 / (2.0 * 15 * 4 * 16), 1e-9);
+  double t2 = ParentDomainCap(1000, 10, 0.5, 4.0, 2);
+  double t4 = ParentDomainCap(1000, 10, 0.5, 4.0, 4);
+  EXPECT_NEAR(t2, 2 * t4, 1e-12);
+}
+
+TEST(ParentCap, UnlimitedBudget) {
+  EXPECT_TRUE(std::isinf(ParentDomainCap(100, 5, 0.0, 4.0, 2)));
+}
+
+TEST(ParentCap, Validation) {
+  EXPECT_THROW(ParentDomainCap(100, 5, 0.5, 0.0, 2), std::invalid_argument);
+  EXPECT_THROW(ParentDomainCap(100, 5, 0.5, 4.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privbayes
