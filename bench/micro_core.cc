@@ -6,6 +6,7 @@
 
 #include "bn/sampling.h"
 #include "core/noisy_conditionals.h"
+#include "core/private_greedy.h"
 #include "core/score_functions.h"
 #include "data/generators.h"
 #include "dp/mechanisms.h"
@@ -25,6 +26,13 @@ std::vector<int> PairAttrs(int parents) {
   return attrs;
 }
 
+std::vector<pb::GenAttr> PairGenAttrs(int parents) {
+  std::vector<pb::GenAttr> gattrs;
+  for (int i = 0; i <= parents; ++i) gattrs.push_back(pb::GenAttr{i, 0});
+  return gattrs;
+}
+
+// Engine-dispatched counting (popcount kernel on all-binary NLTCS).
 void BM_JointCounts(benchmark::State& state) {
   const pb::Dataset& data = Nltcs();
   std::vector<int> attrs = PairAttrs(static_cast<int>(state.range(0)));
@@ -34,6 +42,71 @@ void BM_JointCounts(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * data.num_rows());
 }
 BENCHMARK(BM_JointCounts)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+// The seed's naive pass, kept callable for an in-build speedup baseline:
+// BM_JointCountsPacked / BM_JointCountsNaive at the same arg is the engine's
+// speedup on all-binary candidate sets.
+void BM_JointCountsNaive(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  std::vector<pb::GenAttr> gattrs =
+      PairGenAttrs(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.JointCountsGeneralizedNaive(gattrs));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_JointCountsNaive)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_JointCountsPacked(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  data.store();  // build the snapshot outside the timed region
+  std::vector<pb::GenAttr> gattrs =
+      PairGenAttrs(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.JointCountsGeneralized(gattrs));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_JointCountsPacked)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+// Generalized (taxonomy-level) counting on Adult: cached-column radix kernel
+// vs the naive per-row Generalize pass.
+const pb::Dataset& Adult() {
+  static const pb::Dataset* data = new pb::Dataset(pb::MakeAdult(1, 45222));
+  return *data;
+}
+
+std::vector<pb::GenAttr> AdultGeneralizedSet(int attrs) {
+  // One taxonomy level up on each attribute that has one.
+  std::vector<pb::GenAttr> gattrs;
+  const pb::Schema& schema = Adult().schema();
+  for (int a = 0; a < schema.num_attrs() && a < attrs; ++a) {
+    int level = schema.attr(a).taxonomy.num_levels() > 1 ? 1 : 0;
+    gattrs.push_back(pb::GenAttr{a, level});
+  }
+  return gattrs;
+}
+
+void BM_JointCountsGeneralizedNaive(benchmark::State& state) {
+  std::vector<pb::GenAttr> gattrs =
+      AdultGeneralizedSet(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Adult().JointCountsGeneralizedNaive(gattrs));
+  }
+  state.SetItemsProcessed(state.iterations() * Adult().num_rows());
+}
+BENCHMARK(BM_JointCountsGeneralizedNaive)->Arg(2)->Arg(4);
+
+void BM_JointCountsGeneralizedCached(benchmark::State& state) {
+  Adult().store();
+  std::vector<pb::GenAttr> gattrs =
+      AdultGeneralizedSet(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Adult().JointCountsGeneralized(gattrs));
+  }
+  state.SetItemsProcessed(state.iterations() * Adult().num_rows());
+}
+BENCHMARK(BM_JointCountsGeneralizedCached)->Arg(2)->Arg(4);
 
 void BM_ScoreI(benchmark::State& state) {
   const pb::Dataset& data = Nltcs();
@@ -110,6 +183,52 @@ void BM_AncestralSampling(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rows);
 }
 BENCHMARK(BM_AncestralSampling)->Arg(1000)->Arg(10000);
+
+// Alias-table sampling through a prebuilt NetworkSampler: the repeated-batch
+// (model-serving) path, with table compilation amortized away.
+void BM_AncestralSamplingAlias(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  pb::BayesNet net;
+  for (int i = 0; i < data.num_attrs(); ++i) {
+    pb::APPair p;
+    p.attr = i;
+    for (int j = std::max(0, i - 2); j < i; ++j) {
+      p.parents.push_back(pb::GenAttr{j, 0});
+    }
+    net.Add(std::move(p));
+  }
+  pb::Rng crng(3);
+  pb::ConditionalSet cs =
+      pb::NoisyConditionalsBinary(data, net, 2, 0.0, crng, nullptr);
+  pb::NetworkSampler sampler(data.schema(), net, cs);
+  pb::Rng rng(4);
+  const int rows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rows, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_AncestralSamplingAlias)->Arg(1000)->Arg(10000);
+
+// One full private-greedy structure learn on NLTCS: the end-to-end
+// candidate-scoring loop (enumerate, count, score, EM-select) the engine
+// exists for.
+void BM_GreedyIteration(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  data.store();
+  pb::PrivateGreedyOptions opts;
+  opts.score = pb::ScoreKind::kR;
+  opts.epsilon1 = 0.1;
+  opts.fixed_k = static_cast<int>(state.range(0));
+  opts.first_attr = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    pb::Rng rng(seed++);
+    benchmark::DoNotOptimize(pb::LearnNetworkBinary(data, opts, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_GreedyIteration)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 
 void BM_LaplaceNoiseVector(benchmark::State& state) {
   pb::Rng rng(5);

@@ -1,0 +1,53 @@
+#include "bn/alias_table.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const size_t k = weights.size();
+  PB_THROW_IF(k == 0, "alias table over empty support");
+  PB_THROW_IF(k > 65536, "alias table support exceeds Value range");
+  prob_.assign(k, 1.0);
+  alias_.resize(k);
+  for (size_t i = 0; i < k; ++i) alias_[i] = static_cast<Value>(i);
+
+  double sum = 0;
+  for (double w : weights) {
+    PB_THROW_IF(w < 0, "negative weight in alias table");
+    sum += w;
+  }
+  if (sum <= 0) return;  // uniform: every bucket accepts itself
+
+  // Vose's method: scale weights to mean 1, pair each under-full bucket with
+  // an over-full donor. Numerical leftovers keep their own index (prob 1).
+  std::vector<double> scaled(k);
+  for (size_t i = 0; i < k; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(k) / sum;
+  }
+  std::vector<size_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.back();
+    small.pop_back();
+    size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = static_cast<Value>(l);
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Whatever remains in either queue is within rounding error of 1.
+  for (size_t i : small) prob_[i] = 1.0;
+  for (size_t i : large) prob_[i] = 1.0;
+}
+
+}  // namespace privbayes

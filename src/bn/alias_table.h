@@ -1,0 +1,62 @@
+// Walker/Vose alias method for O(1) discrete sampling.
+//
+// Ancestral sampling draws one value per attribute per synthetic row from a
+// small conditional distribution. The seed scanned the CDF linearly — O(card)
+// per draw with an unpredictable exit branch. An AliasTable preprocesses a
+// weight vector in O(card) so every draw costs exactly one uniform, one
+// table lookup and one compare, independent of cardinality.
+//
+// Sampling uses the single-uniform variant: u·K selects the bucket and its
+// fractional part is the biased coin, so an alias draw consumes exactly one
+// Rng draw — the same number as the CDF scan it replaces.
+
+#ifndef PRIVBAYES_BN_ALIAS_TABLE_H_
+#define PRIVBAYES_BN_ALIAS_TABLE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "prob/prob_table.h"
+
+namespace privbayes {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights (need not be normalized).
+  /// A weight vector summing to <= 0 yields the uniform distribution — the
+  /// same convention as ProbTable::Normalize, so tables built from
+  /// noise-flattened conditional slices stay well defined.
+  explicit AliasTable(std::span<const double> weights);
+
+  int size() const { return static_cast<int>(prob_.size()); }
+
+  /// Draws an index with probability weight[i] / Σ weights. O(1). Works with
+  /// any generator exposing Uniform() -> double in [0, 1) (Rng, FastRng).
+  template <typename R>
+  Value Sample(R& rng) const {
+    double u = rng.Uniform() * static_cast<double>(prob_.size());
+    size_t bucket = static_cast<size_t>(u);
+    // Uniform() < 1 guarantees bucket < size, but guard the pathological
+    // rounding case where u*K rounds up to K.
+    if (bucket >= prob_.size()) bucket = prob_.size() - 1;
+    return (u - static_cast<double>(bucket)) < prob_[bucket]
+               ? static_cast<Value>(bucket)
+               : alias_[bucket];
+  }
+
+  /// Acceptance thresholds / fallback indices, bucket by bucket. Exposed so
+  /// NetworkSampler can flatten many small tables into contiguous arrays.
+  const std::vector<double>& probs() const { return prob_; }
+  const std::vector<Value>& aliases() const { return alias_; }
+
+ private:
+  std::vector<double> prob_;  // acceptance threshold of each bucket
+  std::vector<Value> alias_;  // fallback index of each bucket
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BN_ALIAS_TABLE_H_

@@ -1,12 +1,20 @@
 #include "bn/sampling.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace privbayes {
 
 namespace {
+
+// Rows per shard of a batch sampling / likelihood call. Fixed (not derived
+// from the thread count) so per-shard seeds land on the same rows no matter
+// how many threads run.
+constexpr int kSampleShardRows = 8192;
 
 // Validates table/pair agreement and returns the child's cardinality.
 int CheckPairTable(const Schema& schema, const APPair& pair,
@@ -25,9 +33,9 @@ int CheckPairTable(const Schema& schema, const APPair& pair,
 
 }  // namespace
 
-Dataset SampleFromNetwork(const Schema& schema, const BayesNet& net,
-                          const ConditionalSet& conditionals, int num_rows,
-                          Rng& rng) {
+NetworkSampler::NetworkSampler(const Schema& schema, const BayesNet& net,
+                               const ConditionalSet& conditionals)
+    : schema_(&schema) {
   PB_THROW_IF(net.size() != schema.num_attrs(),
               "network covers " << net.size() << " of " << schema.num_attrs()
                                 << " attributes");
@@ -35,66 +43,153 @@ Dataset SampleFromNetwork(const Schema& schema, const BayesNet& net,
                   static_cast<size_t>(net.size()),
               "conditional count mismatch");
   net.ValidateAgainst(schema);
-  for (int i = 0; i < net.size(); ++i) {
-    CheckPairTable(schema, net.pair(i), conditionals.conditionals[i]);
-  }
 
-  Dataset out(schema, num_rows);
-  std::vector<Value> row(schema.num_attrs(), 0);
-  std::vector<Value> assignment;
-  for (int r = 0; r < num_rows; ++r) {
-    for (int i = 0; i < net.size(); ++i) {
-      const APPair& pair = net.pair(i);
-      const ProbTable& table = conditionals.conditionals[i];
-      int child_card = schema.Cardinality(pair.attr);
-      assignment.resize(pair.parents.size() + 1);
-      for (size_t p = 0; p < pair.parents.size(); ++p) {
-        const GenAttr& g = pair.parents[p];
-        assignment[p] =
-            schema.attr(g.attr).taxonomy.Generalize(row[g.attr], g.level);
-      }
-      // The child is the last (stride-1) variable: the slice is contiguous.
-      assignment[pair.parents.size()] = 0;
-      size_t base = table.FlatIndex(assignment);
-      double u = rng.Uniform();
-      double acc = 0;
-      Value sampled = static_cast<Value>(child_card - 1);
-      for (int v = 0; v < child_card; ++v) {
-        acc += table[base + static_cast<size_t>(v)];
-        if (u < acc) {
-          sampled = static_cast<Value>(v);
-          break;
-        }
-      }
-      row[pair.attr] = sampled;
-      out.Set(r, pair.attr, sampled);
+  nodes_.resize(net.size());
+  for (int i = 0; i < net.size(); ++i) {
+    const APPair& pair = net.pair(i);
+    const ProbTable& table = conditionals.conditionals[i];
+    Node& node = nodes_[i];
+    node.attr = pair.attr;
+    node.child_card = CheckPairTable(schema, pair, table);
+    node.table = &table;
+
+    // Parent strides in units of child slices: the table is row-major with
+    // the child last (stride 1), so parent p's flat stride divided by the
+    // child cardinality is its slice stride.
+    const size_t num_parents = pair.parents.size();
+    node.parents.resize(num_parents);
+    size_t stride = 1;
+    for (size_t p = num_parents; p-- > 0;) {
+      const GenAttr& g = pair.parents[p];
+      ParentRef& ref = node.parents[p];
+      ref.attr = g.attr;
+      ref.stride = stride;
+      ref.leaf_map = g.level == 0
+                         ? nullptr
+                         : schema.attr(g.attr).taxonomy.LeafMapAt(g.level)
+                               .data();
+      stride *= static_cast<size_t>(table.card(static_cast<int>(p)));
+    }
+
+    node.alias_offset = alias_prob_.size();
+    const size_t num_slices =
+        table.size() / static_cast<size_t>(node.child_card);
+    const std::vector<double>& cells = table.values();
+    for (size_t s = 0; s < num_slices; ++s) {
+      AliasTable slice_table(std::span<const double>(
+          cells.data() + s * static_cast<size_t>(node.child_card),
+          static_cast<size_t>(node.child_card)));
+      alias_prob_.insert(alias_prob_.end(), slice_table.probs().begin(),
+                         slice_table.probs().end());
+      alias_value_.insert(alias_value_.end(), slice_table.aliases().begin(),
+                          slice_table.aliases().end());
     }
   }
-  return out;
+}
+
+void NetworkSampler::SampleRange(const std::vector<Value*>& cols, int begin,
+                                 int end, FastRng& rng) const {
+  const double* prob = alias_prob_.data();
+  const Value* alias = alias_value_.data();
+  for (int r = begin; r < end; ++r) {
+    for (const Node& node : nodes_) {
+      size_t slice = 0;
+      for (const ParentRef& p : node.parents) {
+        Value v = cols[p.attr][r];
+        slice += p.stride * (p.leaf_map ? p.leaf_map[v] : v);
+      }
+      const size_t card = static_cast<size_t>(node.child_card);
+      const size_t base = node.alias_offset + slice * card;
+      double u = rng.Uniform() * static_cast<double>(card);
+      size_t bucket = static_cast<size_t>(u);
+      if (bucket >= card) bucket = card - 1;
+      Value sampled = (u - static_cast<double>(bucket)) < prob[base + bucket]
+                          ? static_cast<Value>(bucket)
+                          : alias[base + bucket];
+      cols[node.attr][r] = sampled;
+    }
+  }
+}
+
+Dataset NetworkSampler::Sample(int num_rows, Rng& rng) const {
+  PB_THROW_IF(num_rows < 0, "negative row count");
+  const int d = schema_->num_attrs();
+  std::vector<std::vector<Value>> columns(
+      d, std::vector<Value>(static_cast<size_t>(num_rows)));
+  std::vector<Value*> cols(d);
+  for (int c = 0; c < d; ++c) cols[c] = columns[c].data();
+
+  // One seed drawn from the caller's stream, one derived Rng per fixed-size
+  // shard: the synthetic table is a pure function of the incoming Rng state,
+  // whether shards run on one thread or many.
+  const uint64_t base_seed = rng.engine()();
+  const int num_shards = (num_rows + kSampleShardRows - 1) / kSampleShardRows;
+  ParallelFor(
+      static_cast<size_t>(num_shards),
+      [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          FastRng shard_rng(DeriveSeed(base_seed, s));
+          int row_begin = static_cast<int>(s) * kSampleShardRows;
+          int row_end = std::min(num_rows, row_begin + kSampleShardRows);
+          SampleRange(cols, row_begin, row_end, shard_rng);
+        }
+      },
+      /*min_per_thread=*/1);
+  return Dataset::FromColumns(*schema_, std::move(columns));
+}
+
+double NetworkSampler::LogLikelihood(const Dataset& data,
+                                     double floor_prob) const {
+  PB_THROW_IF(data.num_attrs() != schema_->num_attrs(),
+              "network/schema mismatch");
+  const int n = data.num_rows();
+  const int d = data.num_attrs();
+  std::vector<const Value*> cols(d);
+  for (int c = 0; c < d; ++c) cols[c] = data.column(c).data();
+
+  const int num_shards = (n + kSampleShardRows - 1) / kSampleShardRows;
+  std::vector<double> partial(std::max(num_shards, 1), 0.0);
+  ParallelFor(
+      static_cast<size_t>(num_shards),
+      [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          int row_begin = static_cast<int>(s) * kSampleShardRows;
+          int row_end = std::min(n, row_begin + kSampleShardRows);
+          double total = 0;
+          for (int r = row_begin; r < row_end; ++r) {
+            for (const Node& node : nodes_) {
+              size_t slice = 0;
+              for (const ParentRef& p : node.parents) {
+                Value v = cols[p.attr][r];
+                slice += p.stride * (p.leaf_map ? p.leaf_map[v] : v);
+              }
+              double prob =
+                  (*node.table)[slice * static_cast<size_t>(node.child_card) +
+                                cols[node.attr][r]];
+              total += std::log2(std::max(prob, floor_prob));
+            }
+          }
+          partial[s] = total;
+        }
+      },
+      /*min_per_thread=*/1);
+  // Summed in shard order: bit-identical across thread counts.
+  double total = 0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+Dataset SampleFromNetwork(const Schema& schema, const BayesNet& net,
+                          const ConditionalSet& conditionals, int num_rows,
+                          Rng& rng) {
+  return NetworkSampler(schema, net, conditionals).Sample(num_rows, rng);
 }
 
 double LogLikelihood(const Dataset& data, const BayesNet& net,
                      const ConditionalSet& conditionals, double floor_prob) {
   PB_THROW_IF(net.size() != data.num_attrs(), "network/schema mismatch");
-  const Schema& schema = data.schema();
-  double total = 0;
-  std::vector<Value> assignment;
-  for (int r = 0; r < data.num_rows(); ++r) {
-    for (int i = 0; i < net.size(); ++i) {
-      const APPair& pair = net.pair(i);
-      const ProbTable& table = conditionals.conditionals[i];
-      assignment.resize(pair.parents.size() + 1);
-      for (size_t p = 0; p < pair.parents.size(); ++p) {
-        const GenAttr& g = pair.parents[p];
-        assignment[p] = schema.attr(g.attr).taxonomy.Generalize(
-            data.at(r, g.attr), g.level);
-      }
-      assignment[pair.parents.size()] = data.at(r, pair.attr);
-      double p = table.At(assignment);
-      total += std::log2(std::max(p, floor_prob));
-    }
-  }
-  return total;
+  return NetworkSampler(data.schema(), net, conditionals)
+      .LogLikelihood(data, floor_prob);
 }
 
 }  // namespace privbayes

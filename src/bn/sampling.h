@@ -7,12 +7,23 @@
 // output scalability. Generalized parents are handled by generalizing the
 // already-sampled leaf value through the attribute's taxonomy before the
 // conditional-table lookup.
+//
+// NetworkSampler precompiles a (network, conditionals) pair once: it
+// validates the tables, resolves parent taxonomy maps and table strides, and
+// builds one Walker/Vose alias table per parent configuration, so each cell
+// of a synthetic row costs O(1) with no per-cell checks or variable-id
+// lookups. Rows are written straight into column vectors and adopted by
+// Dataset::FromColumns (one range check per column, not per cell); large
+// batches are row-sharded across the persistent thread pool with per-shard
+// deterministic seeds, so output is identical for a given Rng state
+// regardless of thread count.
 
 #ifndef PRIVBAYES_BN_SAMPLING_H_
 #define PRIVBAYES_BN_SAMPLING_H_
 
 #include <vector>
 
+#include "bn/alias_table.h"
 #include "bn/bayes_net.h"
 #include "common/random.h"
 #include "data/dataset.h"
@@ -28,8 +39,57 @@ struct ConditionalSet {
   std::vector<ProbTable> conditionals;
 };
 
+/// A compiled model: alias tables + resolved lookups for repeated sampling
+/// and likelihood evaluation. Holds pointers into `schema`, `net` and
+/// `conditionals`; all three must outlive the sampler.
+class NetworkSampler {
+ public:
+  /// Validates the conditionals against the network (same checks the seed's
+  /// SampleFromNetwork ran) and precomputes alias tables; throws
+  /// std::invalid_argument on any mismatch.
+  NetworkSampler(const Schema& schema, const BayesNet& net,
+                 const ConditionalSet& conditionals);
+
+  /// Samples `num_rows` rows ancestrally into a fresh Dataset.
+  Dataset Sample(int num_rows, Rng& rng) const;
+
+  /// log2-likelihood of `data` under the model, probability-zero cells
+  /// floored at `floor_prob`.
+  double LogLikelihood(const Dataset& data, double floor_prob = 1e-12) const;
+
+ private:
+  // One parent of one network node, resolved for O(1) lookup: the sampled
+  // leaf value of `attr` maps through `leaf_map` (null at level 0) and
+  // advances the slice index by `stride` slices.
+  struct ParentRef {
+    int attr = 0;
+    size_t stride = 0;
+    const Value* leaf_map = nullptr;
+  };
+  struct Node {
+    int attr = 0;
+    int child_card = 0;
+    std::vector<ParentRef> parents;
+    const ProbTable* table = nullptr;  // for LogLikelihood
+    size_t alias_offset = 0;  // flat index of slice 0, bucket 0
+  };
+
+  void SampleRange(const std::vector<Value*>& cols, int begin, int end,
+                   FastRng& rng) const;
+
+  const Schema* schema_;
+  std::vector<Node> nodes_;
+  // Alias tables of every conditional slice, flattened into two contiguous
+  // arrays (bucket b of slice s of node i lives at nodes_[i].alias_offset +
+  // s·child_card + b): one allocation to walk during sampling instead of one
+  // AliasTable object per parent configuration.
+  std::vector<double> alias_prob_;
+  std::vector<Value> alias_value_;
+};
+
 /// Samples `num_rows` rows ancestrally. Throws if the conditional tables do
-/// not match the network's pairs.
+/// not match the network's pairs. One-shot wrapper over NetworkSampler;
+/// build the sampler directly to amortize table compilation across batches.
 Dataset SampleFromNetwork(const Schema& schema, const BayesNet& net,
                           const ConditionalSet& conditionals, int num_rows,
                           Rng& rng);

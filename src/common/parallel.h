@@ -1,43 +1,29 @@
-// Minimal data-parallel helper used by candidate scoring.
+// Data-parallel helper used by candidate scoring, row-sharded counting and
+// batch sampling.
 //
-// Scoring AP candidates (one empirical joint per candidate) is embarrassingly
-// parallel and read-only over the dataset, so a simple blocked ParallelFor is
-// all the library needs. Determinism: work is partitioned by index, not by
-// scheduling, and scoring itself uses no RNG, so results are identical across
-// thread counts.
+// ParallelFor is a thin templated front end over the persistent
+// ThreadPool::Global() — no thread spawn per call, no std::function
+// indirection (the callable is passed through a raw trampoline pointer).
+// Determinism: work is partitioned by index, not by scheduling, so any
+// result written at its own index is identical across thread counts. Nested
+// calls (a ParallelFor issued from inside another's body) run inline.
 
 #ifndef PRIVBAYES_COMMON_PARALLEL_H_
 #define PRIVBAYES_COMMON_PARALLEL_H_
 
-#include <algorithm>
-#include <functional>
-#include <thread>
-#include <vector>
+#include <cstddef>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace privbayes {
 
-/// Runs fn(begin, end) over a partition of [0, n) across worker threads.
+/// Runs fn(begin, end) over a partition of [0, n) across the global pool.
 /// Falls back to a single inline call for small n. `fn` must be safe to call
 /// concurrently on disjoint ranges.
-inline void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
-                        size_t min_per_thread = 64) {
-  if (n == 0) return;
-  size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
-  size_t threads = std::min(hw, n / std::max<size_t>(1, min_per_thread));
-  if (threads <= 1) {
-    fn(0, n);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  size_t chunk = (n + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
-    size_t begin = t * chunk;
-    size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (std::thread& th : pool) th.join();
+template <typename Fn>
+inline void ParallelFor(size_t n, Fn&& fn, size_t min_per_thread = 64) {
+  ThreadPool::Global().ParallelFor(n, std::forward<Fn>(fn), min_per_thread);
 }
 
 }  // namespace privbayes

@@ -78,6 +78,40 @@ class Rng {
 /// SplitMix64 step; exposed for deriving per-task seeds from (seed, index).
 uint64_t SplitMix64(uint64_t x);
 
+/// xoshiro256++ — a small, statistically strong, non-cryptographic generator
+/// for bulk sampling inner loops, where mt19937_64's per-draw cost dominates
+/// (ancestral sampling draws one uniform per synthetic cell). Seeded via
+/// SplitMix64 so any 64-bit seed gives a well-mixed state; identical seeds
+/// produce identical streams on all platforms.
+class FastRng {
+ public:
+  explicit FastRng(uint64_t seed) {
+    for (uint64_t& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      word = SplitMix64(seed);
+    }
+  }
+
+  uint64_t Next() {
+    auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+    const uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_[4];
+};
+
 /// Stable way to derive a sub-seed from a base seed and a stream index.
 inline uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
   return SplitMix64(base ^ SplitMix64(stream + 0x9e3779b97f4a7c15ULL));

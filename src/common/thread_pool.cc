@@ -1,0 +1,116 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace privbayes {
+
+namespace {
+
+// True on a pool worker for its whole life, and on a caller thread while it
+// participates in a job it dispatched. Either way, parallel calls from such
+// a thread must run inline.
+thread_local bool t_in_parallel_region = false;
+
+size_t DefaultWorkerCount() {
+  if (const char* env = std::getenv("PRIVBAYES_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v) - 1;
+  }
+  size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  return hw - 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultWorkerCount());
+  return *pool;
+}
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+void ThreadPool::Run(size_t n, size_t chunk, RangeFn fn, void* ctx) {
+  if (n == 0) return;
+  if (workers_.empty() || InParallelRegion()) {
+    fn(ctx, 0, n);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  job_fn_ = fn;
+  job_ctx_ = ctx;
+  job_n_ = n;
+  job_chunk_ = std::max<size_t>(1, chunk);
+  cursor_.store(0, std::memory_order_relaxed);
+  busy_workers_ = workers_.size();
+  ++generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  // The caller pulls chunks alongside the workers. It is inside a parallel
+  // region for the duration: a nested Run from fn must execute inline, not
+  // re-enter run_mu_ (held by this very thread).
+  struct RegionGuard {
+    ~RegionGuard() { t_in_parallel_region = false; }
+  } region_guard;
+  t_in_parallel_region = true;
+  for (;;) {
+    size_t begin = cursor_.fetch_add(job_chunk_, std::memory_order_relaxed);
+    if (begin >= n) break;
+    fn(ctx, begin, std::min(n, begin + job_chunk_));
+  }
+
+  lock.lock();
+  done_cv_.wait(lock, [this] { return busy_workers_ == 0; });
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_parallel_region = true;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    RangeFn fn;
+    void* ctx;
+    size_t n, chunk;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = job_fn_;
+      ctx = job_ctx_;
+      n = job_n_;
+      chunk = job_chunk_;
+    }
+    for (;;) {
+      size_t begin = cursor_.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      fn(ctx, begin, std::min(n, begin + chunk));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--busy_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace privbayes

@@ -1,0 +1,109 @@
+// Persistent blocked thread pool behind the library's data parallelism.
+//
+// The seed's ParallelFor spawned and joined raw std::threads on every call,
+// which put several microseconds of thread-creation latency in front of every
+// candidate-scoring round. This pool starts hardware_concurrency() − 1
+// workers once (the caller participates too) and hands them contiguous index
+// blocks through an atomic cursor — no work stealing, no std::function on the
+// hot path (calls go through a raw trampoline pointer), no allocation per
+// call. Determinism: work is partitioned by index, never by scheduling, so
+// any result written at its own index is identical across thread counts.
+//
+// Nested use is safe: a ParallelFor issued from inside another's body —
+// whether on a pool worker or on the caller thread participating in the
+// outer job — runs inline on that thread, so row-sharded counting can sit
+// underneath candidate-sharded scoring without oversubscription or
+// deadlock.
+
+#ifndef PRIVBAYES_COMMON_THREAD_POOL_H_
+#define PRIVBAYES_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace privbayes {
+
+class ThreadPool {
+ public:
+  /// Trampoline signature: fn(ctx, begin, end) over a half-open index range.
+  using RangeFn = void (*)(void* ctx, size_t begin, size_t end);
+
+  /// Starts `num_workers` background threads (0 = run everything inline).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads plus the participating caller.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// The process-wide pool, sized to the hardware (respects
+  /// PRIVBAYES_THREADS when set). Constructed on first use.
+  static ThreadPool& Global();
+
+  /// True when the calling thread is already executing parallel work — a
+  /// pool worker's job body, or the caller thread while it participates in a
+  /// Run it issued. Nested Run/ParallelFor calls check this and execute
+  /// inline, which both prevents oversubscription and keeps a nested call
+  /// from re-locking the pool's non-recursive job mutex (self-deadlock).
+  static bool InParallelRegion();
+
+  /// Runs fn(ctx, begin, end) over a blocked partition of [0, n): the range
+  /// is cut into chunks of `chunk` indices claimed through an atomic cursor
+  /// by the workers and the calling thread. Blocks until all of [0, n) is
+  /// processed. `fn` must be safe to call concurrently on disjoint ranges.
+  void Run(size_t n, size_t chunk, RangeFn fn, void* ctx);
+
+  /// Typed front end: invokes fn(begin, end) without std::function
+  /// indirection. Runs inline when n is small, the pool is empty, or the
+  /// caller is already a pool worker.
+  template <typename Fn>
+  void ParallelFor(size_t n, Fn&& fn, size_t min_per_thread = 64) {
+    if (n == 0) return;
+    size_t threads = num_threads();
+    if (threads <= 1 || n < 2 * min_per_thread || InParallelRegion()) {
+      fn(size_t{0}, n);
+      return;
+    }
+    size_t chunks = std::min(threads, n / min_per_thread);
+    size_t chunk = (n + chunks - 1) / chunks;
+    using F = std::remove_reference_t<Fn>;
+    Run(
+        n, chunk,
+        [](void* ctx, size_t begin, size_t end) {
+          (*static_cast<F*>(ctx))(begin, end);
+        },
+        const_cast<std::remove_const_t<F>*>(std::addressof(fn)));
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mu_;  // serializes outer Run callers; one job at a time
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a new job
+  std::condition_variable done_cv_;   // the caller waits here for completion
+  uint64_t generation_ = 0;           // bumped once per Run
+  bool shutdown_ = false;
+
+  // Current job (valid while busy_workers_ > 0 or cursor_ < job_n_).
+  RangeFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  size_t job_n_ = 0;
+  size_t job_chunk_ = 1;
+  std::atomic<size_t> cursor_{0};
+  size_t busy_workers_ = 0;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_COMMON_THREAD_POOL_H_

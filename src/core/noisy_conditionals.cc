@@ -11,6 +11,9 @@ namespace {
 
 // Materializes the noisy joint distribution of one AP pair: counts -> /n ->
 // + Laplace -> clamp -> normalize. `pair_epsilon` is this pair's budget.
+// Counting runs on the ColumnStore engine (row-sharded for large n); the
+// Laplace draws stay on the caller's single Rng stream so the released
+// distribution is reproducible from the seed alone.
 ProbTable NoisyJoint(const Dataset& data, const APPair& pair,
                      double pair_epsilon, Rng& rng, BudgetAccountant* acct) {
   std::vector<GenAttr> gattrs = pair.parents;

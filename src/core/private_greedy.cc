@@ -13,8 +13,11 @@ namespace privbayes {
 
 namespace {
 
-// Scores every candidate in parallel (scoring is deterministic and
-// read-only; only the subsequent EM draw consumes randomness).
+// Scores every candidate in parallel on the persistent thread pool (scoring
+// is deterministic and read-only; only the subsequent EM draw consumes
+// randomness). Each score needs one empirical joint, which runs on the
+// dataset's ColumnStore engine — popcount kernel on all-binary candidate
+// sets, cached-generalized radix kernel otherwise.
 std::vector<double> ScoreCandidates(const Dataset& data,
                                     const std::vector<APPair>& candidates,
                                     ScoreKind score, size_t f_max_states) {

@@ -1,0 +1,237 @@
+#include "data/column_store.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace privbayes {
+
+namespace {
+
+// All-binary candidate sets above this arity fall back to the radix kernel
+// (the popcount sweep's 2^k cells stop paying for themselves).
+constexpr int kMaxPackedAttrs = 8;
+
+// Row-sharded counting engages above this row count (below it, the shard
+// bookkeeping costs more than the pass) and only for histograms small
+// enough that per-shard partials stay cache-friendly.
+constexpr int kParallelMinRows = 1 << 15;
+constexpr size_t kParallelMaxCells = 1 << 20;
+
+// Reusable per-thread integer histogram: counting allocates nothing after
+// the first call on each thread.
+std::vector<int64_t>& ThreadScratch(size_t cells) {
+  thread_local std::vector<int64_t> scratch;
+  if (scratch.size() < cells) scratch.resize(cells);
+  std::memset(scratch.data(), 0, cells * sizeof(int64_t));
+  return scratch;
+}
+
+// Shared shard/merge scaffold of both kernels. Runs count_range(begin, end,
+// counts) over [0, units): sharded across the pool with per-shard partial
+// histograms merged in shard order when `want_parallel` holds and the
+// histogram is small enough (so counts stay bit-identical across thread
+// counts), else one serial pass into the reusable per-thread scratch.
+// Either way the integer histogram is added into `cells`.
+template <typename CountRangeFn>
+void ShardedAccumulate(size_t units, bool want_parallel,
+                       std::span<double> cells, CountRangeFn&& count_range) {
+  const size_t num_cells = cells.size();
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t shards = pool.num_threads();
+  if (want_parallel && shards > 1 && num_cells <= kParallelMaxCells &&
+      !ThreadPool::InParallelRegion()) {
+    std::vector<std::vector<int64_t>> partials(
+        shards, std::vector<int64_t>(num_cells, 0));
+    const size_t per_shard = (units + shards - 1) / shards;
+    pool.ParallelFor(
+        shards,
+        [&](size_t begin, size_t end) {
+          for (size_t s = begin; s < end; ++s) {
+            count_range(s * per_shard, std::min(units, (s + 1) * per_shard),
+                        partials[s].data());
+          }
+        },
+        /*min_per_thread=*/1);
+    for (const std::vector<int64_t>& partial : partials) {
+      for (size_t c = 0; c < num_cells; ++c) {
+        cells[c] += static_cast<double>(partial[c]);
+      }
+    }
+    return;
+  }
+
+  std::vector<int64_t>& scratch = ThreadScratch(num_cells);
+  count_range(0, units, scratch.data());
+  for (size_t c = 0; c < num_cells; ++c) {
+    cells[c] += static_cast<double>(scratch[c]);
+  }
+}
+
+// One column of the radix kernel: cached (generalized) values plus the
+// cardinality that scales the running index.
+struct ColRef {
+  const Value* col;
+  size_t card;
+};
+
+void RadixAccumulate(const ColRef* cols, int k, size_t begin, size_t end,
+                     int64_t* counts) {
+  for (size_t r = begin; r < end; ++r) {
+    size_t idx = cols[0].col[r];
+    for (int j = 1; j < k; ++j) idx = idx * cols[j].card + cols[j].col[r];
+    ++counts[idx];
+  }
+}
+
+// Expands `word` (the rows of this 64-row block matching the value prefix
+// over attrs [0, Depth)) over attribute Depth; adds popcounts at the leaves.
+// The recursion is over a compile-time depth, so each block compiles to a
+// straight tree of AND + popcount with no calls. Zero-subtree pruning is a
+// branch, so it is only emitted where the subtree is big enough to be worth
+// skipping AND the word is rarely zero (shallow depths) — deep levels run
+// branchless, since with ~64 rows spread over 2^K cells a "is this leaf
+// empty" branch is unpredictable and popcount(0) is free.
+template <int K, int Depth = 0>
+inline void CountBlockUnrolled(const uint64_t* const* bits, size_t block,
+                               uint64_t word, size_t idx, int64_t* counts) {
+  if constexpr (Depth + 3 < K) {
+    if (word == 0) return;
+  }
+  if constexpr (Depth == K) {
+    counts[idx] += std::popcount(word);
+  } else {
+    uint64_t b = bits[Depth][block];
+    CountBlockUnrolled<K, Depth + 1>(bits, block, word & ~b, idx * 2, counts);
+    CountBlockUnrolled<K, Depth + 1>(bits, block, word & b, idx * 2 + 1,
+                                     counts);
+  }
+}
+
+// Counts a whole block range for a compile-time arity, so the per-block tree
+// inlines into one loop body (no indirect call per 64 rows).
+template <int K>
+void CountRangeUnrolled(const uint64_t* const* bits, size_t block_begin,
+                        size_t block_end, size_t last_block,
+                        uint64_t tail_mask, int64_t* counts) {
+  for (size_t b = block_begin; b < block_end; ++b) {
+    uint64_t root = b == last_block ? tail_mask : ~uint64_t{0};
+    CountBlockUnrolled<K, 0>(bits, b, root, 0, counts);
+  }
+}
+
+using PackedRangeFn = void (*)(const uint64_t* const*, size_t, size_t, size_t,
+                               uint64_t, int64_t*);
+
+template <int... Ks>
+constexpr std::array<PackedRangeFn, sizeof...(Ks) + 1> MakePackedRangeTable(
+    std::integer_sequence<int, Ks...>) {
+  return {nullptr, &CountRangeUnrolled<Ks + 1>...};
+}
+
+// kPackedRange[k] counts a block range over k packed attributes.
+constexpr auto kPackedRange = MakePackedRangeTable(
+    std::make_integer_sequence<int, kMaxPackedAttrs>());
+
+}  // namespace
+
+ColumnStore::ColumnStore(const Schema& schema,
+                         const std::vector<std::vector<Value>>& columns,
+                         int num_rows)
+    : num_rows_(num_rows) {
+  const int d = schema.num_attrs();
+  PB_CHECK(static_cast<int>(columns.size()) == d);
+  raw_.resize(d);
+  packed_.resize(d);
+  gen_.resize(d);
+  cards_.resize(d);
+  const size_t n = static_cast<size_t>(num_rows);
+  const size_t words = (n + 63) / 64;
+  for (int a = 0; a < d; ++a) {
+    PB_CHECK(columns[a].size() == n);
+    raw_[a] = columns[a];
+    const TaxonomyTree& tax = schema.attr(a).taxonomy;
+    int levels = tax.num_levels();
+    cards_[a].resize(levels);
+    for (int l = 0; l < levels; ++l) cards_[a][l] = tax.CardinalityAt(l);
+    if (schema.Cardinality(a) == 2) {
+      packed_[a].assign(words, 0);
+      const Value* col = raw_[a].data();
+      for (size_t r = 0; r < n; ++r) {
+        packed_[a][r >> 6] |= static_cast<uint64_t>(col[r] & 1) << (r & 63);
+      }
+    }
+    gen_[a].resize(levels);
+    for (int l = 1; l < levels; ++l) {
+      const std::vector<Value>& leaf_map = tax.LeafMapAt(l);
+      gen_[a][l].resize(n);
+      const Value* col = raw_[a].data();
+      Value* out = gen_[a][l].data();
+      for (size_t r = 0; r < n; ++r) out[r] = leaf_map[col[r]];
+    }
+  }
+}
+
+void ColumnStore::AccumulateCounts(std::span<const GenAttr> gattrs,
+                                   std::span<double> cells) const {
+  const int k = static_cast<int>(gattrs.size());
+  PB_CHECK(k > 0);
+  size_t expect = 1;
+  bool all_packed = k <= kMaxPackedAttrs;
+  for (const GenAttr& g : gattrs) {
+    PB_CHECK(g.attr >= 0 && g.attr < static_cast<int>(raw_.size()));
+    PB_CHECK(g.level >= 0 && g.level < static_cast<int>(cards_[g.attr].size()));
+    expect *= static_cast<size_t>(cards_[g.attr][g.level]);
+    all_packed = all_packed && g.level == 0 && packed(g.attr);
+  }
+  PB_CHECK(expect == cells.size());
+  if (all_packed) {
+    CountPacked(gattrs, cells);
+  } else {
+    CountRadix(gattrs, cells);
+  }
+}
+
+void ColumnStore::CountPacked(std::span<const GenAttr> gattrs,
+                              std::span<double> cells) const {
+  const int k = static_cast<int>(gattrs.size());
+  const size_t n = static_cast<size_t>(num_rows_);
+  const size_t words = (n + 63) / 64;
+  const uint64_t* bits[kMaxPackedAttrs];
+  for (int j = 0; j < k; ++j) bits[j] = packed_[gattrs[j].attr].data();
+  // Bits past row n−1 are zero in every packed column, so the tail block's
+  // root mask must clear them too.
+  const uint64_t tail_mask =
+      (n & 63) == 0 ? ~uint64_t{0} : (uint64_t{1} << (n & 63)) - 1;
+
+  const PackedRangeFn range_fn = kPackedRange[k];
+  ShardedAccumulate(
+      words, num_rows_ >= kParallelMinRows, cells,
+      [&](size_t block_begin, size_t block_end, int64_t* counts) {
+        range_fn(bits, block_begin, block_end, words - 1, tail_mask, counts);
+      });
+}
+
+void ColumnStore::CountRadix(std::span<const GenAttr> gattrs,
+                             std::span<double> cells) const {
+  const int k = static_cast<int>(gattrs.size());
+  const size_t n = static_cast<size_t>(num_rows_);
+  std::vector<ColRef> cols(k);
+  for (int j = 0; j < k; ++j) {
+    cols[j].col = generalized(gattrs[j].attr, gattrs[j].level);
+    cols[j].card =
+        static_cast<size_t>(cards_[gattrs[j].attr][gattrs[j].level]);
+  }
+
+  ShardedAccumulate(n, num_rows_ >= kParallelMinRows, cells,
+                    [&](size_t begin, size_t end, int64_t* counts) {
+                      RadixAccumulate(cols.data(), k, begin, end, counts);
+                    });
+}
+
+}  // namespace privbayes

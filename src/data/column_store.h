@@ -1,0 +1,90 @@
+// Columnar counting engine behind Dataset::JointCountsGeneralized.
+//
+// The seed computed every empirical joint with a fresh O(n) scratch vector,
+// one full pass per attribute, and a virtual-ish taxonomy lookup (two
+// indirections plus a range check) per row per generalized attribute. Greedy
+// network construction scores O(d²·|candidates|) attribute–parent pairs, each
+// needing one such joint, so counting throughput bounds the whole build.
+//
+// A ColumnStore is an immutable snapshot of a dataset's columns materialized
+// once and reused by every counting call:
+//
+//   * binary attributes are bit-packed into 64-row words, and an all-binary
+//     candidate set is counted by a prefix-sharing AND+popcount sweep
+//     (zero-count subtrees are pruned, so the work per 64-row block is
+//     bounded by the rows present, not by 2^k);
+//   * every (attribute, taxonomy level) pair gets a cached generalized
+//     column, so Generalize() is never called inside a counting loop; mixed
+//     or generalized candidate sets use a single-pass radix accumulation
+//     over those cached columns;
+//   * per-thread reusable scratch buffers hold the integer histogram — no
+//     allocation on the counting path;
+//   * for large n the row range is sharded across the persistent ThreadPool
+//     with per-shard partial histograms merged in shard order, so counts are
+//     bit-identical across thread counts.
+//
+// Both kernels produce exactly the counts of the seed's naive pass (integer
+// accumulation; no floating-point reordering), a property the equivalence
+// tests lock in.
+
+#ifndef PRIVBAYES_DATA_COLUMN_STORE_H_
+#define PRIVBAYES_DATA_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/attribute.h"
+
+namespace privbayes {
+
+class ColumnStore {
+ public:
+  /// Snapshots `columns` (one vector per attribute, each `num_rows` long)
+  /// under `schema`: packs binary columns and materializes every generalized
+  /// level eagerly, so reads never synchronize.
+  ColumnStore(const Schema& schema,
+              const std::vector<std::vector<Value>>& columns, int num_rows);
+
+  int num_rows() const { return num_rows_; }
+
+  /// True when the attribute is bit-packed (cardinality 2).
+  bool packed(int attr) const { return !packed_[attr].empty(); }
+
+  /// Bit-packed words of a binary attribute: bit r of word r/64 is row r's
+  /// value. Rows past num_rows() are zero.
+  const std::vector<uint64_t>& packed_words(int attr) const {
+    return packed_[attr];
+  }
+
+  /// Pointer to the column of `attr` generalized to `level` (level 0 is the
+  /// raw column). Valid for the lifetime of the store.
+  const Value* generalized(int attr, int level) const {
+    return level == 0 ? raw_[attr].data() : gen_[attr][level].data();
+  }
+
+  /// Accumulates the empirical joint counts over `gattrs` into `cells`
+  /// (row-major over the generalized cardinalities, last attribute stride 1;
+  /// `cells` must be zero-filled by the caller and exactly the right size).
+  /// Dispatches to the popcount kernel for all-binary level-0 sets and to
+  /// the cached-column radix kernel otherwise.
+  void AccumulateCounts(std::span<const GenAttr> gattrs,
+                        std::span<double> cells) const;
+
+ private:
+  void CountPacked(std::span<const GenAttr> gattrs,
+                   std::span<double> cells) const;
+  void CountRadix(std::span<const GenAttr> gattrs,
+                  std::span<double> cells) const;
+
+  int num_rows_ = 0;
+  std::vector<std::vector<Value>> raw_;        // per attr, copied
+  std::vector<std::vector<uint64_t>> packed_;  // per attr; empty if not binary
+  // gen_[attr][level] for level >= 1; gen_[attr][0] is unused (see raw_).
+  std::vector<std::vector<std::vector<Value>>> gen_;
+  std::vector<std::vector<int>> cards_;  // cards_[attr][level]
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DATA_COLUMN_STORE_H_

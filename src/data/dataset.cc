@@ -17,11 +17,82 @@ Dataset::Dataset(Schema schema, int num_rows)
   columns_.assign(schema_.num_attrs(), std::vector<Value>(num_rows, 0));
 }
 
+Dataset::Dataset(const Dataset& other)
+    : schema_(other.schema_),
+      num_rows_(other.num_rows_),
+      columns_(other.columns_) {
+  std::lock_guard<std::mutex> lock(other.store_mu_);
+  store_ = other.store_;
+}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  num_rows_ = other.num_rows_;
+  columns_ = other.columns_;
+  std::shared_ptr<const ColumnStore> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.store_mu_);
+    theirs = other.store_;
+  }
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_ = std::move(theirs);
+  return *this;
+}
+
+Dataset::Dataset(Dataset&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      num_rows_(other.num_rows_),
+      columns_(std::move(other.columns_)) {
+  std::lock_guard<std::mutex> lock(other.store_mu_);
+  store_ = std::move(other.store_);
+}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  num_rows_ = other.num_rows_;
+  columns_ = std::move(other.columns_);
+  std::shared_ptr<const ColumnStore> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.store_mu_);
+    theirs = std::move(other.store_);
+  }
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_ = std::move(theirs);
+  return *this;
+}
+
+Dataset Dataset::FromColumns(Schema schema,
+                             std::vector<std::vector<Value>> columns) {
+  Dataset out(std::move(schema));
+  PB_THROW_IF(columns.size() != static_cast<size_t>(out.num_attrs()),
+              "column count " << columns.size() << " != " << out.num_attrs());
+  size_t n = columns.empty() ? 0 : columns[0].size();
+  for (int c = 0; c < out.num_attrs(); ++c) {
+    PB_THROW_IF(columns[c].size() != n,
+                "column '" << out.schema_.attr(c).name << "' has "
+                           << columns[c].size() << " rows, expected " << n);
+    // Compare as int: a cardinality of exactly 65536 is schema-legal but
+    // would wrap to 0 as a Value.
+    int card = out.schema_.Cardinality(c);
+    for (Value v : columns[c]) {
+      PB_THROW_IF(static_cast<int>(v) >= card,
+                  "value " << v << " out of domain for attribute '"
+                           << out.schema_.attr(c).name << "'");
+    }
+  }
+  out.columns_ = std::move(columns);
+  out.num_rows_ = static_cast<int>(n);
+  return out;
+}
+
 void Dataset::Set(int row, int col, Value v) {
   PB_CHECK_MSG(v < schema_.Cardinality(col),
                "value " << v << " out of domain for attribute '"
                         << schema_.attr(col).name << "'");
   columns_[col][row] = v;
+  InvalidateStore();
 }
 
 void Dataset::AppendRow(std::span<const Value> row) {
@@ -34,6 +105,20 @@ void Dataset::AppendRow(std::span<const Value> row) {
     columns_[c].push_back(row[c]);
   }
   ++num_rows_;
+  InvalidateStore();
+}
+
+void Dataset::InvalidateStore() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_.reset();
+}
+
+std::shared_ptr<const ColumnStore> Dataset::store() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (!store_) {
+    store_ = std::make_shared<const ColumnStore>(schema_, columns_, num_rows_);
+  }
+  return store_;
 }
 
 ProbTable Dataset::JointCounts(std::span<const int> attrs) const {
@@ -43,8 +128,7 @@ ProbTable Dataset::JointCounts(std::span<const int> attrs) const {
   return JointCountsGeneralized(gattrs);
 }
 
-ProbTable Dataset::JointCountsGeneralized(
-    std::span<const GenAttr> gattrs) const {
+ProbTable Dataset::MakeCountsTable(std::span<const GenAttr> gattrs) const {
   std::vector<int> vars, cards;
   vars.reserve(gattrs.size());
   cards.reserve(gattrs.size());
@@ -54,7 +138,23 @@ ProbTable Dataset::JointCountsGeneralized(
     vars.push_back(GenVarId(g));
     cards.push_back(schema_.CardinalityAt(g.attr, g.level));
   }
-  ProbTable counts(std::move(vars), std::move(cards));
+  return ProbTable(std::move(vars), std::move(cards));
+}
+
+ProbTable Dataset::JointCountsGeneralized(
+    std::span<const GenAttr> gattrs) const {
+  ProbTable counts = MakeCountsTable(gattrs);
+  if (gattrs.empty()) {
+    counts[0] = num_rows_;
+    return counts;
+  }
+  store()->AccumulateCounts(gattrs, counts.values());
+  return counts;
+}
+
+ProbTable Dataset::JointCountsGeneralizedNaive(
+    std::span<const GenAttr> gattrs) const {
+  ProbTable counts = MakeCountsTable(gattrs);
   if (gattrs.empty()) {
     counts[0] = num_rows_;
     return counts;
@@ -87,20 +187,24 @@ std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
   rng.Shuffle(order);
   int n_train = static_cast<int>(train_fraction * num_rows_);
   n_train = std::clamp(n_train, 1, num_rows_ - 1);
-  std::vector<int> train_rows(order.begin(), order.begin() + n_train);
-  std::vector<int> test_rows(order.begin() + n_train, order.end());
-  return {SelectRows(train_rows), SelectRows(test_rows)};
+  // Gather straight out of the shuffled order — no intermediate index copies.
+  std::span<const int> all(order);
+  return {SelectRows(all.first(n_train)), SelectRows(all.subspan(n_train))};
 }
 
 Dataset Dataset::SelectRows(std::span<const int> rows) const {
-  Dataset out(schema_, static_cast<int>(rows.size()));
+  // One bounds pass up front; the per-column gathers below are unchecked.
+  for (int r : rows) {
+    PB_THROW_IF(r < 0 || r >= num_rows_,
+                "row index " << r << " out of range [0, " << num_rows_ << ")");
+  }
+  Dataset out(schema_);
+  out.num_rows_ = static_cast<int>(rows.size());
   for (int c = 0; c < num_attrs(); ++c) {
-    const std::vector<Value>& src = columns_[c];
+    const Value* src = columns_[c].data();
     std::vector<Value>& dst = out.columns_[c];
-    for (size_t i = 0; i < rows.size(); ++i) {
-      PB_CHECK(rows[i] >= 0 && rows[i] < num_rows_);
-      dst[i] = src[rows[i]];
-    }
+    dst.reserve(rows.size());
+    for (int r : rows) dst.push_back(src[r]);
   }
   return out;
 }

@@ -2,17 +2,23 @@
 //
 // Rows are individuals; columns are attributes holding discrete Values in
 // [0, cardinality). Column-major storage makes joint-distribution counting —
-// the hot loop of network learning — cache-friendly.
+// the hot loop of network learning — cache-friendly. Counting itself runs on
+// a lazily built, mutation-invalidated ColumnStore snapshot (bit-packed
+// binary columns, cached generalized columns, row-sharded kernels); see
+// data/column_store.h.
 
 #ifndef PRIVBAYES_DATA_DATASET_H_
 #define PRIVBAYES_DATA_DATASET_H_
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "data/attribute.h"
+#include "data/column_store.h"
 #include "prob/prob_table.h"
 
 namespace privbayes {
@@ -28,6 +34,19 @@ class Dataset {
 
   /// Creates a zero-filled dataset with `num_rows` rows.
   Dataset(Schema schema, int num_rows);
+
+  // Copies share the immutable ColumnStore snapshot (if built); moves steal
+  // it. Hand-written because the store cache is guarded by a mutex.
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
+
+  /// Adopts whole columns (one vector per attribute, equal lengths) without
+  /// copying. Values are range-checked once per column — this is the entry
+  /// point for the sampler's columnar row writer.
+  static Dataset FromColumns(Schema schema,
+                             std::vector<std::vector<Value>> columns);
 
   const Schema& schema() const { return schema_; }
   int num_rows() const { return num_rows_; }
@@ -52,20 +71,42 @@ class Dataset {
 
   /// Empirical joint counts over generalized attributes: each GenAttr
   /// contributes its taxonomy-level-generalized value. Variable ids are
-  /// GenVarId(g). Used by the hierarchical algorithm (§5.2).
+  /// GenVarId(g). Used by the hierarchical algorithm (§5.2). Runs on the
+  /// ColumnStore engine (popcount kernel for all-binary sets, cached-column
+  /// radix kernel otherwise).
   ProbTable JointCountsGeneralized(std::span<const GenAttr> gattrs) const;
+
+  /// The seed's reference counting pass (O(n) scratch, per-row Generalize).
+  /// Kept for the equivalence tests and benchmarks; returns counts
+  /// bit-identical to JointCountsGeneralized.
+  ProbTable JointCountsGeneralizedNaive(std::span<const GenAttr> gattrs) const;
+
+  /// The columnar snapshot counting runs on; built on first use and shared
+  /// until the next mutation. Returned by shared_ptr so a counting pass
+  /// keeps its snapshot alive even if another thread mutates (and thereby
+  /// invalidates) the dataset mid-pass. Also exposed for engine-level tests
+  /// and for prebuilding the snapshot outside timed regions.
+  std::shared_ptr<const ColumnStore> store() const;
 
   /// Deterministically splits rows into (train, test) with `train_fraction`
   /// of rows in train, after a seeded shuffle (paper §6.1 uses 80/20).
   std::pair<Dataset, Dataset> Split(double train_fraction, Rng& rng) const;
 
-  /// Returns a copy containing only the given rows.
+  /// Returns a copy containing only the given rows (bounds-checked once).
   Dataset SelectRows(std::span<const int> rows) const;
 
  private:
+  // Builds the ProbTable shell (vars/cards) for a counting call.
+  ProbTable MakeCountsTable(std::span<const GenAttr> gattrs) const;
+  void InvalidateStore();
+
   Schema schema_;
   int num_rows_ = 0;
   std::vector<std::vector<Value>> columns_;
+
+  // Lazily built snapshot; immutable once published, reset on mutation.
+  mutable std::mutex store_mu_;
+  mutable std::shared_ptr<const ColumnStore> store_;
 };
 
 }  // namespace privbayes

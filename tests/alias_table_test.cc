@@ -1,0 +1,196 @@
+// Tests for the Walker/Vose alias sampler: exact construction invariants,
+// chi-square goodness of fit against the weights, and a per-conditional
+// chi-square homogeneity test against the seed's CDF-scan sampler — the
+// equivalence guarantee that lets SampleFromNetwork switch to alias draws.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bn/alias_table.h"
+#include "bn/sampling.h"
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace privbayes {
+namespace {
+
+// The seed's linear CDF scan, kept here as the reference sampler.
+Value CdfScanSample(std::span<const double> probs, double u) {
+  double acc = 0;
+  for (size_t v = 0; v < probs.size(); ++v) {
+    acc += probs[v];
+    if (u < acc) return static_cast<Value>(v);
+  }
+  return static_cast<Value>(probs.size() - 1);
+}
+
+// Pearson chi-square statistic of observed counts vs expected probabilities.
+double ChiSquare(std::span<const int64_t> observed,
+                 std::span<const double> expected_probs, int64_t n) {
+  double stat = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    double expected = expected_probs[i] * static_cast<double>(n);
+    if (expected < 1e-12) {
+      EXPECT_EQ(observed[i], 0) << "mass on zero-probability value " << i;
+      continue;
+    }
+    double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+TEST(AliasTable, ProbabilitiesReconstructFromTable) {
+  // The alias representation must encode the input distribution exactly:
+  // P(i) = (prob[i] + Σ_j 1[alias[j] = i]·(1 − prob[j])) / K.
+  std::vector<double> weights = {0.05, 0.45, 0.1, 0.25, 0.15};
+  AliasTable table(weights);
+  ASSERT_EQ(table.size(), 5);
+  std::vector<double> reconstructed(5, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    reconstructed[i] += table.probs()[i];
+    reconstructed[table.aliases()[i]] += 1.0 - table.probs()[i];
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(reconstructed[i] / 5.0, weights[i], 1e-12) << "value " << i;
+  }
+}
+
+TEST(AliasTable, ChiSquareGoodnessOfFit) {
+  std::vector<double> weights = {1.0, 7.0, 2.0, 0.5, 4.5, 0.0, 3.0};
+  double sum = 18.0;
+  std::vector<double> probs;
+  for (double w : weights) probs.push_back(w / sum);
+  AliasTable table(weights);
+  Rng rng(42);
+  const int64_t n = 200000;
+  std::vector<int64_t> counts(weights.size(), 0);
+  for (int64_t i = 0; i < n; ++i) counts[table.Sample(rng)]++;
+  // df = 5 (six non-zero cells); chi-square 0.999 quantile is 20.5.
+  EXPECT_LT(ChiSquare(counts, probs, n), 20.5);
+}
+
+TEST(AliasTable, FastRngDrawsMatchDistributionToo) {
+  std::vector<double> probs = {0.2, 0.5, 0.3};
+  AliasTable table(probs);
+  FastRng rng(7);
+  const int64_t n = 200000;
+  std::vector<int64_t> counts(3, 0);
+  for (int64_t i = 0; i < n; ++i) counts[table.Sample(rng)]++;
+  // df = 2; 0.999 quantile is 13.8.
+  EXPECT_LT(ChiSquare(counts, probs, n), 13.8);
+}
+
+TEST(AliasTable, DegenerateDistributions) {
+  // All mass on one value.
+  std::vector<double> point = {0.0, 1.0, 0.0};
+  AliasTable table(point);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(table.Sample(rng), 1);
+  // Zero weights fall back to uniform (the NormalizeSlices convention).
+  std::vector<double> zeros = {0.0, 0.0, 0.0, 0.0};
+  AliasTable uniform(zeros);
+  std::vector<int64_t> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) counts[uniform.Sample(rng)]++;
+  std::vector<double> quarter(4, 0.25);
+  EXPECT_LT(ChiSquare(counts, quarter, 40000), 16.3);  // df=3, 0.999
+  // Single-value support.
+  std::vector<double> single = {2.5};
+  AliasTable one(single);
+  EXPECT_EQ(one.Sample(rng), 0);
+  // Invalid inputs throw.
+  std::vector<double> empty;
+  EXPECT_THROW(AliasTable{empty}, std::invalid_argument);
+  std::vector<double> negative = {0.5, -0.1};
+  EXPECT_THROW(AliasTable{negative}, std::invalid_argument);
+}
+
+TEST(AliasTable, MatchesCdfScanPerConditional) {
+  // Per-conditional homogeneity: alias draws and CDF-scan draws from the
+  // same slice must agree in distribution. Two-sample chi-square on every
+  // parent configuration of a fitted NLTCS-shaped model.
+  Dataset data = MakeNltcs(11, 4000);
+  BayesNet net;
+  for (int i = 0; i < data.num_attrs(); ++i) {
+    APPair p;
+    p.attr = i;
+    for (int j = std::max(0, i - 2); j < i; ++j) {
+      p.parents.push_back(GenAttr{j, 0});
+    }
+    net.Add(std::move(p));
+  }
+  Rng crng(13);
+  ConditionalSet cs;
+  for (int i = 0; i < net.size(); ++i) {
+    std::vector<GenAttr> gattrs = net.pair(i).parents;
+    gattrs.push_back(GenAttr{net.pair(i).attr, 0});
+    ProbTable joint = data.JointCountsGeneralized(gattrs);
+    joint.NormalizeSlicesOverLastVar();
+    cs.conditionals.push_back(std::move(joint));
+  }
+
+  Rng rng(29);
+  const int64_t draws = 20000;
+  for (const ProbTable& table : cs.conditionals) {
+    int card = table.cards().back();
+    size_t slices = table.size() / static_cast<size_t>(card);
+    for (size_t s = 0; s < slices; ++s) {
+      std::span<const double> probs(table.values().data() + s * card,
+                                    static_cast<size_t>(card));
+      AliasTable alias(probs);
+      std::vector<int64_t> alias_counts(card, 0);
+      std::vector<int64_t> cdf_counts(card, 0);
+      for (int64_t i = 0; i < draws; ++i) {
+        alias_counts[alias.Sample(rng)]++;
+        cdf_counts[CdfScanSample(probs, rng.Uniform())]++;
+      }
+      // Two-sample chi-square with pooled expectation; df <= card−1 = 1 for
+      // binary NLTCS. 0.9999 quantile of chi²(1) is 15.1 — loose enough to
+      // never flake across the ~100 slices tested, tight enough to catch a
+      // biased bucket.
+      double stat = 0;
+      for (int v = 0; v < card; ++v) {
+        double pooled =
+            static_cast<double>(alias_counts[v] + cdf_counts[v]) / 2.0;
+        if (pooled < 1e-9) continue;
+        double diff = static_cast<double>(alias_counts[v]) - pooled;
+        stat += 2.0 * diff * diff / pooled;
+      }
+      EXPECT_LT(stat, 15.1) << "slice " << s;
+    }
+  }
+}
+
+TEST(NetworkSampler, ReusableAcrossBatchesAndDeterministic) {
+  Schema schema{std::vector<Attribute>{Attribute::Binary("x"),
+                                       Attribute::Binary("y")}};
+  BayesNet net;
+  net.Add(APPair{0, {}});
+  net.Add(APPair{1, {{0, 0}}});
+  ProbTable px({GenVarId(0)}, {2});
+  px[0] = 0.3;
+  px[1] = 0.7;
+  ProbTable py({GenVarId(0), GenVarId(1)}, {2, 2});
+  py.values() = {0.1, 0.9, 0.8, 0.2};
+  ConditionalSet cs;
+  cs.conditionals = {px, py};
+
+  NetworkSampler sampler(schema, net, cs);
+  Rng a(5), b(5);
+  Dataset d1 = sampler.Sample(9000, a);
+  Dataset d2 = sampler.Sample(9000, b);
+  for (int r = 0; r < 9000; ++r) {
+    ASSERT_EQ(d1.at(r, 0), d2.at(r, 0));
+    ASSERT_EQ(d1.at(r, 1), d2.at(r, 1));
+  }
+  // A second batch from the same sampler advances the stream.
+  Dataset d3 = sampler.Sample(9000, a);
+  EXPECT_EQ(d3.num_rows(), 9000);
+  // LogLikelihood through the compiled sampler equals the free function.
+  EXPECT_NEAR(sampler.LogLikelihood(d1), LogLikelihood(d1, net, cs), 1e-9);
+}
+
+}  // namespace
+}  // namespace privbayes

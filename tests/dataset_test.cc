@@ -142,6 +142,51 @@ TEST(Dataset, SelectRows) {
   EXPECT_EQ(s.at(2, 2), d.at(3, 2));
 }
 
+TEST(Dataset, SelectRowsRejectsOutOfRangeIndices) {
+  Dataset d{SmallSchema()};
+  std::vector<Value> row = {0, 0, 0};
+  d.AppendRow(row);
+  d.AppendRow(row);
+  std::vector<int> negative = {0, -1};
+  EXPECT_THROW(d.SelectRows(negative), std::invalid_argument);
+  std::vector<int> too_big = {0, 2};
+  EXPECT_THROW(d.SelectRows(too_big), std::invalid_argument);
+}
+
+TEST(Dataset, FromColumnsAdoptsWithoutCopy) {
+  std::vector<std::vector<Value>> cols = {{1, 0, 1}, {2, 0, 1}, {3, 0, 2}};
+  const Value* col0 = cols[0].data();
+  Dataset d = Dataset::FromColumns(SmallSchema(), std::move(cols));
+  EXPECT_EQ(d.num_rows(), 3);
+  EXPECT_EQ(d.at(0, 2), 3);
+  EXPECT_EQ(d.at(2, 1), 1);
+  // Move-aware: the column buffer was adopted, not copied.
+  EXPECT_EQ(d.column(0).data(), col0);
+}
+
+TEST(Dataset, FromColumnsValidatesShapeAndDomain) {
+  {
+    std::vector<std::vector<Value>> wrong_count = {{0}, {0}};
+    EXPECT_THROW(Dataset::FromColumns(SmallSchema(), std::move(wrong_count)),
+                 std::invalid_argument);
+  }
+  {
+    std::vector<std::vector<Value>> ragged = {{0, 0}, {0}, {0, 0}};
+    EXPECT_THROW(Dataset::FromColumns(SmallSchema(), std::move(ragged)),
+                 std::invalid_argument);
+  }
+  {
+    std::vector<std::vector<Value>> out_of_domain = {{0}, {9}, {0}};
+    EXPECT_THROW(Dataset::FromColumns(SmallSchema(), std::move(out_of_domain)),
+                 std::invalid_argument);
+  }
+  {
+    std::vector<std::vector<Value>> empty = {{}, {}, {}};
+    Dataset d = Dataset::FromColumns(SmallSchema(), std::move(empty));
+    EXPECT_EQ(d.num_rows(), 0);
+  }
+}
+
 TEST(Csv, RoundTrip) {
   Dataset d{SmallSchema()};
   Rng rng(5);
