@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bn/sampling.h"
+#include "common/cpu.h"
 #include "core/noisy_conditionals.h"
 #include "core/private_greedy.h"
 #include "core/score_functions.h"
@@ -32,7 +33,9 @@ std::vector<pb::GenAttr> PairGenAttrs(int parents) {
   return gattrs;
 }
 
-// Engine-dispatched counting (popcount kernel on all-binary NLTCS).
+// Engine-dispatched counting (packed SIMD/scalar kernels on all-binary
+// NLTCS; arg = number of parents, so arg 7 counts an 8-attribute joint and
+// arg 9 exercises the k > kMaxPackedAttrs radix fallback).
 void BM_JointCounts(benchmark::State& state) {
   const pb::Dataset& data = Nltcs();
   std::vector<int> attrs = PairAttrs(static_cast<int>(state.range(0)));
@@ -55,7 +58,7 @@ void BM_JointCountsNaive(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * data.num_rows());
 }
-BENCHMARK(BM_JointCountsNaive)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+BENCHMARK(BM_JointCountsNaive)->Arg(1)->Arg(3)->Arg(5)->Arg(6)->Arg(7)->Arg(9);
 
 void BM_JointCountsPacked(benchmark::State& state) {
   const pb::Dataset& data = Nltcs();
@@ -67,7 +70,25 @@ void BM_JointCountsPacked(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * data.num_rows());
 }
-BENCHMARK(BM_JointCountsPacked)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+BENCHMARK(BM_JointCountsPacked)
+    ->Arg(1)->Arg(3)->Arg(5)->Arg(6)->Arg(7)->Arg(9);
+
+// The same counts with dispatch forced to the scalar popcount tree: the
+// in-build SIMD-vs-scalar headline (BM_JointCountsPacked / this pair at
+// arg 7 is the 8-attribute speedup the CI bench diff tracks).
+void BM_JointCountsPackedScalar(benchmark::State& state) {
+  const pb::Dataset& data = Nltcs();
+  data.store();
+  std::vector<pb::GenAttr> gattrs =
+      PairGenAttrs(static_cast<int>(state.range(0)));
+  pb::SetSimdForTesting(pb::SimdLevel::kScalar, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.JointCountsGeneralized(gattrs));
+  }
+  pb::ResetSimdForTesting();
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_JointCountsPackedScalar)->Arg(5)->Arg(6)->Arg(7);
 
 // Generalized (taxonomy-level) counting on Adult: cached-column radix kernel
 // vs the naive per-row Generalize pass.
@@ -107,6 +128,34 @@ void BM_JointCountsGeneralizedCached(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * Adult().num_rows());
 }
 BENCHMARK(BM_JointCountsGeneralizedCached)->Arg(2)->Arg(4);
+
+// Radix kernel, minimal-bit-width packed gather vs raw uint16 columns on
+// the same generalized Adult sets (the gather reads 2–4× fewer bytes).
+void BM_JointCountsRadixPacked(benchmark::State& state) {
+  Adult().store();
+  std::vector<pb::GenAttr> gattrs =
+      AdultGeneralizedSet(static_cast<int>(state.range(0)));
+  pb::SetSimdForTesting(pb::DetectedSimdLevel(), /*packed_gather=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Adult().JointCountsGeneralized(gattrs));
+  }
+  pb::ResetSimdForTesting();
+  state.SetItemsProcessed(state.iterations() * Adult().num_rows());
+}
+BENCHMARK(BM_JointCountsRadixPacked)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_JointCountsRadixRaw(benchmark::State& state) {
+  Adult().store();
+  std::vector<pb::GenAttr> gattrs =
+      AdultGeneralizedSet(static_cast<int>(state.range(0)));
+  pb::SetSimdForTesting(pb::DetectedSimdLevel(), /*packed_gather=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Adult().JointCountsGeneralized(gattrs));
+  }
+  pb::ResetSimdForTesting();
+  state.SetItemsProcessed(state.iterations() * Adult().num_rows());
+}
+BENCHMARK(BM_JointCountsRadixRaw)->Arg(2)->Arg(4)->Arg(6);
 
 void BM_ScoreI(benchmark::State& state) {
   const pb::Dataset& data = Nltcs();
@@ -221,12 +270,20 @@ void BM_GreedyIteration(benchmark::State& state) {
   opts.epsilon1 = 0.1;
   opts.fixed_k = static_cast<int>(state.range(0));
   opts.first_attr = 0;
+  pb::JointCacheStats stats;
+  opts.cache_stats = &stats;
   uint64_t seed = 1;
   for (auto _ : state) {
     pb::Rng rng(seed++);
     benchmark::DoNotOptimize(pb::LearnNetworkBinary(data, opts, rng));
   }
   state.SetItemsProcessed(state.iterations() * data.num_rows());
+  // Joint-count memo effectiveness across greedy iterations.
+  double total = static_cast<double>(stats.hits + stats.misses);
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(stats.hits));
+  state.counters["cache_hit_rate"] =
+      benchmark::Counter(total > 0 ? stats.hits / total : 0);
 }
 BENCHMARK(BM_GreedyIteration)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 

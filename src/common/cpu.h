@@ -1,0 +1,76 @@
+// Runtime CPU-feature dispatch for the SIMD counting kernels.
+//
+// The kernel translation units (data/count_kernels_avx2.cc, _avx512.cc) are
+// compiled with per-file -mavx2 / -mavx512* flags so the rest of the library
+// can be built for a generic baseline; which kernel actually runs is decided
+// here, once, at first use:
+//
+//   active level = min(what the CPU reports, what the compiler could build,
+//                      what PRIVBAYES_SIMD allows)
+//
+// PRIVBAYES_SIMD is the testing/escape-hatch override:
+//   off | scalar | 0  -> scalar kernels only, and the minimal-bit-width
+//                        packed-gather radix path is disabled too, so
+//                        counting runs the seed-equivalent scalar code end
+//                        to end;
+//   avx2               -> cap at AVX2 even on AVX-512 hardware;
+//   avx512 | auto | "" -> everything the CPU supports.
+//
+// The scalar kernels are always compiled and always correct; every dispatch
+// decision only selects among implementations proven bit-identical by the
+// equivalence tests.
+
+#ifndef PRIVBAYES_COMMON_CPU_H_
+#define PRIVBAYES_COMMON_CPU_H_
+
+namespace privbayes {
+
+/// Instruction-set tiers the counting kernels are specialized for. Ordering
+/// is meaningful: higher levels strictly extend lower ones.
+enum class SimdLevel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// "scalar" / "avx2" / "avx512".
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level both supported by the running CPU and compiled into this
+/// binary (the build defines PRIVBAYES_COMPILED_AVX2/_AVX512 when the
+/// compiler accepted the per-file kernel flags). Computed once.
+SimdLevel DetectedSimdLevel();
+
+/// True when the CPU supports AVX-512VPOPCNTDQ (Ice Lake+); gates the
+/// vectorized popcount-tree kernel separately from the base AVX-512 level,
+/// which only needs F+BW.
+bool CpuHasAvx512Vpopcntdq();
+
+/// Parses a PRIVBAYES_SIMD-style value and clamps it to `detected`.
+/// nullptr / "" / "auto" / unrecognized values return `detected`.
+SimdLevel SimdLevelFromString(const char* value, SimdLevel detected);
+
+/// Policy for the minimal-bit-width packed-gather path of the radix kernel.
+/// Plain scalar code, but governed here because PRIVBAYES_SIMD=off must
+/// force the seed-equivalent kernels end to end. kAuto engages the gather
+/// only when the raw uint16 working set is too big for on-chip caches —
+/// below that the per-value shift/mask arithmetic costs more than the 2–4×
+/// bandwidth it saves (measured: raw radix wins 2× at Adult scale in L2/L3).
+enum class PackedGatherMode { kOff, kAuto, kForced };
+
+/// The dispatch decision every counting call consults.
+struct SimdConfig {
+  SimdLevel level = SimdLevel::kScalar;
+  PackedGatherMode packed_gather = PackedGatherMode::kAuto;
+};
+
+/// Active configuration: detected level clamped by PRIVBAYES_SIMD (read once
+/// on first call; thread-safe).
+const SimdConfig& ActiveSimd();
+
+/// Test hooks: force a configuration (level is clamped to DetectedSimdLevel,
+/// so forcing "avx512" on a scalar-only host is a no-op; packed_gather=true
+/// forces the gather path regardless of working-set size) / restore the
+/// environment-derived default.
+void SetSimdForTesting(SimdLevel level, bool packed_gather);
+void ResetSimdForTesting();
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_COMMON_CPU_H_

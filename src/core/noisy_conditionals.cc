@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "dp/mechanisms.h"
 
 namespace privbayes {
@@ -11,11 +12,12 @@ namespace {
 
 // Materializes the noisy joint distribution of one AP pair: counts -> /n ->
 // + Laplace -> clamp -> normalize. `pair_epsilon` is this pair's budget.
-// Counting runs on the ColumnStore engine (row-sharded for large n); the
-// Laplace draws stay on the caller's single Rng stream so the released
-// distribution is reproducible from the seed alone.
+// Counting runs on the ColumnStore engine (SIMD kernels, row-sharded for
+// large n); the Laplace draws come from the per-pair `rng` stream handed in
+// by the caller. Budget accounting is the caller's responsibility (the pair
+// loop runs in parallel and BudgetAccountant is not thread-safe).
 ProbTable NoisyJoint(const Dataset& data, const APPair& pair,
-                     double pair_epsilon, Rng& rng, BudgetAccountant* acct) {
+                     double pair_epsilon, Rng& rng) {
   std::vector<GenAttr> gattrs = pair.parents;
   gattrs.push_back(GenAttr{pair.attr, 0});
   ProbTable joint = data.JointCountsGeneralized(gattrs);
@@ -25,7 +27,7 @@ ProbTable NoisyJoint(const Dataset& data, const APPair& pair,
   // L1 sensitivity of a probability-normalized marginal is 2/n: one changed
   // tuple moves 1/n of mass from one cell to another (§3 / Lemma 4.8).
   LaplaceMechanism lap(2.0 / n, pair_epsilon);
-  lap.Apply(joint.values(), rng, acct);
+  lap.Apply(joint.values(), rng, /*acct=*/nullptr);
   joint.ClampNegatives();
   joint.Normalize();
   return joint;
@@ -35,6 +37,35 @@ ProbTable NoisyJoint(const Dataset& data, const APPair& pair,
 ProbTable ToConditional(ProbTable joint) {
   joint.NormalizeSlicesOverLastVar();
   return joint;
+}
+
+// Noises the joints of pairs [first, d) in parallel on the persistent pool.
+// Each pair draws its Laplace noise from an independent stream derived as
+// seed = root ⊕ pair index (SplitMix64-mixed), so the released distribution
+// of every pair is a deterministic function of (caller seed, pair index) —
+// reproducible and bit-identical across thread counts — while the loop
+// shards freely. Charges are recorded serially afterwards, in pair order,
+// exactly as the sequential loop did.
+std::vector<ProbTable> NoisyJointsParallel(const Dataset& data,
+                                           const BayesNet& net, int first,
+                                           double pair_epsilon, uint64_t root,
+                                           BudgetAccountant* acct) {
+  const int d = net.size();
+  std::vector<ProbTable> joints(d - first);
+  ParallelFor(
+      static_cast<size_t>(d - first),
+      [&](size_t begin, size_t end) {
+        for (size_t t = begin; t < end; ++t) {
+          int i = first + static_cast<int>(t);
+          Rng pair_rng(DeriveSeed(root, static_cast<uint64_t>(i)));
+          joints[t] = NoisyJoint(data, net.pair(i), pair_epsilon, pair_rng);
+        }
+      },
+      /*min_per_thread=*/1);
+  if (acct != nullptr && pair_epsilon > 0) {
+    for (int i = first; i < d; ++i) acct->Charge(pair_epsilon);
+  }
+  return joints;
 }
 
 }  // namespace
@@ -50,12 +81,14 @@ ConditionalSet NoisyConditionalsBinary(const Dataset& data,
   out.conditionals.resize(d);
   double pair_epsilon = epsilon2 > 0 ? epsilon2 / (d - k) : 0.0;
 
-  // Pairs k+1..d (1-based): materialize and noise their joints.
-  ProbTable chain_joint;  // noisy joint of pair index k (0-based)
+  // Pairs k+1..d (1-based): materialize and noise their joints in parallel,
+  // one derived noise stream per pair.
+  const uint64_t root = rng.engine()();
+  std::vector<ProbTable> joints =
+      NoisyJointsParallel(data, net, k, pair_epsilon, root, acct);
+  ProbTable chain_joint = joints[0];  // noisy joint of pair index k (0-based)
   for (int i = k; i < d; ++i) {
-    ProbTable joint = NoisyJoint(data, net.pair(i), pair_epsilon, rng, acct);
-    if (i == k) chain_joint = joint;
-    out.conditionals[i] = ToConditional(std::move(joint));
+    out.conditionals[i] = ToConditional(std::move(joints[i - k]));
   }
 
   // Pairs 1..k (1-based): derive from the noisy joint of pair k+1 without
@@ -81,9 +114,11 @@ ConditionalSet NoisyConditionalsGeneral(const Dataset& data,
   ConditionalSet out;
   out.conditionals.resize(d);
   double pair_epsilon = epsilon2 > 0 ? epsilon2 / d : 0.0;
+  const uint64_t root = rng.engine()();
+  std::vector<ProbTable> joints =
+      NoisyJointsParallel(data, net, 0, pair_epsilon, root, acct);
   for (int i = 0; i < d; ++i) {
-    out.conditionals[i] = ToConditional(
-        NoisyJoint(data, net.pair(i), pair_epsilon, rng, acct));
+    out.conditionals[i] = ToConditional(std::move(joints[i]));
   }
   return out;
 }

@@ -23,6 +23,7 @@
 #define PRIVBAYES_CORE_PRIVATE_GREEDY_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "bn/bayes_net.h"
 #include "common/random.h"
@@ -30,6 +31,15 @@
 #include "dp/budget.h"
 
 namespace privbayes {
+
+/// Hit/miss counters of the per-learn joint-count memo (one GreedyLoop run
+/// shares counted joints across iterations — candidates that survive an
+/// iteration reappear with the same parent set, cf. AIM-style marginal
+/// reuse). Exposed for the microbenchmarks and tests.
+struct JointCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
 
 /// Knobs for both network learners.
 struct PrivateGreedyOptions {
@@ -54,6 +64,9 @@ struct PrivateGreedyOptions {
   size_t mps_node_budget = 200000;
   /// First attribute (paper: uniformly random; fix for reproducible tests).
   int first_attr = -1;
+  /// When non-null, the learner accumulates its joint-count memo-cache
+  /// hit/miss counters here (adds to the existing values).
+  JointCacheStats* cache_stats = nullptr;
 };
 
 /// A learned structure plus the degree the θ-usefulness rule chose

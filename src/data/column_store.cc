@@ -1,21 +1,17 @@
 #include "data/column_store.h"
 
 #include <algorithm>
-#include <array>
-#include <bit>
 #include <cstring>
 #include <utility>
 
 #include "common/check.h"
+#include "common/cpu.h"
 #include "common/parallel.h"
+#include "data/count_kernels.h"
 
 namespace privbayes {
 
 namespace {
-
-// All-binary candidate sets above this arity fall back to the radix kernel
-// (the popcount sweep's 2^k cells stop paying for themselves).
-constexpr int kMaxPackedAttrs = 8;
 
 // Row-sharded counting engages above this row count (below it, the shard
 // bookkeeping costs more than the pass) and only for histograms small
@@ -73,7 +69,7 @@ void ShardedAccumulate(size_t units, bool want_parallel,
   }
 }
 
-// One column of the radix kernel: cached (generalized) values plus the
+// One column of the raw radix kernel: cached (generalized) values plus the
 // cardinality that scales the running index.
 struct ColRef {
   const Value* col;
@@ -89,54 +85,42 @@ void RadixAccumulate(const ColRef* cols, int k, size_t begin, size_t end,
   }
 }
 
-// Expands `word` (the rows of this 64-row block matching the value prefix
-// over attrs [0, Depth)) over attribute Depth; adds popcounts at the leaves.
-// The recursion is over a compile-time depth, so each block compiles to a
-// straight tree of AND + popcount with no calls. Zero-subtree pruning is a
-// branch, so it is only emitted where the subtree is big enough to be worth
-// skipping AND the word is rarely zero (shallow depths) — deep levels run
-// branchless, since with ~64 rows spread over 2^K cells a "is this leaf
-// empty" branch is unpredictable and popcount(0) is free.
-template <int K, int Depth = 0>
-inline void CountBlockUnrolled(const uint64_t* const* bits, size_t block,
-                               uint64_t word, size_t idx, int64_t* counts) {
-  if constexpr (Depth + 3 < K) {
-    if (word == 0) return;
-  }
-  if constexpr (Depth == K) {
-    counts[idx] += std::popcount(word);
-  } else {
-    uint64_t b = bits[Depth][block];
-    CountBlockUnrolled<K, Depth + 1>(bits, block, word & ~b, idx * 2, counts);
-    CountBlockUnrolled<K, Depth + 1>(bits, block, word & b, idx * 2 + 1,
-                                     counts);
-  }
+// One column of the packed-gather radix kernel: minimal-bit-width words and
+// the shift/mask geometry to extract row r branch-free. A 4-bit Adult
+// column streams a quarter of the bytes the uint16 column would.
+struct PackedColRef {
+  const uint64_t* words;
+  uint32_t log2_bits;   // log2 of bits per value
+  uint32_t log2_rpw;    // log2 of rows per word (6 - log2_bits)
+  uint32_t row_mask;    // rows-per-word - 1
+  uint64_t value_mask;  // (1 << bits) - 1
+  size_t card;
+};
+
+inline uint64_t Gather(const PackedColRef& c, size_t r) {
+  return (c.words[r >> c.log2_rpw] >>
+          ((r & c.row_mask) << c.log2_bits)) &
+         c.value_mask;
 }
 
-// Counts a whole block range for a compile-time arity, so the per-block tree
-// inlines into one loop body (no indirect call per 64 rows).
-template <int K>
-void CountRangeUnrolled(const uint64_t* const* bits, size_t block_begin,
-                        size_t block_end, size_t last_block,
-                        uint64_t tail_mask, int64_t* counts) {
-  for (size_t b = block_begin; b < block_end; ++b) {
-    uint64_t root = b == last_block ? tail_mask : ~uint64_t{0};
-    CountBlockUnrolled<K, 0>(bits, b, root, 0, counts);
+void RadixAccumulatePacked(const PackedColRef* cols, int k, size_t begin,
+                           size_t end, int64_t* counts) {
+  for (size_t r = begin; r < end; ++r) {
+    size_t idx = Gather(cols[0], r);
+    for (int j = 1; j < k; ++j) {
+      idx = idx * cols[j].card + Gather(cols[j], r);
+    }
+    ++counts[idx];
   }
 }
 
-using PackedRangeFn = void (*)(const uint64_t* const*, size_t, size_t, size_t,
-                               uint64_t, int64_t*);
-
-template <int... Ks>
-constexpr std::array<PackedRangeFn, sizeof...(Ks) + 1> MakePackedRangeTable(
-    std::integer_sequence<int, Ks...>) {
-  return {nullptr, &CountRangeUnrolled<Ks + 1>...};
+uint32_t MinimalLog2Bits(int card) {
+  if (card <= 2) return 0;
+  if (card <= 4) return 1;
+  if (card <= 16) return 2;
+  if (card <= 256) return 3;
+  return 4;  // Value is uint16_t; cardinality is capped at 65536
 }
-
-// kPackedRange[k] counts a block range over k packed attributes.
-constexpr auto kPackedRange = MakePackedRangeTable(
-    std::make_integer_sequence<int, kMaxPackedAttrs>());
 
 }  // namespace
 
@@ -147,32 +131,45 @@ ColumnStore::ColumnStore(const Schema& schema,
   const int d = schema.num_attrs();
   PB_CHECK(static_cast<int>(columns.size()) == d);
   raw_.resize(d);
-  packed_.resize(d);
+  binary_.assign(d, 0);
+  bitpacked_.resize(d);
   gen_.resize(d);
   cards_.resize(d);
   const size_t n = static_cast<size_t>(num_rows);
-  const size_t words = (n + 63) / 64;
+
+  auto pack = [n](const Value* col, int card, BitCol& out) {
+    out.log2_bits = MinimalLog2Bits(card);
+    // A 16-bit "packing" would be a byte-for-byte copy of the Value column:
+    // no bandwidth saved, memory doubled. Record the width but keep no
+    // words; the radix kernel reads such columns raw.
+    if (out.log2_bits >= 4) return;
+    const uint32_t log2_rpw = 6 - out.log2_bits;
+    const size_t rpw = size_t{1} << log2_rpw;
+    out.words.assign((n + rpw - 1) >> log2_rpw, 0);
+    for (size_t r = 0; r < n; ++r) {
+      out.words[r >> log2_rpw] |= static_cast<uint64_t>(col[r])
+                                  << ((r & (rpw - 1)) << out.log2_bits);
+    }
+  };
+
   for (int a = 0; a < d; ++a) {
     PB_CHECK(columns[a].size() == n);
     raw_[a] = columns[a];
+    binary_[a] = schema.Cardinality(a) == 2;
     const TaxonomyTree& tax = schema.attr(a).taxonomy;
     int levels = tax.num_levels();
     cards_[a].resize(levels);
     for (int l = 0; l < levels; ++l) cards_[a][l] = tax.CardinalityAt(l);
-    if (schema.Cardinality(a) == 2) {
-      packed_[a].assign(words, 0);
-      const Value* col = raw_[a].data();
-      for (size_t r = 0; r < n; ++r) {
-        packed_[a][r >> 6] |= static_cast<uint64_t>(col[r] & 1) << (r & 63);
-      }
-    }
     gen_[a].resize(levels);
+    bitpacked_[a].resize(levels);
+    pack(raw_[a].data(), cards_[a][0], bitpacked_[a][0]);
     for (int l = 1; l < levels; ++l) {
       const std::vector<Value>& leaf_map = tax.LeafMapAt(l);
       gen_[a][l].resize(n);
       const Value* col = raw_[a].data();
       Value* out = gen_[a][l].data();
       for (size_t r = 0; r < n; ++r) out[r] = leaf_map[col[r]];
+      pack(out, cards_[a][l], bitpacked_[a][l]);
     }
   }
 }
@@ -203,13 +200,13 @@ void ColumnStore::CountPacked(std::span<const GenAttr> gattrs,
   const size_t n = static_cast<size_t>(num_rows_);
   const size_t words = (n + 63) / 64;
   const uint64_t* bits[kMaxPackedAttrs];
-  for (int j = 0; j < k; ++j) bits[j] = packed_[gattrs[j].attr].data();
+  for (int j = 0; j < k; ++j) bits[j] = packed_words(gattrs[j].attr).data();
   // Bits past row n−1 are zero in every packed column, so the tail block's
   // root mask must clear them too.
   const uint64_t tail_mask =
       (n & 63) == 0 ? ~uint64_t{0} : (uint64_t{1} << (n & 63)) - 1;
 
-  const PackedRangeFn range_fn = kPackedRange[k];
+  const PackedCountFn range_fn = SelectPackedKernel(k);
   ShardedAccumulate(
       words, num_rows_ >= kParallelMinRows, cells,
       [&](size_t block_begin, size_t block_end, int64_t* counts) {
@@ -221,13 +218,50 @@ void ColumnStore::CountRadix(std::span<const GenAttr> gattrs,
                              std::span<double> cells) const {
   const int k = static_cast<int>(gattrs.size());
   const size_t n = static_cast<size_t>(num_rows_);
+
+  // The packed gather reads 2–4× fewer bytes but spends ~4 extra scalar ops
+  // per value on shift/mask extraction, so it only wins once the raw uint16
+  // working set streams from memory instead of cache. 64 MB clears the L3
+  // of common server parts. Columns with cardinality > 256 carry no packed
+  // words (a 16-bit packing saves nothing), so their sets always read raw.
+  constexpr size_t kGatherMinRawBytes = size_t{64} << 20;
+  const PackedGatherMode mode = ActiveSimd().packed_gather;
+  bool gatherable = true;
+  for (const GenAttr& g : gattrs) {
+    gatherable =
+        gatherable && !bitpacked_[g.attr][g.level].words.empty();
+  }
+  const bool use_gather =
+      gatherable &&
+      (mode == PackedGatherMode::kForced ||
+       (mode == PackedGatherMode::kAuto &&
+        n * static_cast<size_t>(k) * sizeof(Value) >= kGatherMinRawBytes));
+  if (use_gather) {
+    std::vector<PackedColRef> cols(k);
+    for (int j = 0; j < k; ++j) {
+      const BitCol& bc = bitpacked_[gattrs[j].attr][gattrs[j].level];
+      cols[j].words = bc.words.data();
+      cols[j].log2_bits = bc.log2_bits;
+      cols[j].log2_rpw = 6 - bc.log2_bits;
+      cols[j].row_mask = (uint32_t{1} << cols[j].log2_rpw) - 1;
+      cols[j].value_mask = (uint64_t{1} << (uint32_t{1} << bc.log2_bits)) - 1;
+      cols[j].card =
+          static_cast<size_t>(cards_[gattrs[j].attr][gattrs[j].level]);
+    }
+    ShardedAccumulate(n, num_rows_ >= kParallelMinRows, cells,
+                      [&](size_t begin, size_t end, int64_t* counts) {
+                        RadixAccumulatePacked(cols.data(), k, begin, end,
+                                              counts);
+                      });
+    return;
+  }
+
   std::vector<ColRef> cols(k);
   for (int j = 0; j < k; ++j) {
     cols[j].col = generalized(gattrs[j].attr, gattrs[j].level);
     cols[j].card =
         static_cast<size_t>(cards_[gattrs[j].attr][gattrs[j].level]);
   }
-
   ShardedAccumulate(n, num_rows_ >= kParallelMinRows, cells,
                     [&](size_t begin, size_t end, int64_t* counts) {
                       RadixAccumulate(cols.data(), k, begin, end, counts);

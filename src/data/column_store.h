@@ -10,22 +10,27 @@
 // once and reused by every counting call:
 //
 //   * binary attributes are bit-packed into 64-row words, and an all-binary
-//     candidate set is counted by a prefix-sharing AND+popcount sweep
-//     (zero-count subtrees are pruned, so the work per 64-row block is
-//     bounded by the rows present, not by 2^k);
-//   * every (attribute, taxonomy level) pair gets a cached generalized
-//     column, so Generalize() is never called inside a counting loop; mixed
-//     or generalized candidate sets use a single-pass radix accumulation
-//     over those cached columns;
+//     candidate set is counted by a per-arity kernel selected at runtime
+//     (common/cpu.h): the scalar AND+popcount prefix tree, the AVX2/AVX-512
+//     index-assembly kernels, or the AVX-512 vpopcntdq tree — see
+//     data/count_kernels.h;
+//   * every cached column — raw or taxonomy-generalized — is also packed at
+//     the minimal power-of-two bit width its cardinality needs (1/2/4/8/16
+//     bits; most Adult attributes fit 4). Mixed or generalized candidate
+//     sets are counted by a single-pass radix accumulation, gathering from
+//     the packed words (2–4× fewer bytes) when the raw working set would
+//     stream from memory, and from the raw columns when it is cache-resident
+//     (common/cpu.h's PackedGatherMode governs the policy);
 //   * per-thread reusable scratch buffers hold the integer histogram — no
 //     allocation on the counting path;
 //   * for large n the row range is sharded across the persistent ThreadPool
 //     with per-shard partial histograms merged in shard order, so counts are
 //     bit-identical across thread counts.
 //
-// Both kernels produce exactly the counts of the seed's naive pass (integer
+// Every kernel produces exactly the counts of the seed's naive pass (integer
 // accumulation; no floating-point reordering), a property the equivalence
-// tests lock in.
+// tests lock in across all dispatch levels. PRIVBAYES_SIMD=off forces the
+// scalar tree and the unpacked radix pass.
 
 #ifndef PRIVBAYES_DATA_COLUMN_STORE_H_
 #define PRIVBAYES_DATA_COLUMN_STORE_H_
@@ -41,20 +46,28 @@ namespace privbayes {
 class ColumnStore {
  public:
   /// Snapshots `columns` (one vector per attribute, each `num_rows` long)
-  /// under `schema`: packs binary columns and materializes every generalized
-  /// level eagerly, so reads never synchronize.
+  /// under `schema`: packs every column (and every generalized level,
+  /// materialized eagerly) at its minimal bit width, so reads never
+  /// synchronize.
   ColumnStore(const Schema& schema,
               const std::vector<std::vector<Value>>& columns, int num_rows);
 
   int num_rows() const { return num_rows_; }
 
-  /// True when the attribute is bit-packed (cardinality 2).
-  bool packed(int attr) const { return !packed_[attr].empty(); }
+  /// True when the attribute qualifies for the packed all-binary kernels
+  /// (cardinality exactly 2).
+  bool packed(int attr) const { return binary_[attr] != 0; }
 
   /// Bit-packed words of a binary attribute: bit r of word r/64 is row r's
   /// value. Rows past num_rows() are zero.
   const std::vector<uint64_t>& packed_words(int attr) const {
-    return packed_[attr];
+    return bitpacked_[attr][0].words;
+  }
+
+  /// Bits per value of the minimal-width packing of (attr, level): 1, 2, 4,
+  /// 8, or 16.
+  int packed_bits(int attr, int level) const {
+    return 1 << bitpacked_[attr][level].log2_bits;
   }
 
   /// Pointer to the column of `attr` generalized to `level` (level 0 is the
@@ -66,20 +79,32 @@ class ColumnStore {
   /// Accumulates the empirical joint counts over `gattrs` into `cells`
   /// (row-major over the generalized cardinalities, last attribute stride 1;
   /// `cells` must be zero-filled by the caller and exactly the right size).
-  /// Dispatches to the popcount kernel for all-binary level-0 sets and to
-  /// the cached-column radix kernel otherwise.
+  /// Dispatches to the packed kernels for all-binary level-0 sets and to
+  /// the packed-gather radix kernel otherwise (kernel and gather choice per
+  /// common/cpu.h's active configuration).
   void AccumulateCounts(std::span<const GenAttr> gattrs,
                         std::span<double> cells) const;
 
  private:
+  // One cached column packed at its minimal power-of-two bit width: row r
+  // lives at bits [(r % rows_per_word) << log2_bits, ...) of word
+  // r / rows_per_word, rows_per_word = 64 >> log2_bits. Width 1 for binary
+  // columns reproduces exactly the layout the packed kernels consume.
+  struct BitCol {
+    std::vector<uint64_t> words;
+    uint32_t log2_bits = 0;  // log2 of bits per value: 0..4 (1..16 bits)
+  };
+
   void CountPacked(std::span<const GenAttr> gattrs,
                    std::span<double> cells) const;
   void CountRadix(std::span<const GenAttr> gattrs,
                   std::span<double> cells) const;
 
   int num_rows_ = 0;
-  std::vector<std::vector<Value>> raw_;        // per attr, copied
-  std::vector<std::vector<uint64_t>> packed_;  // per attr; empty if not binary
+  std::vector<std::vector<Value>> raw_;  // per attr, copied
+  std::vector<uint8_t> binary_;          // per attr: cardinality == 2
+  // bitpacked_[attr][level]: minimal-width packing of every cached column.
+  std::vector<std::vector<BitCol>> bitpacked_;
   // gen_[attr][level] for level >= 1; gen_[attr][0] is unused (see raw_).
   std::vector<std::vector<std::vector<Value>>> gen_;
   std::vector<std::vector<int>> cards_;  // cards_[attr][level]

@@ -1,0 +1,42 @@
+#include "data/count_kernels.h"
+
+#include "common/cpu.h"
+
+namespace privbayes {
+
+namespace {
+
+// Crossover arities, measured on BENCH_core.json's single-core AVX-512 host
+// (NLTCS-shaped data; see the README dispatch table). The vpopcntdq
+// tree/cross-product kernels beat the scalar tree at every arity when the
+// CPU has them (0.06 µs vs 0.5 µs at k = 1, 7.3 µs vs 43 µs at k = 8). The
+// index-assembly kernels are scatter-bound near 1 cycle/row regardless of
+// k, so they only overtake the scalar tree's 2^k growth around k = 6 — they
+// are the deep-arity path for AVX2-only hosts and AVX-512 parts without
+// VPOPCNTDQ.
+constexpr int kAvx2IndexMinArity = 6;
+constexpr int kAvx512IndexMinArity = 6;
+constexpr int kAvx512TreeMinArity = 1;
+constexpr int kAvx512TreeMaxArity = 8;
+
+}  // namespace
+
+PackedCountFn SelectPackedKernel(int k) {
+  const SimdConfig& simd = ActiveSimd();
+  if (simd.level >= SimdLevel::kAvx512) {
+    if (k >= kAvx512TreeMinArity && k <= kAvx512TreeMaxArity &&
+        CpuHasAvx512Vpopcntdq() && kAvx512PopcntKernels[k] != nullptr) {
+      return kAvx512PopcntKernels[k];
+    }
+    if (k >= kAvx512IndexMinArity && kAvx512PackedKernels[k] != nullptr) {
+      return kAvx512PackedKernels[k];
+    }
+  }
+  if (simd.level >= SimdLevel::kAvx2 && k >= kAvx2IndexMinArity &&
+      kAvx2PackedKernels[k] != nullptr) {
+    return kAvx2PackedKernels[k];
+  }
+  return kScalarPackedKernels[k];
+}
+
+}  // namespace privbayes

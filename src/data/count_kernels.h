@@ -1,0 +1,68 @@
+// Per-ISA counting kernels for packed all-binary candidate sets.
+//
+// A packed candidate set is counted in 64-row blocks: bits[j] is attribute
+// j's bit-packed column (bit r of word r/64 is row r's value), and the joint
+// histogram cell of a row is the k-bit number formed by its attribute bits
+// with attribute 0 most significant (row-major table order, last attribute
+// stride 1 — the same layout ProbTable uses).
+//
+// Three implementations exist, all producing bit-identical integer counts:
+//
+//   scalar  — template-unrolled AND+popcount prefix tree (always compiled,
+//             the reference and fallback);
+//   avx2    — index assembly: broadcast each packed word, expand bits to
+//             byte lanes (vpbroadcastd/vpshufb/vpand/vpcmpeqb), OR the
+//             per-attribute weight bytes into 32 row indices per register,
+//             and accumulate into interleaved 16-bit staged histograms
+//             flushed before overflow;
+//   avx512  — the same index assembly with each packed word used directly
+//             as a __mmask64 (one masked byte-add per attribute per 64
+//             rows), plus a vpopcntdq AND-tree variant for shallow arities
+//             that counts 512 rows per sweep.
+//
+// Which one runs is a per-arity decision made by SelectPackedKernel against
+// common/cpu.h's active level; crossover arities were set from the committed
+// microbenchmarks (BENCH_core.json).
+
+#ifndef PRIVBAYES_DATA_COUNT_KERNELS_H_
+#define PRIVBAYES_DATA_COUNT_KERNELS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace privbayes {
+
+/// All-binary candidate sets above this arity fall back to the radix kernel
+/// (the index-assembly kernels assemble byte indices, so 2^k must fit 8
+/// bits; the scalar tree's 2^k cells stop paying for themselves there too).
+inline constexpr int kMaxPackedAttrs = 8;
+
+/// Counts rows of packed blocks [block_begin, block_end): bits[j] holds
+/// attribute j's packed words; the block at `last_block` only counts rows
+/// selected by `tail_mask` (bits past the dataset's last row are zero in
+/// every packed column, so the mask must clear them). Integer counts are
+/// ADDED into counts[2^k].
+using PackedCountFn = void (*)(const uint64_t* const* bits,
+                               size_t block_begin, size_t block_end,
+                               size_t last_block, uint64_t tail_mask,
+                               int64_t* counts);
+
+/// Kernels indexed by arity k (entry 0 unused). Entries are null where the
+/// ISA has no kernel for that arity — either not compiled in (the per-file
+/// -mavx* flag was unavailable) or never profitable there; selection falls
+/// through to the next level down.
+using PackedKernelTable = std::array<PackedCountFn, kMaxPackedAttrs + 1>;
+
+extern const PackedKernelTable kScalarPackedKernels;   // fully populated
+extern const PackedKernelTable kAvx2PackedKernels;     // index assembly
+extern const PackedKernelTable kAvx512PackedKernels;   // index assembly
+extern const PackedKernelTable kAvx512PopcntKernels;   // vpopcntdq AND-tree
+
+/// The kernel AccumulateCounts runs for arity k (1 <= k <= kMaxPackedAttrs)
+/// under the active SIMD level. Never null: the scalar table is complete.
+PackedCountFn SelectPackedKernel(int k);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DATA_COUNT_KERNELS_H_

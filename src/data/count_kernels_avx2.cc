@@ -1,0 +1,104 @@
+// AVX2 index-assembly kernel. Compiled with -mavx2 (per-file, see
+// CMakeLists.txt); when the compiler cannot target AVX2 this TU degrades to
+// a table of nulls and dispatch falls back to the scalar tree.
+//
+// Per 32-row half block: broadcast the half word of each packed attribute
+// column (vpbroadcastd), move the byte covering each row lane into place
+// (vpshufb), test the row's bit (vpand + vpcmpeqb), and OR the attribute's
+// weight byte (1 << (K-1-j)) into an index register — after K attributes,
+// lane r holds row r's joint-histogram cell. The 32 byte indices are then
+// spilled and counted into four interleaved 16-bit staged histograms (four,
+// so runs of rows landing in the same cell — common on skewed data — don't
+// serialize on store-to-load forwarding), which flush into the 64-bit counts
+// before any 16-bit counter can reach 65535.
+
+#include <cstring>
+#include <utility>
+
+#include "data/count_kernels.h"
+#include "data/count_kernels_hist.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace privbayes {
+
+namespace {
+
+using kernel_detail::FlushHist;
+using kernel_detail::kBlocksPerFlush;
+
+template <int K>
+void CountRangeAvx2(const uint64_t* const* bits, size_t block_begin,
+                    size_t block_end, size_t last_block, uint64_t tail_mask,
+                    int64_t* counts) {
+  // Byte lane r of the shuffle reads byte r/8 of the broadcast 32-bit half
+  // word (vpshufb selects within 128-bit lanes; after vpbroadcastd every
+  // lane holds the full half word, so controls 2/3 reach its upper bytes).
+  const __m256i lane_byte = _mm256_setr_epi8(
+      0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1,  //
+      2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3);
+  const __m256i bit_sel = _mm256_setr_epi8(
+      1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,  //
+      1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128);
+
+  alignas(64) uint16_t hist[4][1 << K];
+  std::memset(hist, 0, sizeof(hist));
+  alignas(32) uint8_t idxbuf[32];
+  size_t since_flush = 0;
+
+  for (size_t b = block_begin; b < block_end; ++b) {
+    if (b == last_block && tail_mask != ~uint64_t{0}) {
+      // Partial tail block: rows past the dataset end would assemble cell
+      // index 0 and inflate it; hand the masked block to the scalar tree.
+      kScalarPackedKernels[K](bits, b, b + 1, last_block, tail_mask, counts);
+      continue;
+    }
+    for (int half = 0; half < 2; ++half) {
+      __m256i idx = _mm256_setzero_si256();
+      for (int j = 0; j < K; ++j) {
+        uint32_t half_word = static_cast<uint32_t>(bits[j][b] >> (32 * half));
+        __m256i bytes = _mm256_shuffle_epi8(
+            _mm256_set1_epi32(static_cast<int>(half_word)), lane_byte);
+        __m256i hit =
+            _mm256_cmpeq_epi8(_mm256_and_si256(bytes, bit_sel), bit_sel);
+        const char weight = static_cast<char>(1u << (K - 1 - j));
+        idx = _mm256_or_si256(
+            idx, _mm256_and_si256(hit, _mm256_set1_epi8(weight)));
+      }
+      _mm256_store_si256(reinterpret_cast<__m256i*>(idxbuf), idx);
+      for (int r = 0; r < 32; r += 4) {
+        ++hist[0][idxbuf[r]];
+        ++hist[1][idxbuf[r + 1]];
+        ++hist[2][idxbuf[r + 2]];
+        ++hist[3][idxbuf[r + 3]];
+      }
+    }
+    if (++since_flush == kBlocksPerFlush) {
+      FlushHist<K>(hist, counts);
+      since_flush = 0;
+    }
+  }
+  FlushHist<K>(hist, counts);
+}
+
+template <int... Ks>
+constexpr PackedKernelTable MakeAvx2Table(std::integer_sequence<int, Ks...>) {
+  return {nullptr, &CountRangeAvx2<Ks + 1>...};
+}
+
+}  // namespace
+
+const PackedKernelTable kAvx2PackedKernels =
+    MakeAvx2Table(std::make_integer_sequence<int, kMaxPackedAttrs>());
+
+}  // namespace privbayes
+
+#else  // !defined(__AVX2__)
+
+namespace privbayes {
+const PackedKernelTable kAvx2PackedKernels = {};
+}  // namespace privbayes
+
+#endif

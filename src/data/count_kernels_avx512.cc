@@ -1,0 +1,255 @@
+// AVX-512 kernels. Compiled with -mavx512f -mavx512bw -mavx512vpopcntdq
+// (per-file, see CMakeLists.txt); without compiler support this TU degrades
+// to tables of nulls and dispatch falls back to AVX2 or scalar.
+//
+// Two variants, selected per arity by SelectPackedKernel:
+//
+//   * Index assembly: each packed 64-row word IS a __mmask64, so assembling
+//     all 64 row indices of a block costs one masked byte-add per attribute
+//     (idx[r] += weight_j exactly when row r has bit j set — weights are
+//     distinct powers of two, so add == or). The indices are spilled and
+//     counted into interleaved 16-bit staged histograms exactly like the
+//     AVX2 kernel. Needs only F+BW.
+//
+//   * vpopcntdq kernels: the scalar prefix tree lifted onto 512-bit
+//     vectors, 8 words (512 rows) per sweep, with per-leaf vector popcount
+//     accumulators reduced once at the end — as a plain tree at shallow
+//     arities and as a two-half cross product (leaves of two half-depth
+//     trees ANDed pairwise) at deep ones, which cuts the port-limited
+//     AND/popcount count by ~40% at k = 8. Needs AVX512VPOPCNTDQ (gated at
+//     runtime by CpuHasAvx512Vpopcntdq, not by the base AVX-512 level).
+
+#include <cstring>
+#include <utility>
+
+#include "data/count_kernels.h"
+#include "data/count_kernels_hist.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+namespace privbayes {
+
+namespace {
+
+using kernel_detail::FlushHist;
+using kernel_detail::kBlocksPerFlush;
+
+template <int K>
+void CountRangeAvx512Index(const uint64_t* const* bits, size_t block_begin,
+                           size_t block_end, size_t last_block,
+                           uint64_t tail_mask, int64_t* counts) {
+  alignas(64) uint16_t hist[4][1 << K];
+  std::memset(hist, 0, sizeof(hist));
+  alignas(64) uint8_t idxbuf[64];
+  size_t since_flush = 0;
+
+  for (size_t b = block_begin; b < block_end; ++b) {
+    if (b == last_block && tail_mask != ~uint64_t{0}) {
+      // Rows past the dataset end would assemble cell index 0; hand the
+      // masked tail block to the scalar tree.
+      kScalarPackedKernels[K](bits, b, b + 1, last_block, tail_mask, counts);
+      continue;
+    }
+    __m512i idx = _mm512_setzero_si512();
+    for (int j = 0; j < K; ++j) {
+      const __mmask64 rows = _cvtu64_mask64(bits[j][b]);
+      const char weight = static_cast<char>(1u << (K - 1 - j));
+      idx = _mm512_mask_add_epi8(idx, rows, idx, _mm512_set1_epi8(weight));
+    }
+    _mm512_store_si512(idxbuf, idx);
+    for (int r = 0; r < 64; r += 4) {
+      ++hist[0][idxbuf[r]];
+      ++hist[1][idxbuf[r + 1]];
+      ++hist[2][idxbuf[r + 2]];
+      ++hist[3][idxbuf[r + 3]];
+    }
+    if (++since_flush == kBlocksPerFlush) {
+      FlushHist<K>(hist, counts);
+      since_flush = 0;
+    }
+  }
+  FlushHist<K>(hist, counts);
+}
+
+template <int... Ks>
+constexpr PackedKernelTable MakeIndexTable(
+    std::integer_sequence<int, Ks...>) {
+  return {nullptr, &CountRangeAvx512Index<Ks + 1>...};
+}
+
+}  // namespace
+
+const PackedKernelTable kAvx512PackedKernels =
+    MakeIndexTable(std::make_integer_sequence<int, kMaxPackedAttrs>());
+
+}  // namespace privbayes
+
+#if defined(__AVX512VPOPCNTDQ__)
+
+namespace privbayes {
+
+namespace {
+
+// The scalar CountBlockUnrolled on 512-bit words: `word` holds the rows of
+// this 8-word group matching the value prefix over attrs [0, Depth). Leaves
+// add a vector popcount into a per-cell accumulator instead of reducing
+// immediately — one reduction per cell per range, not per group.
+template <int K, int Depth = 0>
+inline void TreeGroup512(const __m512i* vbits, __m512i word, size_t idx,
+                         __m512i* acc) {
+  if constexpr (Depth + 2 <= K && Depth >= K - 3) {
+    if (_mm512_test_epi64_mask(word, word) == 0) return;
+  }
+  if constexpr (Depth == K) {
+    acc[idx] = _mm512_add_epi64(acc[idx], _mm512_popcnt_epi64(word));
+  } else {
+    __m512i b = vbits[Depth];
+    TreeGroup512<K, Depth + 1>(vbits, _mm512_andnot_si512(b, word), idx * 2,
+                               acc);
+    TreeGroup512<K, Depth + 1>(vbits, _mm512_and_si512(word, b), idx * 2 + 1,
+                               acc);
+  }
+}
+
+// Descends one half of the attribute split, materializing the 2^KH leaf
+// words (rows matching each value pattern of the half) instead of counting.
+template <int KH, int Depth = 0>
+inline void HalfTree512(const __m512i* vbits, __m512i word, size_t idx,
+                        __m512i* leaves) {
+  if constexpr (Depth == KH) {
+    leaves[idx] = word;
+  } else {
+    __m512i b = vbits[Depth];
+    HalfTree512<KH, Depth + 1>(vbits, _mm512_andnot_si512(b, word), idx * 2,
+                               leaves);
+    HalfTree512<KH, Depth + 1>(vbits, _mm512_and_si512(word, b), idx * 2 + 1,
+                               leaves);
+  }
+}
+
+// Cross-product kernel for deep arities: split the k attributes into halves
+// of K1 and K2, expand each half's tree to leaf words (2^(K1+1) + 2^(K2+1)
+// ANDs), then combine leaves pairwise — cell (a, b) += popcnt(La & Rb). The
+// full tree costs 2^(k+1) ANDs per group; the split costs 2^k + small, a
+// ~40% cut in the port-limited AND/popcount work at k = 8, and empty left
+// leaves prune 2^K2 cells with one test.
+template <int K>
+void CountRangeAvx512Cross(const uint64_t* const* bits, size_t block_begin,
+                           size_t block_end, size_t last_block,
+                           uint64_t tail_mask, int64_t* counts) {
+  constexpr int K2 = K < 6 ? K / 2 : 3;
+  constexpr int K1 = K - K2;
+  const kernel_detail::BlockSplit split = kernel_detail::SplitBlocks(
+      block_begin, block_end, last_block, tail_mask, /*group_blocks=*/8);
+
+  alignas(64) __m512i acc[size_t{1} << K];
+  std::memset(acc, 0, sizeof(acc));
+  __m512i vbits[K1 > K2 ? K1 : K2];
+  __m512i left[size_t{1} << K1], right[size_t{1} << K2];
+  for (size_t b = block_begin; b < split.group_end; b += 8) {
+    for (int j = 0; j < K1; ++j) {
+      vbits[j] = _mm512_loadu_si512(bits[j] + b);
+    }
+    HalfTree512<K1>(vbits, _mm512_set1_epi64(-1), 0, left);
+    for (int j = 0; j < K2; ++j) {
+      vbits[j] = _mm512_loadu_si512(bits[K1 + j] + b);
+    }
+    HalfTree512<K2>(vbits, _mm512_set1_epi64(-1), 0, right);
+    for (size_t a = 0; a < (size_t{1} << K1); ++a) {
+      const __m512i la = left[a];
+      if (_mm512_test_epi64_mask(la, la) == 0) continue;
+      __m512i* row = acc + (a << K2);
+      for (size_t c = 0; c < (size_t{1} << K2); ++c) {
+        row[c] = _mm512_add_epi64(
+            row[c],
+            _mm512_popcnt_epi64(_mm512_and_si512(la, right[c])));
+      }
+    }
+  }
+  for (size_t c = 0; c < (size_t{1} << K); ++c) {
+    counts[c] += _mm512_reduce_add_epi64(acc[c]);
+  }
+
+  if (split.end > split.group_end) {
+    kScalarPackedKernels[K](bits, split.group_end, split.end, last_block,
+                            tail_mask, counts);
+  }
+  if (split.has_tail) {
+    kScalarPackedKernels[K](bits, last_block, block_end, last_block,
+                            tail_mask, counts);
+  }
+}
+
+template <int K>
+void CountRangeAvx512Tree(const uint64_t* const* bits, size_t block_begin,
+                          size_t block_end, size_t last_block,
+                          uint64_t tail_mask, int64_t* counts) {
+  // The masked tail block and the sub-group remainder run on the scalar
+  // tree; the vector sweep below only ever sees full 64-row words.
+  const kernel_detail::BlockSplit split = kernel_detail::SplitBlocks(
+      block_begin, block_end, last_block, tail_mask, /*group_blocks=*/8);
+
+  alignas(64) __m512i acc[size_t{1} << K];
+  std::memset(acc, 0, sizeof(acc));
+  __m512i vbits[K];
+  for (size_t b = block_begin; b < split.group_end; b += 8) {
+    for (int j = 0; j < K; ++j) {
+      vbits[j] = _mm512_loadu_si512(bits[j] + b);
+    }
+    TreeGroup512<K, 0>(vbits, _mm512_set1_epi64(-1), 0, acc);
+  }
+  for (size_t c = 0; c < (size_t{1} << K); ++c) {
+    counts[c] += _mm512_reduce_add_epi64(acc[c]);
+  }
+
+  if (split.end > split.group_end) {
+    kScalarPackedKernels[K](bits, split.group_end, split.end, last_block,
+                            tail_mask, counts);
+  }
+  if (split.has_tail) {
+    kScalarPackedKernels[K](bits, last_block, block_end, last_block,
+                            tail_mask, counts);
+  }
+}
+
+// Plain tree for shallow arities (few leaves, pruning bites); cross-product
+// for deep ones, where the full tree's 2^(k+1) ANDs dominate.
+template <int K>
+constexpr PackedCountFn PickPopcntKernel() {
+  if constexpr (K <= 4) {
+    return &CountRangeAvx512Tree<K>;
+  } else {
+    return &CountRangeAvx512Cross<K>;
+  }
+}
+
+template <int... Ks>
+constexpr PackedKernelTable MakeTreeTable(std::integer_sequence<int, Ks...>) {
+  return {nullptr, PickPopcntKernel<Ks + 1>()...};
+}
+
+}  // namespace
+
+const PackedKernelTable kAvx512PopcntKernels =
+    MakeTreeTable(std::make_integer_sequence<int, kMaxPackedAttrs>());
+
+}  // namespace privbayes
+
+#else  // !defined(__AVX512VPOPCNTDQ__)
+
+namespace privbayes {
+const PackedKernelTable kAvx512PopcntKernels = {};
+}  // namespace privbayes
+
+#endif
+
+#else  // !(__AVX512F__ && __AVX512BW__)
+
+namespace privbayes {
+const PackedKernelTable kAvx512PackedKernels = {};
+const PackedKernelTable kAvx512PopcntKernels = {};
+}  // namespace privbayes
+
+#endif

@@ -1,0 +1,57 @@
+// Shared scalar helpers of the SIMD counting kernels. ISA-independent plain
+// C++, safe to include from any kernel TU regardless of its per-file flags —
+// kept out of the TUs so the staged-histogram overflow bound and the
+// tail-block bookkeeping exist exactly once.
+
+#ifndef PRIVBAYES_DATA_COUNT_KERNELS_HIST_H_
+#define PRIVBAYES_DATA_COUNT_KERNELS_HIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace privbayes {
+namespace kernel_detail {
+
+// The index-assembly kernels deal rows round-robin over 4 interleaved
+// 16-bit sub-histograms (interleaved so runs of rows landing in the same
+// cell don't serialize on store-to-load forwarding). One counter receives
+// at most 16 rows per 64-row block, so flushing every 4095 blocks keeps
+// every counter under 16 * 4095 = 65520 < 65535.
+inline constexpr size_t kBlocksPerFlush = 4095;
+
+template <int K>
+inline void FlushHist(uint16_t (&hist)[4][1 << K], int64_t* counts) {
+  for (int c = 0; c < (1 << K); ++c) {
+    counts[c] += static_cast<int64_t>(hist[0][c]) + hist[1][c] + hist[2][c] +
+                 hist[3][c];
+  }
+  std::memset(hist, 0, sizeof(hist));
+}
+
+// Splits a block range for kernels that sweep whole multi-word groups: the
+// masked tail block (if inside the range) and the sub-group remainder must
+// run on the per-word scalar tree; [block_begin, group_end) is safe for
+// full-group vector sweeps.
+struct BlockSplit {
+  size_t end;        // blocks before the masked tail
+  size_t group_end;  // end of the last full group within [block_begin, end)
+  bool has_tail;     // the masked tail block lies inside the range
+};
+
+inline BlockSplit SplitBlocks(size_t block_begin, size_t block_end,
+                              size_t last_block, uint64_t tail_mask,
+                              size_t group_blocks) {
+  BlockSplit split;
+  split.has_tail = tail_mask != ~uint64_t{0} && last_block >= block_begin &&
+                   last_block < block_end;
+  split.end = split.has_tail ? last_block : block_end;
+  split.group_end =
+      block_begin + (split.end - block_begin) / group_blocks * group_blocks;
+  return split;
+}
+
+}  // namespace kernel_detail
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DATA_COUNT_KERNELS_HIST_H_

@@ -1,0 +1,60 @@
+// Scalar AND+popcount prefix-tree kernel — the always-compiled reference
+// implementation every SIMD kernel must match bit for bit.
+
+#include <bit>
+#include <utility>
+
+#include "data/count_kernels.h"
+
+namespace privbayes {
+
+namespace {
+
+// Expands `word` (the rows of this 64-row block matching the value prefix
+// over attrs [0, Depth)) over attribute Depth; adds popcounts at the leaves.
+// The recursion is over a compile-time depth, so each block compiles to a
+// straight tree of AND + popcount with no calls. Zero-subtree pruning is a
+// branch, so it is only emitted where the subtree is big enough to be worth
+// skipping AND the word is rarely zero (shallow depths) — deep levels run
+// branchless, since with ~64 rows spread over 2^K cells a "is this leaf
+// empty" branch is unpredictable and popcount(0) is free.
+template <int K, int Depth = 0>
+inline void CountBlockUnrolled(const uint64_t* const* bits, size_t block,
+                               uint64_t word, size_t idx, int64_t* counts) {
+  if constexpr (Depth + 3 < K) {
+    if (word == 0) return;
+  }
+  if constexpr (Depth == K) {
+    counts[idx] += std::popcount(word);
+  } else {
+    uint64_t b = bits[Depth][block];
+    CountBlockUnrolled<K, Depth + 1>(bits, block, word & ~b, idx * 2, counts);
+    CountBlockUnrolled<K, Depth + 1>(bits, block, word & b, idx * 2 + 1,
+                                     counts);
+  }
+}
+
+// Counts a whole block range for a compile-time arity, so the per-block tree
+// inlines into one loop body (no indirect call per 64 rows).
+template <int K>
+void CountRangeUnrolled(const uint64_t* const* bits, size_t block_begin,
+                        size_t block_end, size_t last_block,
+                        uint64_t tail_mask, int64_t* counts) {
+  for (size_t b = block_begin; b < block_end; ++b) {
+    uint64_t root = b == last_block ? tail_mask : ~uint64_t{0};
+    CountBlockUnrolled<K, 0>(bits, b, root, 0, counts);
+  }
+}
+
+template <int... Ks>
+constexpr PackedKernelTable MakeScalarTable(
+    std::integer_sequence<int, Ks...>) {
+  return {nullptr, &CountRangeUnrolled<Ks + 1>...};
+}
+
+}  // namespace
+
+const PackedKernelTable kScalarPackedKernels =
+    MakeScalarTable(std::make_integer_sequence<int, kMaxPackedAttrs>());
+
+}  // namespace privbayes

@@ -171,6 +171,38 @@ TEST(PrivateGreedy, QualityImprovesWithEpsilon) {
   EXPECT_GT(hi, lo);
 }
 
+TEST(PrivateGreedy, JointCacheHitsAcrossIterations) {
+  // With full enumeration, every candidate that survives an iteration
+  // reappears with the same parent set, so the per-learn joint memo must
+  // record hits — and a rerun with the same seed must give the same network
+  // (the cache only changes WHEN joints are counted, never their values).
+  Dataset data = MakeNltcs(21, 3000);
+  PrivateGreedyOptions opts;
+  opts.score = ScoreKind::kR;
+  opts.epsilon1 = 0.5;
+  opts.fixed_k = 2;
+  opts.first_attr = 0;
+  JointCacheStats stats;
+  opts.cache_stats = &stats;
+  Rng rng(77);
+  LearnedNetwork learned = LearnNetworkBinary(data, opts, rng, nullptr);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+
+  PrivateGreedyOptions opts2 = opts;
+  JointCacheStats stats2;
+  opts2.cache_stats = &stats2;
+  Rng rng2(77);
+  LearnedNetwork learned2 = LearnNetworkBinary(data, opts2, rng2, nullptr);
+  ASSERT_EQ(learned.net.size(), learned2.net.size());
+  for (int i = 0; i < learned.net.size(); ++i) {
+    EXPECT_EQ(learned.net.pair(i).attr, learned2.net.pair(i).attr) << i;
+    EXPECT_EQ(learned.net.pair(i).parents, learned2.net.pair(i).parents) << i;
+  }
+  EXPECT_EQ(stats.hits, stats2.hits);
+  EXPECT_EQ(stats.misses, stats2.misses);
+}
+
 // With identical seeds, F should on average produce networks at least as
 // good as I under tight budgets (the paper's §4.3 motivation).
 TEST(PrivateGreedy, ScoreFBeatsIAtTightBudget) {

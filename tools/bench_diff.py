@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files and warn on throughput regressions.
+
+Usage: bench_diff.py BASELINE.json NEW.json [--threshold 0.20]
+
+Compares `items_per_second` (falling back to inverse `real_time`) for every
+benchmark present in both files. Regressions beyond the threshold are
+reported as GitHub Actions `::warning::` annotations; the exit code is
+always 0 — CI machines are noisy, so the diff informs rather than gates.
+"""
+
+import argparse
+import json
+import sys
+
+
+def metric(entry):
+    """Throughput-like metric: higher is better."""
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"]), "items/s"
+    real_time = float(entry.get("real_time", 0))
+    if real_time > 0:
+        return 1.0 / real_time, "1/time"
+    return None, None
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        value, kind = metric(entry)
+        if value is not None:
+            out[entry["name"]] = (value, kind)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="warn when throughput drops more than this "
+                             "fraction (default 0.20)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new)
+    shared = sorted(set(base) & set(new))
+    if not shared:
+        print("bench_diff: no shared benchmark names; nothing to compare")
+        return 0
+
+    regressions = 0
+    print(f"{'benchmark':52s} {'baseline':>12s} {'new':>12s} {'ratio':>7s}")
+    for name in shared:
+        b, _ = base[name]
+        n, _ = new[name]
+        ratio = n / b if b > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            flag = "  <-- regression"
+            regressions += 1
+            print(f"::warning::bench regression: {name} "
+                  f"{b:.3g} -> {n:.3g} items/s ({ratio:.2f}x)")
+        print(f"{name:52s} {b:12.4g} {n:12.4g} {ratio:6.2f}x{flag}")
+
+    dropped = sorted(set(base) - set(new))
+    for name in dropped:
+        print(f"::warning::benchmark disappeared from suite: {name}")
+    print(f"bench_diff: {len(shared)} compared, {regressions} regressed "
+          f"beyond {args.threshold:.0%}, {len(dropped)} dropped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
