@@ -8,9 +8,13 @@
 #include "common/cpu.h"
 #include "core/noisy_conditionals.h"
 #include "core/private_greedy.h"
+#include "core/privbayes.h"
 #include "core/score_functions.h"
 #include "data/generators.h"
 #include "dp/mechanisms.h"
+#include "serve/model_registry.h"
+#include "serve/query_service.h"
+#include "serve/sampling_service.h"
 
 namespace pb = privbayes;
 
@@ -298,6 +302,69 @@ void BM_LaplaceNoiseVector(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_LaplaceNoiseVector)->Arg(256)->Arg(65536);
+
+// --- serving (src/serve) ---------------------------------------------------
+// Registry + services exactly as the TCP front-end drives them. A shared
+// fleet of 4 fitted NLTCS models is built once; Arg = how many of them the
+// clients round-robin over (1 = single hot model, 4 = spread), ->Threads =
+// concurrent client threads hammering one SamplingService.
+
+struct ServeFixture {
+  pb::ModelRegistry registry;
+  pb::SamplingService service{&registry, /*max_parallel_batches=*/2};
+  pb::QueryService query{&registry};
+};
+
+ServeFixture& Serving() {
+  static ServeFixture* fixture = [] {
+    auto* f = new ServeFixture();
+    for (int m = 0; m < 4; ++m) {
+      pb::Dataset data = pb::MakeNltcs(100 + m, 4000);
+      pb::PrivBayesOptions opts;
+      opts.epsilon = 0.8;
+      opts.candidate_cap = 60;
+      pb::PrivBayes privbayes(opts);
+      pb::Rng rng(100 + m);
+      f->registry.Put("m" + std::to_string(m), privbayes.Fit(data, rng));
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_ServeSampleBatch(benchmark::State& state) {
+  ServeFixture& serving = Serving();
+  const int num_models = static_cast<int>(state.range(0));
+  constexpr int kBatchRows = 16384;
+  pb::SampleRequest request;
+  request.model = "m" + std::to_string(state.thread_index() % num_models);
+  request.num_rows = kBatchRows;
+  uint64_t seed = 1000 * (state.thread_index() + 1);
+  for (auto _ : state) {
+    request.seed = seed++;
+    benchmark::DoNotOptimize(serving.service.SampleToDataset(request));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+}
+BENCHMARK(BM_ServeSampleBatch)
+    ->Arg(1)->Arg(4)->Threads(1)->Threads(4)->Threads(16)
+    ->UseRealTime();
+
+void BM_ServeMarginalQuery(benchmark::State& state) {
+  ServeFixture& serving = Serving();
+  // A rotating 3-way workload (the paper's Q3 shape) against one model.
+  const pb::Schema& schema =
+      serving.registry.Require("m0")->model().original_schema;
+  const int d = schema.num_attrs();
+  int a = state.thread_index() % d;
+  for (auto _ : state) {
+    std::vector<int> attrs = {a % d, (a + 3) % d, (a + 7) % d};
+    benchmark::DoNotOptimize(serving.query.Marginal("m0", attrs));
+    ++a;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeMarginalQuery)->Threads(1)->Threads(4)->UseRealTime();
 
 }  // namespace
 

@@ -1,63 +1,105 @@
-// Model serving: the fit-once / serve-forever workflow.
+// Model serving: the fit-once / serve-forever workflow, on the serving
+// subsystem (src/serve).
 //
 // The fitted PrivBayes model IS the private release — once ε is spent, the
 // model can be archived, reloaded, sampled, and queried any number of times
-// at zero additional privacy cost (post-processing). This example:
-//   1. fits a model on a sensitive table,
-//   2. saves it to disk and reloads it (core/model_io.h),
-//   3. answers marginal queries DIRECTLY from the reloaded model via
-//      variable elimination (core/inference.h — the paper's §7 future-work
-//      direction) and compares against sampled answers.
+// at zero additional privacy cost (post-processing). This example walks the
+// production path end to end:
+//   1. fits two models and archives them with a registry manifest
+//      (core/model_io.h),
+//   2. boots a ModelRegistry from the manifest — the serving process never
+//      sees the sensitive data,
+//   3. serves batch sampling through SamplingService (deterministic:
+//      same request seed ⇒ same rows) and direct marginal queries through
+//      QueryService (core/inference.h — the paper's §7 direction),
+//   4. hot-swaps a model while a request handle is in flight.
+//
+// The TCP front-end over the same services is tools/privbayes_serve.cc +
+// examples/serve_client.cc.
 
 #include <cstdio>
-#include <memory>
+#include <cstdlib>
 
-#include "core/inference.h"
 #include "core/model_io.h"
 #include "core/privbayes.h"
 #include "data/generators.h"
 #include "query/marginal_workload.h"
+#include "serve/model_registry.h"
+#include "serve/query_service.h"
+#include "serve/sampling_service.h"
 
 namespace pb = privbayes;
 
 int main() {
+  // --- Data-owner side: fit once, archive, publish a manifest. ------------
   pb::Dataset sensitive = pb::MakeNltcs(/*seed=*/99, /*num_rows=*/21574);
-  pb::PrivBayesOptions options;
-  options.epsilon = 0.4;
-  options.candidate_cap = 200;
-  pb::PrivBayes privbayes(options);
-  pb::Rng rng(1);
+  auto fit = [&](double epsilon) {
+    pb::PrivBayesOptions options;
+    options.epsilon = epsilon;
+    options.candidate_cap = 200;
+    pb::PrivBayes privbayes(options);
+    pb::Rng rng(1);
+    std::printf("Fitting (ε = %.2f)...\n", epsilon);
+    return privbayes.Fit(sensitive, rng);
+  };
+  pb::SaveModelFile(fit(0.4), "nltcs-e04.privbayes-model");
+  pb::SaveModelFile(fit(4.0), "nltcs-e40.privbayes-model");
+  pb::SaveRegistryManifestFile(
+      {{"nltcs-lo", "nltcs-e04.privbayes-model"},
+       {"nltcs-hi", "nltcs-e40.privbayes-model"}},
+      "nltcs.privbayes-registry");
+  std::printf("Archived 2 models + manifest nltcs.privbayes-registry\n\n");
 
-  std::printf("Fitting (ε = %.2f)...\n", options.epsilon);
-  pb::PrivBayesModel fitted = privbayes.Fit(sensitive, rng);
-  pb::SaveModelFile(fitted, "nltcs.privbayes-model");
-  std::printf("Model archived to nltcs.privbayes-model\n");
+  // --- Serving side: no access to the sensitive data from here on. -------
+  pb::ModelRegistry registry;
+  registry.LoadManifestFile("nltcs.privbayes-registry");
+  pb::SamplingService sampling(&registry);
+  pb::QueryService query(&registry);
+  std::printf("Registry serves:");
+  for (const std::string& name : registry.Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
 
-  // ... later, in a serving process with no access to the sensitive data:
-  auto model = std::make_shared<pb::PrivBayesModel>(
-      pb::LoadModelFile("nltcs.privbayes-model"));
-  std::printf("Reloaded model: %d attributes, degree k = %d, ε1+ε2 = %.2f\n\n",
-              model->encoded_schema.num_attrs(), model->degree_k,
-              model->epsilon1 + model->epsilon2);
+  // A batch request: deterministic in (model, rows, seed).
+  pb::SampleRequest request;
+  request.model = "nltcs-lo";
+  request.num_rows = sensitive.num_rows();
+  request.seed = 2;
+  pb::Dataset synthetic = sampling.SampleToDataset(request);
+  std::printf("Sampled %d rows from %s (re-request with seed %llu for the "
+              "same table)\n",
+              synthetic.num_rows(), request.model.c_str(),
+              static_cast<unsigned long long>(request.seed));
 
-  // Serve: exact model marginals (no sampling noise) vs an n-row synthetic
-  // sample (what the paper's evaluation uses).
-  pb::Rng srng(2);
-  pb::Dataset synthetic =
-      pb::SampleSyntheticData(*model, sensitive.num_rows(), srng);
+  // Marginal accuracy: answers sampled from synthetic rows vs computed
+  // directly from the served model — the §7 "answer from the model" idea
+  // drops the sampling-noise term at zero additional privacy cost.
   pb::MarginalWorkload workload =
       pb::MarginalWorkload::AllAlphaWay(sensitive.schema(), 3);
   pb::Rng wrng(3);
   workload.SubsampleTo(60, wrng);
-
-  double direct_err = pb::AverageMarginalTvd(
-      sensitive, workload, pb::ModelMarginalProvider(model));
   double sampled_err = pb::AverageMarginalTvd(sensitive, workload, synthetic);
+  double direct_err = pb::AverageMarginalTvd(sensitive, workload,
+                                             query.Provider("nltcs-lo"));
   std::printf("Average Q3 variation distance vs the sensitive data:\n");
   std::printf("  answers sampled from synthetic rows : %.4f\n", sampled_err);
   std::printf("  answers computed from the model     : %.4f\n", direct_err);
-  std::printf(
-      "\nDirect answers drop the sampling-noise term — the §7 'answer from "
-      "the model' idea.\nBoth numbers cost zero additional privacy budget.\n");
+
+  // Hot-swap: replace nltcs-lo while a request handle is out. The handle
+  // keeps serving the OLD model until released; new requests get the new
+  // one. This is how a fleet refreshes models under live traffic.
+  auto in_flight = registry.Require("nltcs-lo");
+  registry.Put("nltcs-lo", pb::LoadModelFile("nltcs-e40.privbayes-model"));
+  auto fresh = registry.Require("nltcs-lo");
+  std::printf("\nHot-swapped nltcs-lo: in-flight handle still serves ε=%.2f, "
+              "new requests get ε=%.2f\n",
+              in_flight->model().epsilon1 + in_flight->model().epsilon2,
+              fresh->model().epsilon1 + fresh->model().epsilon2);
+  std::printf("Thread-pool admission: %llu batches pooled, %llu ran inline\n",
+              static_cast<unsigned long long>(
+                  sampling.admission().admitted_total()),
+              static_cast<unsigned long long>(
+                  sampling.admission().bypassed_total()));
   return 0;
 }

@@ -1,0 +1,120 @@
+// Multi-client driver for a running privbayes_serve daemon.
+//
+// Connects several client threads, pulls a synthetic batch from every
+// served model on each, and issues a direct marginal query — the
+// end-to-end proof that one server answers concurrent sampling AND query
+// traffic. Verifies on the wire what the serving layer promises:
+//   * same request seed ⇒ byte-identical rows across connections,
+//   * a projected request returns exactly the requested columns,
+//   * a served marginal is a normalized distribution.
+// Exits non-zero on any violation (the CI smoke job runs this binary).
+//
+// usage: serve_client [port] [host] [threads] [rows]
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+
+namespace pb = privbayes;
+
+namespace {
+
+std::atomic<int> g_failures{0};
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    g_failures.fetch_add(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int port = argc > 1 ? std::atoi(argv[1]) : 7878;
+  const std::string host = argc > 2 ? argv[2] : "127.0.0.1";
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int64_t rows = argc > 4 ? std::atol(argv[4]) : 20000;
+
+  try {
+    pb::ServeClient probe(host, port);
+    probe.Ping();
+    std::vector<pb::ServedModelInfo> models = probe.List();
+    Check(!models.empty(), "server has no models");
+    std::printf("connected to %s:%d — %zu model(s)\n", host.c_str(), port,
+                models.size());
+    for (const pb::ServedModelInfo& m : models) {
+      std::printf("  %-12s %2d attrs, fitted on %d rows, eps=%.3g\n",
+                  m.name.c_str(), m.num_attrs, m.input_rows, m.epsilon);
+    }
+
+    for (const pb::ServedModelInfo& m : models) {
+      // Throughput: `threads` concurrent connections, each pulling `rows`.
+      auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> pullers;
+      for (int t = 0; t < threads; ++t) {
+        pullers.emplace_back([&, t] {
+          try {
+            pb::ServeClient client(host, port);
+            pb::ServeClient::SampleReply reply =
+                client.Sample(m.name, rows, /*seed=*/1000 + t);
+            Check(static_cast<int64_t>(reply.rows.size()) == rows,
+                  "short sample batch");
+            client.Quit();
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "FAIL: puller: %s\n", e.what());
+            g_failures.fetch_add(1);
+          }
+        });
+      }
+      for (std::thread& t : pullers) t.join();
+      double secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      std::printf("%s: %d clients × %lld rows in %.2fs — %.0f rows/s\n",
+                  m.name.c_str(), threads, static_cast<long long>(rows), secs,
+                  threads * static_cast<double>(rows) / secs);
+
+      // Determinism on the wire: two connections, same seed, same bytes.
+      pb::ServeClient a(host, port), b(host, port);
+      pb::ServeClient::SampleReply ra = a.Sample(m.name, 1000, /*seed=*/7);
+      pb::ServeClient::SampleReply rb = b.Sample(m.name, 1000, /*seed=*/7);
+      Check(ra.rows == rb.rows, "same seed gave different rows");
+
+      // Projection: first two columns only.
+      pb::ServeClient::SampleReply proj =
+          a.Sample(m.name, 100, /*seed=*/7, {0, 1});
+      Check(proj.columns.size() == 2, "projection width mismatch");
+
+      // Direct marginal query over the first two attributes.
+      pb::ServeClient::QueryReply marginal = a.Query(m.name, {0, 1});
+      double total = 0;
+      for (double p : marginal.probs) total += p;
+      Check(std::abs(total - 1.0) < 1e-9, "marginal does not sum to 1");
+      std::printf("%s: Pr[X0, X1] from the model = [", m.name.c_str());
+      for (size_t i = 0; i < marginal.probs.size() && i < 4; ++i) {
+        std::printf("%s%.4f", i ? " " : "", marginal.probs[i]);
+      }
+      std::printf("%s]\n", marginal.probs.size() > 4 ? " ..." : "");
+      a.Quit();
+      b.Quit();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL: %s\n", e.what());
+    return 1;
+  }
+
+  if (g_failures.load() > 0) {
+    std::fprintf(stderr, "%d check(s) failed\n", g_failures.load());
+    return 1;
+  }
+  std::printf("all serving checks passed\n");
+  return 0;
+}

@@ -14,7 +14,7 @@ namespace {
 // Rows per shard of a batch sampling / likelihood call. Fixed (not derived
 // from the thread count) so per-shard seeds land on the same rows no matter
 // how many threads run.
-constexpr int kSampleShardRows = 8192;
+constexpr int kSampleShardRows = NetworkSampler::kShardRows;
 
 // Validates table/pair agreement and returns the child's cardinality.
 int CheckPairTable(const Schema& schema, const APPair& pair,
@@ -112,29 +112,38 @@ void NetworkSampler::SampleRange(const std::vector<Value*>& cols, int begin,
 }
 
 Dataset NetworkSampler::Sample(int num_rows, Rng& rng) const {
+  // One seed drawn from the caller's stream, one derived Rng per fixed-size
+  // shard: the synthetic table is a pure function of the incoming Rng state,
+  // whether shards run on one thread or many.
+  return SampleChunk(rng.engine()(), /*first_shard=*/0, num_rows);
+}
+
+Dataset NetworkSampler::SampleChunk(uint64_t base_seed, int64_t first_shard,
+                                    int num_rows, bool parallel) const {
   PB_THROW_IF(num_rows < 0, "negative row count");
+  PB_THROW_IF(first_shard < 0, "negative shard index");
   const int d = schema_->num_attrs();
   std::vector<std::vector<Value>> columns(
       d, std::vector<Value>(static_cast<size_t>(num_rows)));
   std::vector<Value*> cols(d);
   for (int c = 0; c < d; ++c) cols[c] = columns[c].data();
 
-  // One seed drawn from the caller's stream, one derived Rng per fixed-size
-  // shard: the synthetic table is a pure function of the incoming Rng state,
-  // whether shards run on one thread or many.
-  const uint64_t base_seed = rng.engine()();
   const int num_shards = (num_rows + kSampleShardRows - 1) / kSampleShardRows;
-  ParallelFor(
-      static_cast<size_t>(num_shards),
-      [&](size_t begin, size_t end) {
-        for (size_t s = begin; s < end; ++s) {
-          FastRng shard_rng(DeriveSeed(base_seed, s));
-          int row_begin = static_cast<int>(s) * kSampleShardRows;
-          int row_end = std::min(num_rows, row_begin + kSampleShardRows);
-          SampleRange(cols, row_begin, row_end, shard_rng);
-        }
-      },
-      /*min_per_thread=*/1);
+  auto sample_shards = [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      FastRng shard_rng(
+          DeriveSeed(base_seed, static_cast<uint64_t>(first_shard) + s));
+      int row_begin = static_cast<int>(s) * kSampleShardRows;
+      int row_end = std::min(num_rows, row_begin + kSampleShardRows);
+      SampleRange(cols, row_begin, row_end, shard_rng);
+    }
+  };
+  if (parallel) {
+    ParallelFor(static_cast<size_t>(num_shards), sample_shards,
+                /*min_per_thread=*/1);
+  } else {
+    sample_shards(0, static_cast<size_t>(num_shards));
+  }
   return Dataset::FromColumns(*schema_, std::move(columns));
 }
 

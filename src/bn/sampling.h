@@ -44,6 +44,12 @@ struct ConditionalSet {
 /// `conditionals`; all three must outlive the sampler.
 class NetworkSampler {
  public:
+  /// Rows per deterministic shard of a batch. Per-shard streams are seeded
+  /// DeriveSeed(base_seed, global_shard_index), so a base seed defines an
+  /// unbounded deterministic row stream that any shard-aligned chunk can be
+  /// cut from — the contract the serving layer's streaming relies on.
+  static constexpr int kShardRows = 8192;
+
   /// Validates the conditionals against the network (same checks the seed's
   /// SampleFromNetwork ran) and precomputes alias tables; throws
   /// std::invalid_argument on any mismatch.
@@ -52,6 +58,15 @@ class NetworkSampler {
 
   /// Samples `num_rows` rows ancestrally into a fresh Dataset.
   Dataset Sample(int num_rows, Rng& rng) const;
+
+  /// Samples `num_rows` rows starting at shard `first_shard` of the
+  /// deterministic stream keyed by `base_seed`: row i of the result is row
+  /// first_shard·kShardRows + i of the stream, bit-identical at any thread
+  /// count. Sample(n, rng) ≡ SampleChunk(rng.engine()(), 0, n). `parallel`
+  /// false runs the shards serially on the calling thread (same output) —
+  /// the serving layer's fallback when the thread pool is saturated.
+  Dataset SampleChunk(uint64_t base_seed, int64_t first_shard, int num_rows,
+                      bool parallel = true) const;
 
   /// log2-likelihood of `data` under the model, probability-zero cells
   /// floored at `floor_prob`.

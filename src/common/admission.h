@@ -1,0 +1,82 @@
+// Admission control for the process-wide thread pool.
+//
+// ThreadPool runs one blocked job at a time (outer Run callers serialize on
+// a mutex), so when many serving threads each try to fan a batch out across
+// the pool, they convoy: every batch waits its turn for ALL the workers
+// instead of proceeding on its own thread. An AdmissionGate caps how many
+// batches may be admitted to the pool at once; callers that miss the cap are
+// not queued — they are told to run their (deterministic, thread-count-
+// independent) work inline on their own thread. Under light load batches get
+// the whole pool; under saturation extra clients degrade to one thread each
+// instead of stacking up behind the pool mutex.
+
+#ifndef PRIVBAYES_COMMON_ADMISSION_H_
+#define PRIVBAYES_COMMON_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace privbayes {
+
+class AdmissionGate {
+ public:
+  /// At most `max_admitted` concurrent ticket holders; <= 0 admits nobody
+  /// (every caller runs inline — used to force serial serving in tests).
+  explicit AdmissionGate(int max_admitted) : max_admitted_(max_admitted) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Returned by TryEnter; releases the slot on destruction.
+  class Ticket {
+   public:
+    Ticket(Ticket&& other) noexcept : gate_(other.gate_) {
+      other.gate_ = nullptr;
+    }
+    Ticket& operator=(Ticket&&) = delete;
+    ~Ticket() {
+      if (gate_) gate_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /// True when the caller holds a pool slot and may run parallel.
+    bool admitted() const { return gate_ != nullptr; }
+
+   private:
+    friend class AdmissionGate;
+    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    AdmissionGate* gate_;
+  };
+
+  /// Non-blocking: either admits the caller (ticket holds a slot until it is
+  /// destroyed) or returns an unadmitted ticket, meaning "run inline".
+  Ticket TryEnter() {
+    int current = in_flight_.load(std::memory_order_relaxed);
+    while (current < max_admitted_) {
+      if (in_flight_.compare_exchange_weak(current, current + 1,
+                                           std::memory_order_relaxed)) {
+        admitted_total_.fetch_add(1, std::memory_order_relaxed);
+        return Ticket(this);
+      }
+    }
+    bypassed_total_.fetch_add(1, std::memory_order_relaxed);
+    return Ticket(nullptr);
+  }
+
+  int in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+  uint64_t admitted_total() const {
+    return admitted_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t bypassed_total() const {
+    return bypassed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const int max_admitted_;
+  std::atomic<int> in_flight_{0};
+  std::atomic<uint64_t> admitted_total_{0};
+  std::atomic<uint64_t> bypassed_total_{0};
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_COMMON_ADMISSION_H_

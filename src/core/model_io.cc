@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -12,7 +13,34 @@ namespace privbayes {
 
 namespace {
 
-constexpr const char* kMagic = "PRIVBAYES-MODEL v1";
+constexpr const char* kMagicPrefix = "PRIVBAYES-MODEL v";
+constexpr const char* kManifestMagicPrefix = "PRIVBAYES-REGISTRY v";
+constexpr int kManifestFormatVersion = 1;
+
+// Parses "<prefix><integer>" (optionally \r-terminated — manifests may be
+// edited on Windows) and checks the version against `supported`. Throws with
+// a message that distinguishes "not this format at all" from "written by a
+// newer library".
+void CheckVersionedMagic(const std::string& line, const char* prefix,
+                         int supported, const char* what) {
+  std::string text = line;
+  if (!text.empty() && text.back() == '\r') text.pop_back();
+  if (text.rfind(prefix, 0) != 0) {
+    throw std::runtime_error(std::string("not a ") + what + " (bad magic)");
+  }
+  char* end = nullptr;
+  long version = std::strtol(text.c_str() + std::strlen(prefix), &end, 10);
+  if (end == nullptr || *end != '\0' || version < 1) {
+    throw std::runtime_error(std::string("bad ") + what + " version line '" +
+                             text + "'");
+  }
+  if (version > supported) {
+    throw std::runtime_error(
+        std::string(what) + " format v" + std::to_string(version) +
+        " is newer than the supported v" + std::to_string(supported) +
+        "; upgrade this binary");
+  }
+}
 
 const char* KindName(AttributeKind kind) {
   switch (kind) {
@@ -124,7 +152,7 @@ double ReadHexDouble(std::istream& in) {
 }  // namespace
 
 void SaveModel(const PrivBayesModel& model, std::ostream& out) {
-  out << kMagic << "\n";
+  out << kMagicPrefix << kModelFormatVersion << "\n";
   out << "encoding " << EncodingName(model.encoding) << "\n";
   out << "meta " << (model.used_binary_algorithm ? 1 : 0) << " "
       << model.degree_k << " " << HexDouble(model.epsilon1) << " "
@@ -159,9 +187,11 @@ void SaveModelFile(const PrivBayesModel& model, const std::string& path) {
 
 PrivBayesModel LoadModel(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
+  if (!std::getline(in, line)) {
     throw std::runtime_error("not a PrivBayes model (bad magic)");
   }
+  CheckVersionedMagic(line, kMagicPrefix, kModelFormatVersion,
+                      "PrivBayes model");
   PrivBayesModel model;
   std::string tok, enc_name;
   in >> tok >> enc_name;
@@ -262,6 +292,74 @@ PrivBayesModel LoadModelFile(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open for reading: " + path);
   return LoadModel(f);
+}
+
+void SaveRegistryManifest(const std::vector<RegistryManifestEntry>& entries,
+                          std::ostream& out) {
+  out << kManifestMagicPrefix << kManifestFormatVersion << "\n";
+  for (const RegistryManifestEntry& entry : entries) {
+    if (entry.name.empty() ||
+        entry.name.find_first_of(" \t\r\n") != std::string::npos) {
+      throw std::runtime_error("manifest name must be a non-empty token: '" +
+                               entry.name + "'");
+    }
+    if (entry.path.empty()) {
+      throw std::runtime_error("manifest entry '" + entry.name +
+                               "' has an empty path");
+    }
+    out << "model " << entry.name << " " << entry.path << "\n";
+  }
+  if (!out) throw std::runtime_error("manifest write failed");
+}
+
+void SaveRegistryManifestFile(const std::vector<RegistryManifestEntry>& entries,
+                              const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  SaveRegistryManifest(entries, f);
+}
+
+std::vector<RegistryManifestEntry> LoadRegistryManifest(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("not a PrivBayes registry manifest (bad magic)");
+  }
+  CheckVersionedMagic(line, kManifestMagicPrefix, kManifestFormatVersion,
+                      "PrivBayes registry manifest");
+  std::vector<RegistryManifestEntry> entries;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tok;
+    RegistryManifestEntry entry;
+    fields >> tok >> entry.name;
+    if (!fields || tok != "model") {
+      throw std::runtime_error("bad manifest line '" + line + "'");
+    }
+    std::getline(fields, entry.path);
+    size_t start = entry.path.find_first_not_of(" \t");
+    entry.path = start == std::string::npos ? "" : entry.path.substr(start);
+    if (entry.path.empty()) {
+      throw std::runtime_error("manifest entry '" + entry.name +
+                               "' has an empty path");
+    }
+    for (const RegistryManifestEntry& seen : entries) {
+      if (seen.name == entry.name) {
+        throw std::runtime_error("duplicate manifest name '" + entry.name +
+                                 "'");
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<RegistryManifestEntry> LoadRegistryManifestFile(
+    const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  return LoadRegistryManifest(f);
 }
 
 }  // namespace privbayes

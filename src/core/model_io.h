@@ -5,17 +5,30 @@
 // query (core/inference.h) without re-spending budget.
 //
 // Format: versioned plain text ("PRIVBAYES-MODEL v1"), human-diffable;
-// probabilities hex-float encoded so round trips are bit-exact.
+// probabilities hex-float encoded so round trips are bit-exact. LoadModel
+// accepts any version up to kModelFormatVersion and rejects models written
+// by a newer library with an explicit message (not a parse error), so a
+// serving fleet can be upgraded registry-by-registry.
+//
+// A registry MANIFEST ("PRIVBAYES-REGISTRY v1") names a set of archived
+// models — one `model <name> <path>` line each — and is how a serving
+// process (serve/model_registry.h, tools/privbayes_serve.cc) describes the
+// fleet of models it should load at startup.
 
 #ifndef PRIVBAYES_CORE_MODEL_IO_H_
 #define PRIVBAYES_CORE_MODEL_IO_H_
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/synthesizer.h"
 
 namespace privbayes {
+
+/// Model-format version written by SaveModel; LoadModel reads any version
+/// from 1 up to this.
+inline constexpr int kModelFormatVersion = 1;
 
 /// Writes `model` to `out`. Throws std::runtime_error on stream failure.
 void SaveModel(const PrivBayesModel& model, std::ostream& out);
@@ -30,6 +43,33 @@ PrivBayesModel LoadModel(std::istream& in);
 
 /// File variant of LoadModel.
 PrivBayesModel LoadModelFile(const std::string& path);
+
+/// One registry-manifest entry: the serving name of a model and the path of
+/// its SaveModelFile artifact. Names are single tokens (no whitespace);
+/// paths may contain spaces (rest of line).
+struct RegistryManifestEntry {
+  std::string name;
+  std::string path;
+
+  bool operator==(const RegistryManifestEntry&) const = default;
+};
+
+/// Writes a registry manifest. Throws std::runtime_error on stream failure
+/// or on a name containing whitespace.
+void SaveRegistryManifest(const std::vector<RegistryManifestEntry>& entries,
+                          std::ostream& out);
+
+/// File variant of SaveRegistryManifest.
+void SaveRegistryManifestFile(const std::vector<RegistryManifestEntry>& entries,
+                              const std::string& path);
+
+/// Parses a manifest written by SaveRegistryManifest; rejects duplicate
+/// names, empty paths and unknown future versions.
+std::vector<RegistryManifestEntry> LoadRegistryManifest(std::istream& in);
+
+/// File variant of LoadRegistryManifest.
+std::vector<RegistryManifestEntry> LoadRegistryManifestFile(
+    const std::string& path);
 
 }  // namespace privbayes
 

@@ -9,9 +9,7 @@
 
 namespace privbayes {
 
-namespace {
-
-std::vector<std::string> SplitLine(const std::string& line) {
+std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
   std::string field;
   std::istringstream iss(line);
@@ -19,8 +17,6 @@ std::vector<std::string> SplitLine(const std::string& line) {
   if (!line.empty() && line.back() == ',') fields.emplace_back();
   return fields;
 }
-
-}  // namespace
 
 void WriteCsv(const Dataset& data, std::ostream& out) {
   const Schema& s = data.schema();
@@ -46,7 +42,7 @@ void WriteCsvFile(const Dataset& data, const std::string& path) {
 Dataset ReadCsv(const Schema& schema, std::istream& in) {
   std::string line;
   if (!std::getline(in, line)) throw std::runtime_error("empty CSV input");
-  std::vector<std::string> header = SplitLine(line);
+  std::vector<std::string> header = SplitCsvLine(line);
   if (static_cast<int>(header.size()) != schema.num_attrs()) {
     throw std::runtime_error("CSV header width mismatch");
   }
@@ -63,7 +59,7 @@ Dataset ReadCsv(const Schema& schema, std::istream& in) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    std::vector<std::string> fields = SplitLine(line);
+    std::vector<std::string> fields = SplitCsvLine(line);
     if (static_cast<int>(fields.size()) != schema.num_attrs()) {
       throw std::runtime_error("CSV row width mismatch at line " +
                                std::to_string(line_no));

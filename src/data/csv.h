@@ -14,6 +14,10 @@
 
 namespace privbayes {
 
+/// Splits one CSV line on commas (the format never quotes). Shared by the
+/// reader below and the serving layer's wire client.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
 /// Writes `data` as CSV to `out`.
 void WriteCsv(const Dataset& data, std::ostream& out);
 

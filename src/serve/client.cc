@@ -1,0 +1,169 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "data/csv.h"
+#include "serve/wire.h"
+
+namespace privbayes {
+
+ServeClient::ServeClient(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to " + host + ":" +
+                             std::to_string(port));
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::SendLine(const std::string& line) {
+  std::string framed = line + "\n";
+  if (!WriteWireBytes(fd_, framed.data(), framed.size())) {
+    throw std::runtime_error("connection lost while sending");
+  }
+}
+
+std::string ServeClient::ReadLine() {
+  std::optional<std::string> line = ReadWireLine(fd_, inbuf_);
+  if (!line) throw std::runtime_error("connection closed by server");
+  return *std::move(line);
+}
+
+std::string ServeClient::ExpectOk() {
+  std::string line = ReadLine();
+  if (line.rfind("OK", 0) == 0) {
+    return line.size() > 3 ? line.substr(3) : std::string();
+  }
+  if (line.rfind("ERR ", 0) == 0) {
+    throw std::runtime_error("server: " + line.substr(4));
+  }
+  throw std::runtime_error("malformed response '" + line + "'");
+}
+
+void ServeClient::Ping() {
+  SendLine("PING");
+  if (ExpectOk() != "PONG") throw std::runtime_error("bad PING reply");
+}
+
+std::vector<ServedModelInfo> ServeClient::List() {
+  SendLine("LIST");
+  std::istringstream head(ExpectOk());
+  int count = 0;
+  head >> count;
+  if (!head || count < 0) throw std::runtime_error("bad LIST reply");
+  std::vector<ServedModelInfo> models;
+  for (int i = 0; i < count; ++i) {
+    std::istringstream entry(ReadLine());
+    std::string tok;
+    ServedModelInfo info;
+    entry >> tok >> info.name >> info.num_attrs >> info.input_rows >>
+        info.epsilon;
+    if (!entry || tok != "MODEL") {
+      throw std::runtime_error("bad LIST entry");
+    }
+    models.push_back(std::move(info));
+  }
+  return models;
+}
+
+ServeClient::SampleReply ServeClient::Sample(const std::string& model,
+                                             int64_t num_rows, uint64_t seed,
+                                             const std::vector<int>& columns) {
+  std::ostringstream request;
+  request << "SAMPLE " << model << " " << num_rows << " " << seed;
+  for (int c : columns) request << " " << c;
+  SendLine(request.str());
+
+  std::istringstream head(ExpectOk());
+  int64_t rows = 0;
+  int cols = 0;
+  head >> rows >> cols;
+  if (!head || rows != num_rows || cols <= 0) {
+    throw std::runtime_error("bad SAMPLE reply header");
+  }
+  SampleReply reply;
+  reply.columns = SplitCsvLine(ReadLine());
+  if (static_cast<int>(reply.columns.size()) != cols) {
+    throw std::runtime_error("bad SAMPLE CSV header");
+  }
+  reply.rows.reserve(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<std::string> fields = SplitCsvLine(ReadLine());
+    if (static_cast<int>(fields.size()) != cols) {
+      throw std::runtime_error("bad SAMPLE CSV row");
+    }
+    std::vector<Value> row(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      row[c] = static_cast<Value>(std::strtoul(fields[c].c_str(), nullptr, 10));
+    }
+    reply.rows.push_back(std::move(row));
+  }
+  if (ReadLine() != "END") throw std::runtime_error("missing SAMPLE trailer");
+  return reply;
+}
+
+ServeClient::QueryReply ServeClient::Query(const std::string& model,
+                                           const std::vector<int>& attrs) {
+  std::ostringstream request;
+  request << "QUERY " << model;
+  for (int a : attrs) request << " " << a;
+  SendLine(request.str());
+
+  std::istringstream head(ExpectOk());
+  int num_vars = 0;
+  head >> num_vars;
+  if (!head || num_vars <= 0) throw std::runtime_error("bad QUERY reply");
+  QueryReply reply;
+  reply.cards.resize(static_cast<size_t>(num_vars));
+  size_t cells = 1;
+  for (int& card : reply.cards) {
+    head >> card;
+    if (!head || card <= 0) throw std::runtime_error("bad QUERY cards");
+    cells *= static_cast<size_t>(card);
+  }
+  // Cells arrive whitespace-separated, wrapped across lines by the server.
+  reply.probs.reserve(cells);
+  while (reply.probs.size() < cells) {
+    std::istringstream body(ReadLine());
+    size_t before = reply.probs.size();
+    double p = 0;
+    while (body >> p) reply.probs.push_back(p);
+    if (reply.probs.size() == before || reply.probs.size() > cells) {
+      throw std::runtime_error("bad QUERY cells");
+    }
+  }
+  return reply;
+}
+
+void ServeClient::Drop(const std::string& model) {
+  SendLine("DROP " + model);
+  ExpectOk();
+}
+
+void ServeClient::Quit() {
+  SendLine("QUIT");
+  ExpectOk();
+}
+
+}  // namespace privbayes

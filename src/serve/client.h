@@ -1,0 +1,80 @@
+// Blocking line-protocol client for ServeServer (serve/server.h).
+//
+// Used by the example client, the end-to-end tests and the CI serving
+// smoke job; keeping it in the library guarantees the client and server
+// cannot drift apart on the wire format. One ServeClient is one TCP
+// connection; it is not thread-safe — open one per client thread (the
+// server handles each connection on its own thread).
+
+#ifndef PRIVBAYES_SERVE_CLIENT_H_
+#define PRIVBAYES_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prob/prob_table.h"
+#include "serve/wire.h"
+
+namespace privbayes {
+
+/// One LIST entry.
+struct ServedModelInfo {
+  std::string name;
+  int num_attrs = 0;
+  int input_rows = 0;
+  double epsilon = 0;
+};
+
+class ServeClient {
+ public:
+  /// Connects; throws std::runtime_error when the server is unreachable.
+  ServeClient(const std::string& host, int port);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Round trip; throws if the server does not answer PONG.
+  void Ping();
+
+  /// Registered models.
+  std::vector<ServedModelInfo> List();
+
+  struct SampleReply {
+    std::vector<std::string> columns;
+    std::vector<std::vector<Value>> rows;  ///< row-major
+  };
+  /// Requests `num_rows` synthetic rows under `seed` (same seed ⇒ the server
+  /// streams identical rows on every call), optionally projected to
+  /// `columns` (original-schema indices).
+  SampleReply Sample(const std::string& model, int64_t num_rows, uint64_t seed,
+                     const std::vector<int>& columns = {});
+
+  struct QueryReply {
+    std::vector<int> cards;     ///< marginal shape, query-attribute order
+    std::vector<double> probs;  ///< row-major cells, sums to 1
+  };
+  /// Exact model marginal over `attrs`.
+  QueryReply Query(const std::string& model, const std::vector<int>& attrs);
+
+  /// Evicts a model from the server's registry.
+  void Drop(const std::string& model);
+
+  /// Polite shutdown of this connection.
+  void Quit();
+
+ private:
+  void SendLine(const std::string& line);
+  std::string ReadLine();
+  /// Reads a response line; returns the payload after "OK", throws
+  /// std::runtime_error carrying the server message on "ERR".
+  std::string ExpectOk();
+
+  int fd_ = -1;
+  WireBuffer inbuf_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_SERVE_CLIENT_H_

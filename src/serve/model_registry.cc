@@ -1,0 +1,87 @@
+#include "serve/model_registry.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace privbayes {
+
+std::shared_ptr<const ServableModel> ModelRegistry::Put(const std::string& name,
+                                                        PrivBayesModel model) {
+  return Put(name,
+             std::make_shared<const PrivBayesModel>(std::move(model)));
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::Put(
+    const std::string& name, std::shared_ptr<const PrivBayesModel> model) {
+  auto servable = std::make_shared<const ServableModel>(std::move(model));
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[name] = servable;
+  return servable;
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::Require(
+    const std::string& name) const {
+  std::shared_ptr<const ServableModel> handle = Get(name);
+  if (!handle) {
+    std::ostringstream msg;
+    msg << "no model named '" << name << "' (have:";
+    for (const std::string& known : Names()) msg << " " << known;
+    msg << ")";
+    throw std::out_of_range(msg.str());
+  }
+  return handle;
+}
+
+bool ModelRegistry::Erase(const std::string& name) {
+  // The handle is released outside the lock so a model whose last reference
+  // is the registry's does not run its destructor under mu_.
+  std::shared_ptr<const ServableModel> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(name);
+    if (it == models_.end()) return false;
+    doomed = std::move(it->second);
+    models_.erase(it);
+  }
+  return true;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, servable] : models_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+std::vector<std::string> ModelRegistry::LoadManifestFile(
+    const std::string& manifest_path) {
+  std::vector<RegistryManifestEntry> entries =
+      LoadRegistryManifestFile(manifest_path);
+  std::string dir;
+  size_t slash = manifest_path.find_last_of('/');
+  if (slash != std::string::npos) dir = manifest_path.substr(0, slash + 1);
+  std::vector<std::string> loaded;
+  for (const RegistryManifestEntry& entry : entries) {
+    std::string path = entry.path;
+    if (!path.empty() && path[0] != '/' && !dir.empty()) path = dir + path;
+    Put(entry.name, LoadModelFile(path));
+    loaded.push_back(entry.name);
+  }
+  return loaded;
+}
+
+}  // namespace privbayes

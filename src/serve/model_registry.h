@@ -1,0 +1,95 @@
+// Registry of fitted PrivBayes models for the serving layer.
+//
+// A fitted model is the private release — post-processing means it can be
+// archived and served forever at zero additional privacy cost (paper §1), so
+// a serving process holds MANY models at once: different datasets, different
+// ε, refreshed fits. The registry maps serving names to ServableModels
+// (model + precompiled NetworkSampler) behind ref-counted shared_ptr
+// handles: Get hands out a handle, Put/Erase swap the map entry under a
+// mutex, and a request that resolved its handle before a hot-swap keeps
+// sampling from the model it started with until it finishes — no request
+// ever observes a half-replaced model, and evicted models free themselves
+// when the last in-flight request drops its handle.
+
+#ifndef PRIVBAYES_SERVE_MODEL_REGISTRY_H_
+#define PRIVBAYES_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bn/sampling.h"
+#include "core/model_io.h"
+#include "core/synthesizer.h"
+
+namespace privbayes {
+
+/// A model compiled for serving: the archived PrivBayesModel plus the
+/// NetworkSampler built from it (alias tables, resolved taxonomy lookups).
+/// The sampler holds pointers into *model, so the two are bundled and the
+/// bundle is immutable once constructed.
+class ServableModel {
+ public:
+  /// Compiles `model` for serving; throws std::invalid_argument if the
+  /// model's conditionals do not match its network.
+  explicit ServableModel(std::shared_ptr<const PrivBayesModel> model)
+      : model_(std::move(model)),
+        sampler_(model_->encoded_schema, model_->network,
+                 model_->conditionals) {}
+
+  ServableModel(const ServableModel&) = delete;
+  ServableModel& operator=(const ServableModel&) = delete;
+
+  const PrivBayesModel& model() const { return *model_; }
+  std::shared_ptr<const PrivBayesModel> model_ptr() const { return model_; }
+  const NetworkSampler& sampler() const { return sampler_; }
+
+ private:
+  std::shared_ptr<const PrivBayesModel> model_;
+  NetworkSampler sampler_;
+};
+
+/// Thread-safe name → ServableModel map with atomic hot-swap.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  /// Compiles and publishes `model` under `name`, replacing any previous
+  /// entry (requests holding the old handle are unaffected). Returns the
+  /// published handle. Compilation happens OUTSIDE the registry lock, so a
+  /// big hot-swap never stalls concurrent Gets.
+  std::shared_ptr<const ServableModel> Put(const std::string& name,
+                                           PrivBayesModel model);
+  std::shared_ptr<const ServableModel> Put(
+      const std::string& name, std::shared_ptr<const PrivBayesModel> model);
+
+  /// Handle for `name`, or nullptr when absent.
+  std::shared_ptr<const ServableModel> Get(const std::string& name) const;
+
+  /// Get that throws std::out_of_range with the known names when absent.
+  std::shared_ptr<const ServableModel> Require(const std::string& name) const;
+
+  /// Evicts `name`; returns false when it was not registered.
+  bool Erase(const std::string& name);
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+  /// Loads every entry of a SaveRegistryManifestFile manifest via
+  /// LoadModelFile + Put. Relative model paths are resolved against the
+  /// manifest's directory. Returns the entry names in manifest order;
+  /// throws on the first unreadable model.
+  std::vector<std::string> LoadManifestFile(const std::string& manifest_path);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServableModel>> models_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,22 @@
+#include "serve/query_service.h"
+
+#include "core/inference.h"
+
+namespace privbayes {
+
+ProbTable QueryService::Marginal(const std::string& model,
+                                 const std::vector<int>& attrs,
+                                 size_t max_cells) const {
+  std::shared_ptr<const ServableModel> handle = registry_->Require(model);
+  return ModelMarginal(handle->model(), attrs, max_cells);
+}
+
+MarginalProvider QueryService::Provider(const std::string& model,
+                                        size_t max_cells) const {
+  std::shared_ptr<const ServableModel> handle = registry_->Require(model);
+  // The provider closure owns the model handle, keeping it alive across the
+  // workload even if the registry entry is replaced.
+  return ModelMarginalProvider(handle->model_ptr(), max_cells);
+}
+
+}  // namespace privbayes

@@ -1,0 +1,44 @@
+// Direct query answering against a ModelRegistry.
+//
+// Served models handle more than synthesis: a marginal workload can be
+// answered straight from the fitted network by variable elimination
+// (core/inference.h — the paper's §7 "answer from the model" direction),
+// with no sampling noise and no additional privacy cost. The service
+// resolves a registry handle per query, so hot-swapping a model mid-
+// workload is safe the same way it is for sampling.
+
+#ifndef PRIVBAYES_SERVE_QUERY_SERVICE_H_
+#define PRIVBAYES_SERVE_QUERY_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "prob/prob_table.h"
+#include "query/marginal_workload.h"
+#include "serve/model_registry.h"
+
+namespace privbayes {
+
+class QueryService {
+ public:
+  explicit QueryService(ModelRegistry* registry) : registry_(registry) {}
+
+  /// Exact model marginal over `attrs` (original-schema indices, as in
+  /// MarginalWorkload), normalized. Throws std::out_of_range for an unknown
+  /// model; propagates core/inference.h's validation errors.
+  ProbTable Marginal(const std::string& model, const std::vector<int>& attrs,
+                     size_t max_cells = size_t{1} << 22) const;
+
+  /// MarginalProvider bound to one registered model, resolved ONCE — the
+  /// whole workload is answered by the model that was live at call time
+  /// even if it is swapped mid-evaluation.
+  MarginalProvider Provider(const std::string& model,
+                            size_t max_cells = size_t{1} << 22) const;
+
+ private:
+  ModelRegistry* registry_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_SERVE_QUERY_SERVICE_H_

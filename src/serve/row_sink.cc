@@ -1,0 +1,49 @@
+#include "serve/row_sink.h"
+
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace privbayes {
+
+void DatasetSink::Begin(const Schema& schema) {
+  schema_ = schema;
+  columns_.assign(static_cast<size_t>(schema_.num_attrs()), {});
+  result_ = Dataset();
+}
+
+void DatasetSink::Chunk(const Dataset& rows) {
+  PB_THROW_IF(rows.num_attrs() != schema_.num_attrs(),
+              "chunk schema mismatch");
+  for (int c = 0; c < rows.num_attrs(); ++c) {
+    const std::vector<Value>& col = rows.column(c);
+    columns_[c].insert(columns_[c].end(), col.begin(), col.end());
+  }
+}
+
+void DatasetSink::End() {
+  result_ = Dataset::FromColumns(schema_, std::move(columns_));
+  columns_.clear();
+}
+
+void CsvSink::Begin(const Schema& schema) {
+  for (int c = 0; c < schema.num_attrs(); ++c) {
+    *out_ << (c ? "," : "") << schema.attr(c).name;
+  }
+  *out_ << '\n';
+}
+
+void CsvSink::Chunk(const Dataset& rows) {
+  // Identical cell format to data/csv.h's WriteCsv, so a streamed batch is
+  // byte-identical to WriteCsv of the assembled dataset.
+  for (int r = 0; r < rows.num_rows(); ++r) {
+    for (int c = 0; c < rows.num_attrs(); ++c) {
+      *out_ << (c ? "," : "") << rows.at(r, c);
+    }
+    *out_ << '\n';
+  }
+  rows_written_ += rows.num_rows();
+}
+
+}  // namespace privbayes

@@ -1,0 +1,67 @@
+// Pluggable consumers for streamed synthetic rows.
+//
+// SamplingService produces a batch as a sequence of shard-aligned columnar
+// chunks rather than one giant Dataset, so a million-row request never
+// needs a million rows resident per client: each chunk is handed to a
+// RowSink and freed. Two sinks cover the library and wire cases — a
+// columnar DatasetSink that reassembles the full batch (what library
+// callers and tests want) and a CsvSink that renders chunks straight into
+// an std::ostream (what the TCP front-end streams to clients).
+
+#ifndef PRIVBAYES_SERVE_ROW_SINK_H_
+#define PRIVBAYES_SERVE_ROW_SINK_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace privbayes {
+
+/// Receives one batch: Begin once, Chunk for each row block in row order
+/// (every chunk is a Dataset over the schema passed to Begin), End once.
+/// Chunks of one batch arrive sequentially from one thread.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  virtual void Begin(const Schema& /*schema*/) {}
+  virtual void Chunk(const Dataset& rows) = 0;
+  virtual void End() {}
+};
+
+/// Reassembles the streamed chunks into one columnar Dataset.
+class DatasetSink : public RowSink {
+ public:
+  void Begin(const Schema& schema) override;
+  void Chunk(const Dataset& rows) override;
+  void End() override;
+
+  /// The completed batch; valid after End.
+  Dataset& dataset() { return result_; }
+  const Dataset& dataset() const { return result_; }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  Dataset result_;
+};
+
+/// Renders chunks as CSV (data/csv.h format: header row of attribute names,
+/// then integer leaf codes) into `out`. The stream must outlive the sink.
+class CsvSink : public RowSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(&out) {}
+
+  void Begin(const Schema& schema) override;
+  void Chunk(const Dataset& rows) override;
+
+  int64_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream* out_;
+  int64_t rows_written_ = 0;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_SERVE_ROW_SINK_H_

@@ -1,0 +1,90 @@
+#include "serve/sampling_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "data/encoding.h"
+
+namespace privbayes {
+
+SamplingService::SamplingService(ModelRegistry* registry,
+                                 int max_parallel_batches, int chunk_rows)
+    : registry_(registry),
+      admission_(max_parallel_batches),
+      chunk_rows_(chunk_rows) {
+  PB_THROW_IF(chunk_rows_ <= 0 ||
+                  chunk_rows_ % NetworkSampler::kShardRows != 0,
+              "chunk_rows must be a positive multiple of "
+                  << NetworkSampler::kShardRows);
+}
+
+SampleResult SamplingService::Sample(const SampleRequest& request,
+                                     RowSink& sink) const {
+  PB_THROW_IF(request.num_rows < 0, "negative row count");
+  std::shared_ptr<const ServableModel> handle =
+      registry_->Require(request.model);
+  const PrivBayesModel& model = handle->model();
+  const Schema& original = model.original_schema;
+
+  // Resolve the projection (empty = identity) against the original schema.
+  std::vector<int> keep = request.columns;
+  bool identity = keep.empty();
+  if (identity) {
+    keep.resize(static_cast<size_t>(original.num_attrs()));
+    for (size_t i = 0; i < keep.size(); ++i) keep[i] = static_cast<int>(i);
+  } else {
+    std::vector<bool> seen(static_cast<size_t>(original.num_attrs()), false);
+    for (int c : keep) {
+      PB_THROW_IF(c < 0 || c >= original.num_attrs(),
+                  "projection column " << c << " out of range");
+      PB_THROW_IF(seen[c], "duplicate projection column " << c);
+      seen[c] = true;
+    }
+  }
+  std::vector<Attribute> kept_attrs;
+  kept_attrs.reserve(keep.size());
+  for (int c : keep) kept_attrs.push_back(original.attr(c));
+  Schema out_schema(std::move(kept_attrs));
+
+  // The same base-seed derivation as NetworkSampler::Sample(n, Rng(seed)),
+  // so a served batch is bit-identical to SampleSyntheticData with
+  // Rng(request.seed) — the property the determinism tests pin down.
+  Rng rng(request.seed);
+  const uint64_t base_seed = rng.engine()();
+
+  AdmissionGate::Ticket ticket = admission_.TryEnter();
+  SampleResult result;
+  result.pool_admitted = ticket.admitted();
+
+  sink.Begin(out_schema);
+  for (int64_t row = 0; row < request.num_rows; row += chunk_rows_) {
+    const int rows_this = static_cast<int>(
+        std::min<int64_t>(chunk_rows_, request.num_rows - row));
+    const int64_t first_shard = row / NetworkSampler::kShardRows;
+    Dataset encoded = handle->sampler().SampleChunk(
+        base_seed, first_shard, rows_this, ticket.admitted());
+    Dataset decoded = DecodeToOriginal(encoded, original, model.encoding,
+                                       model.encoder.get());
+    if (identity) {
+      sink.Chunk(decoded);
+    } else {
+      std::vector<std::vector<Value>> cols;
+      cols.reserve(keep.size());
+      for (int c : keep) cols.push_back(decoded.column(c));
+      sink.Chunk(Dataset::FromColumns(out_schema, std::move(cols)));
+    }
+    result.rows += rows_this;
+    ++result.chunks;
+  }
+  sink.End();
+  return result;
+}
+
+Dataset SamplingService::SampleToDataset(const SampleRequest& request) const {
+  DatasetSink sink;
+  Sample(request, sink);
+  return std::move(sink.dataset());
+}
+
+}  // namespace privbayes

@@ -1,0 +1,83 @@
+// Batch sampling requests against a ModelRegistry.
+//
+// One request names a registered model and asks for `num_rows` synthetic
+// rows under a caller-chosen seed; the service resolves a registry handle
+// once (so a concurrent hot-swap cannot change the model mid-batch),
+// samples the batch in shard-aligned chunks via the model's compiled
+// NetworkSampler, decodes each chunk to the original schema, applies an
+// optional column projection, and streams the chunks through a RowSink.
+//
+// Determinism is end-to-end: the rows are a pure function of (model, seed,
+// num_rows) — bit-identical to SampleSyntheticData(model, num_rows,
+// Rng(seed)) — regardless of chunking, the thread-pool size, or how many
+// other requests run concurrently. That is what makes a served sample
+// reproducible and auditable: a client can re-request with the same seed
+// (or re-run locally against the archived model) and get the same table.
+//
+// Concurrency: requests on the shared ThreadPool are gated by an
+// AdmissionGate. Admitted batches fan their chunks out across the pool;
+// when the pool is already saturated by other batches, the request runs its
+// shards inline on the calling thread instead of convoying on the pool
+// mutex — same bits either way, only the schedule differs.
+
+#ifndef PRIVBAYES_SERVE_SAMPLING_SERVICE_H_
+#define PRIVBAYES_SERVE_SAMPLING_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/admission.h"
+#include "serve/model_registry.h"
+#include "serve/row_sink.h"
+
+namespace privbayes {
+
+/// One batch request.
+struct SampleRequest {
+  std::string model;          ///< registry name
+  int64_t num_rows = 0;
+  uint64_t seed = 0;          ///< request seed; same seed ⇒ same rows
+  /// Original-schema attribute indices to keep, in the given order; empty
+  /// keeps every column.
+  std::vector<int> columns;
+};
+
+/// What one request did (for logging / stats endpoints).
+struct SampleResult {
+  int64_t rows = 0;
+  int chunks = 0;
+  bool pool_admitted = false;  ///< false = ran inline (pool saturated)
+};
+
+class SamplingService {
+ public:
+  /// `max_parallel_batches` bounds how many batches may use the shared
+  /// ThreadPool at once (see AdmissionGate); 0 forces every batch inline.
+  explicit SamplingService(ModelRegistry* registry,
+                           int max_parallel_batches = 2,
+                           int chunk_rows = kDefaultChunkRows);
+
+  /// Streams the batch through `sink`. Throws std::out_of_range for an
+  /// unknown model and std::invalid_argument for a bad row count or column
+  /// projection.
+  SampleResult Sample(const SampleRequest& request, RowSink& sink) const;
+
+  /// Convenience: collects the batch into a Dataset via DatasetSink.
+  Dataset SampleToDataset(const SampleRequest& request) const;
+
+  const AdmissionGate& admission() const { return admission_; }
+
+  /// Default rows per streamed chunk — a multiple of
+  /// NetworkSampler::kShardRows so chunk boundaries are shard boundaries.
+  static constexpr int kDefaultChunkRows = 8 * NetworkSampler::kShardRows;
+
+ private:
+  ModelRegistry* registry_;
+  mutable AdmissionGate admission_;
+  int chunk_rows_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_SERVE_SAMPLING_SERVICE_H_

@@ -1,0 +1,323 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <streambuf>
+
+#include "common/check.h"
+#include "serve/row_sink.h"
+#include "serve/wire.h"
+
+namespace privbayes {
+
+// Buffered std::ostream over a socket fd, so CsvSink can render straight
+// onto the wire. send() uses MSG_NOSIGNAL: a client that disconnects mid-
+// stream surfaces as a failed stream, not a SIGPIPE.
+class FdWriter : private std::streambuf, public std::ostream {
+ public:
+  explicit FdWriter(int fd) : std::ostream(this), fd_(fd) {
+    setp(buf_, buf_ + sizeof(buf_));
+  }
+
+ protected:
+  std::streambuf::int_type overflow(std::streambuf::int_type ch) override {
+    using Traits = std::streambuf::traits_type;
+    if (!Drain()) return Traits::eof();
+    if (ch != Traits::eof()) {
+      *pptr() = static_cast<char>(ch);
+      pbump(1);
+    }
+    return ch;
+  }
+  int sync() override { return Drain() ? 0 : -1; }
+
+ private:
+  bool Drain() {
+    if (!WriteWireBytes(fd_, pbase(), static_cast<size_t>(pptr() - pbase()))) {
+      return false;
+    }
+    setp(buf_, buf_ + sizeof(buf_));
+    return true;
+  }
+
+  int fd_;
+  char buf_[1 << 16];
+};
+
+namespace {
+
+std::string OneLine(const char* text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+// Wire framing around CsvSink: the OK line goes out only once the request
+// has validated (SamplingService resolves the model and projection before
+// calling Begin), so protocol errors never interleave with row data.
+class WireSampleSink : public RowSink {
+ public:
+  WireSampleSink(std::ostream& out, int64_t num_rows)
+      : out_(&out), num_rows_(num_rows), csv_(out) {}
+
+  void Begin(const Schema& schema) override {
+    *out_ << "OK " << num_rows_ << " " << schema.num_attrs() << "\n";
+    csv_.Begin(schema);
+  }
+  void Chunk(const Dataset& rows) override {
+    csv_.Chunk(rows);
+    out_->flush();  // stream chunk-by-chunk, not batch-at-the-end
+    if (!out_->good()) {
+      // Client went away mid-stream: abort the batch instead of sampling
+      // the remaining (possibly millions of) rows into a dead socket while
+      // holding an admission slot.
+      throw std::runtime_error("client disconnected mid-stream");
+    }
+  }
+  void End() override { *out_ << "END\n"; }
+
+ private:
+  std::ostream* out_;
+  int64_t num_rows_;
+  CsvSink csv_;
+};
+
+}  // namespace
+
+ServeServer::ServeServer(ModelRegistry* registry, ServeServerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      sampling_(registry, options_.max_parallel_batches),
+      query_(registry) {}
+
+ServeServer::~ServeServer() { Stop(); }
+
+void ServeServer::Start() {
+  PB_THROW_IF(running_.load(), "server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bad host address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot bind " + options_.host + ":" +
+                             std::to_string(options_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  accept_thread_ = std::thread(&ServeServer::AcceptLoop, this);
+}
+
+void ServeServer::Stop() {
+  running_.store(false);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // The accept loop is done, so sessions_ can no longer grow; wake every
+  // live connection out of recv() and join.
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+    sessions.swap(sessions_);
+    for (std::thread& t : done_sessions_) sessions.push_back(std::move(t));
+    done_sessions_.clear();
+  }
+  for (std::thread& t : sessions) t.join();
+}
+
+void ServeServer::ReapFinishedSessions() {
+  // Finished Session threads parked their handles in done_sessions_; join
+  // them here (instant — the threads have exited) so a long-lived daemon
+  // doesn't accumulate one zombie thread per past connection.
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    done.swap(done_sessions_);
+  }
+  for (std::thread& t : done) t.join();
+}
+
+ServeServerStats ServeServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ServeServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    ReapFinishedSessions();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections;
+    }
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_fds_.push_back(fd);
+    sessions_.emplace_back(&ServeServer::Session, this, fd);
+  }
+}
+
+void ServeServer::Session(int fd) {
+  FdWriter out(fd);
+  WireBuffer inbuf;
+  while (running_.load()) {
+    std::optional<std::string> line = ReadWireLine(fd, inbuf);
+    if (!line) break;  // EOF, reset, or an over-long (hostile) line
+    if (line->empty()) continue;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests;
+    }
+    if (*line == "QUIT") {
+      out << "OK BYE\n";
+      out.flush();
+      break;
+    }
+    try {
+      HandleLine(*line, out);
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.errors;
+      }
+      // Written outside the stats lock: a stalled client blocking in
+      // send() must not stall every other session's counter bump.
+      out << "ERR " << OneLine(e.what()) << "\n";
+    }
+    out.flush();
+    if (!out.good()) break;  // client went away mid-response
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    std::erase(session_fds_, fd);
+    // Park this thread's own handle for the accept loop (or Stop) to join;
+    // after this point the session does nothing but return.
+    for (size_t i = 0; i < sessions_.size(); ++i) {
+      if (sessions_[i].get_id() == std::this_thread::get_id()) {
+        done_sessions_.push_back(std::move(sessions_[i]));
+        sessions_.erase(sessions_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void ServeServer::HandleLine(const std::string& line, FdWriter& out) {
+  std::istringstream fields(line);
+  std::string cmd;
+  fields >> cmd;
+
+  if (cmd == "PING") {
+    out << "OK PONG\n";
+    return;
+  }
+
+  if (cmd == "LIST") {
+    std::ostringstream body;
+    int count = 0;
+    for (const std::string& name : registry_->Names()) {
+      std::shared_ptr<const ServableModel> handle = registry_->Get(name);
+      if (!handle) continue;  // evicted between Names() and Get()
+      const PrivBayesModel& model = handle->model();
+      char eps[40];
+      std::snprintf(eps, sizeof(eps), "%.17g",
+                    model.epsilon1 + model.epsilon2);
+      body << "MODEL " << name << " " << model.original_schema.num_attrs()
+           << " " << model.input_rows << " " << eps << "\n";
+      ++count;
+    }
+    out << "OK " << count << "\n" << body.str();
+    return;
+  }
+
+  if (cmd == "SAMPLE") {
+    SampleRequest request;
+    fields >> request.model >> request.num_rows >> request.seed;
+    PB_THROW_IF(!fields, "usage: SAMPLE <model> <rows> <seed> [col ...]");
+    int col = 0;
+    while (fields >> col) request.columns.push_back(col);
+    // Extraction must have stopped at end-of-line, not at a non-integer
+    // token — a typo'd projection must ERR, not silently serve a prefix.
+    PB_THROW_IF(!fields.eof(),
+                "usage: SAMPLE <model> <rows> <seed> [col ...]");
+    PB_THROW_IF(request.num_rows < 0 ||
+                    request.num_rows > options_.max_rows_per_request,
+                "row count out of range [0, "
+                    << options_.max_rows_per_request << "]");
+    WireSampleSink sink(out, request.num_rows);
+    SampleResult result = sampling_.Sample(request, sink);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rows_streamed += result.rows;
+    return;
+  }
+
+  if (cmd == "QUERY") {
+    std::string model;
+    fields >> model;
+    std::vector<int> attrs;
+    int attr = 0;
+    while (fields >> attr) attrs.push_back(attr);
+    PB_THROW_IF(model.empty() || attrs.empty() || !fields.eof(),
+                "usage: QUERY <model> <attr> [attr ...]");
+    ProbTable table = query_.Marginal(model, attrs);
+    out << "OK " << table.num_vars();
+    for (int c : table.cards()) out << " " << c;
+    out << "\n";
+    // Cells wrap at 256 per line so large marginals stay under the wire
+    // line cap; the client consumes values until the cell count is met.
+    char cell[40];
+    for (size_t i = 0; i < table.size(); ++i) {
+      std::snprintf(cell, sizeof(cell), "%.17g", table[i]);
+      out << cell << ((i + 1) % 256 == 0 || i + 1 == table.size() ? "\n" : " ");
+    }
+    return;
+  }
+
+  if (cmd == "DROP") {
+    std::string model;
+    fields >> model;
+    PB_THROW_IF(model.empty(), "usage: DROP <model>");
+    PB_THROW_IF(!registry_->Erase(model), "no model named '" << model << "'");
+    out << "OK DROPPED " << model << "\n";
+    return;
+  }
+
+  throw std::runtime_error("unknown command '" + cmd + "'");
+}
+
+}  // namespace privbayes

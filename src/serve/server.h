@@ -1,0 +1,115 @@
+// Line-protocol TCP front-end over a ModelRegistry.
+//
+// One short text line per request, "OK ..." / "ERR <message>" responses;
+// sampled rows stream as CSV between the OK line and an "END" line, so a
+// client needs nothing beyond a line reader. The protocol:
+//
+//   PING                                 -> OK PONG
+//   LIST                                 -> OK <k>
+//                                           k × "MODEL <name> <attrs> <rows>
+//                                                <epsilon>"
+//   SAMPLE <model> <rows> <seed> [col…]  -> OK <rows> <cols>
+//                                           CSV header + <rows> CSV lines
+//                                           END
+//   QUERY <model> <attr> [attr…]         -> OK <vars> <card…>
+//                                           cell probabilities, whitespace-
+//                                           separated, wrapped across lines
+//   DROP <model>                         -> OK DROPPED <model>
+//   QUIT                                 -> OK BYE (connection closes)
+//
+// Sampling goes through SamplingService (deterministic chunked streaming:
+// the CSV for a (model, rows, seed) request is byte-identical on every
+// connection), queries through QueryService. Each connection is handled by
+// its own thread; the registry may be hot-swapped by other threads (or by
+// DROP) while connections stream.
+
+#ifndef PRIVBAYES_SERVE_SERVER_H_
+#define PRIVBAYES_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_registry.h"
+#include "serve/query_service.h"
+#include "serve/sampling_service.h"
+
+namespace privbayes {
+
+struct ServeServerOptions {
+  /// Interface to bind; serving is loopback-only by default.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Batches that may use the shared thread pool concurrently.
+  int max_parallel_batches = 2;
+  /// Upper bound on SAMPLE row counts (one request is one TCP response).
+  int64_t max_rows_per_request = int64_t{16} << 20;
+};
+
+/// Counters exposed for the STATS-style introspection the example prints.
+struct ServeServerStats {
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  int64_t rows_streamed = 0;
+};
+
+class ServeServer {
+ public:
+  /// The registry must outlive the server; it may be shared with threads
+  /// that fit/load and Put models while the server runs.
+  explicit ServeServer(ModelRegistry* registry, ServeServerOptions options = {});
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds, listens and starts the accept thread; throws std::runtime_error
+  /// when the port cannot be bound.
+  void Start();
+
+  /// Stops accepting, shuts down live connections and joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (after Start); useful with options.port = 0.
+  int port() const { return port_; }
+
+  ServeServerStats stats() const;
+
+  ModelRegistry& registry() { return *registry_; }
+  const SamplingService& sampling() const { return sampling_; }
+
+ private:
+  void AcceptLoop();
+  void ReapFinishedSessions();
+  void Session(int fd);
+  void HandleLine(const std::string& line, class FdWriter& out);
+
+  ModelRegistry* registry_;
+  ServeServerOptions options_;
+  SamplingService sampling_;
+  QueryService query_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::thread> sessions_;       // live connections
+  std::vector<std::thread> done_sessions_;  // exited, awaiting join (reaped
+                                            // by the accept loop / Stop)
+  std::vector<int> session_fds_;
+
+  mutable std::mutex stats_mu_;
+  ServeServerStats stats_;
+};
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_SERVE_SERVER_H_

@@ -1,0 +1,45 @@
+#include "serve/wire.h"
+
+#include <sys/socket.h>
+
+namespace privbayes {
+
+std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
+                                        size_t max_line) {
+  for (;;) {
+    size_t nl = buf.data.find('\n', buf.pos);
+    if (nl != std::string::npos) {
+      if (nl - buf.pos > max_line) return std::nullopt;
+      std::string line = buf.data.substr(buf.pos, nl - buf.pos);
+      buf.pos = nl + 1;
+      if (buf.pos == buf.data.size()) {
+        buf.data.clear();
+        buf.pos = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buf.data.size() - buf.pos > max_line) return std::nullopt;  // runaway
+    // Compact the consumed prefix before growing the buffer further.
+    if (buf.pos > 0) {
+      buf.data.erase(0, buf.pos);
+      buf.pos = 0;
+    }
+    char chunk[1 << 16];
+    ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return std::nullopt;
+    buf.data.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+bool WriteWireBytes(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t sent = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (sent <= 0) return false;
+    data += sent;
+    len -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace privbayes

@@ -1,0 +1,41 @@
+// Shared line-level socket I/O for the serve layer. Server and client frame
+// every message the same way ('\n'-terminated, '\r' tolerated), so the
+// reader/writer live here once — a protocol change (or a cap tweak) cannot
+// drift between the two ends.
+
+#ifndef PRIVBAYES_SERVE_WIRE_H_
+#define PRIVBAYES_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace privbayes {
+
+/// Longest accepted wire line. Protocol lines are tiny and CSV rows are
+/// bounded by the schema width; anything longer is a broken or hostile
+/// peer, and the cap keeps one connection from growing its buffer without
+/// bound.
+inline constexpr size_t kMaxWireLine = size_t{1} << 20;
+
+/// Receive-side buffer state. Consumed bytes are tracked by a cursor and
+/// compacted in bulk, so extracting k lines from one recv chunk is O(chunk)
+/// rather than O(k·chunk) — the client's bulk CSV read path depends on it.
+struct WireBuffer {
+  std::string data;
+  size_t pos = 0;  // start of unconsumed bytes
+};
+
+/// Reads one '\n'-terminated line from `fd` (terminator removed, trailing
+/// '\r' stripped), buffering extra bytes in `buf` across calls. Returns
+/// nullopt on EOF/reset, or when a line exceeds `max_line` bytes.
+std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
+                                        size_t max_line = kMaxWireLine);
+
+/// Writes all `len` bytes to `fd` (send with MSG_NOSIGNAL, retrying short
+/// writes). Returns false when the peer is gone.
+bool WriteWireBytes(int fd, const char* data, size_t len);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_SERVE_WIRE_H_

@@ -1,0 +1,466 @@
+// Tests for the serving subsystem: registry hot-swap semantics, sampling-
+// service determinism (chunked streaming ≡ one-shot SampleSyntheticData,
+// identical rows at 1/4/16 concurrent clients with a hot-swap mid-run),
+// projections, sinks, admission, query service, registry manifests, and the
+// TCP server + client end to end.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/model_io.h"
+#include "core/privbayes.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "serve/client.h"
+#include "serve/model_registry.h"
+#include "serve/query_service.h"
+#include "serve/row_sink.h"
+#include "serve/sampling_service.h"
+#include "serve/server.h"
+
+namespace privbayes {
+namespace {
+
+PrivBayesModel FitModel(uint64_t seed, double epsilon = 0.8) {
+  Dataset data = MakeNltcs(seed, 1500);
+  PrivBayesOptions opts;
+  opts.epsilon = epsilon;
+  opts.candidate_cap = 40;
+  PrivBayes pb(opts);
+  Rng rng(seed);
+  return pb.Fit(data, rng);
+}
+
+// Fitting is the slow part; share one pair of models across tests.
+const PrivBayesModel& ModelA() {
+  static const PrivBayesModel* model = new PrivBayesModel(FitModel(11));
+  return *model;
+}
+const PrivBayesModel& ModelB() {
+  static const PrivBayesModel* model = new PrivBayesModel(FitModel(22, 2.0));
+  return *model;
+}
+
+bool SameData(const Dataset& a, const Dataset& b) {
+  if (a.num_rows() != b.num_rows() || a.num_attrs() != b.num_attrs()) {
+    return false;
+  }
+  for (int c = 0; c < a.num_attrs(); ++c) {
+    if (a.column(c) != b.column(c)) return false;
+  }
+  return true;
+}
+
+TEST(ModelRegistry, PutGetEraseNames) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Get("a"), nullptr);
+  EXPECT_THROW(registry.Require("a"), std::out_of_range);
+
+  registry.Put("a", ModelA());
+  registry.Put("b", ModelB());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_NE(registry.Get("a"), nullptr);
+
+  EXPECT_TRUE(registry.Erase("a"));
+  EXPECT_FALSE(registry.Erase("a"));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ModelRegistry, HotSwapPreservesInFlightHandles) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  std::shared_ptr<const ServableModel> in_flight = registry.Require("m");
+  double old_eps = in_flight->model().epsilon1 + in_flight->model().epsilon2;
+
+  registry.Put("m", ModelB());
+  std::shared_ptr<const ServableModel> fresh = registry.Require("m");
+  EXPECT_NE(in_flight, fresh);
+  // The old handle still serves the old model.
+  EXPECT_DOUBLE_EQ(in_flight->model().epsilon1 + in_flight->model().epsilon2,
+                   old_eps);
+  // Eviction keeps the handle alive too (ref-counted).
+  registry.Erase("m");
+  EXPECT_EQ(in_flight->model().original_schema.num_attrs(), 16);
+}
+
+TEST(SamplingService, MatchesSampleSyntheticDataAcrossChunking) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+
+  SampleRequest request;
+  request.model = "m";
+  request.num_rows = 3 * NetworkSampler::kShardRows + 123;  // 4 chunks
+  request.seed = 42;
+
+  // The served batch must be bit-identical to local sampling from the
+  // archived model with Rng(seed) — chunked streaming may not change bits.
+  Rng rng(request.seed);
+  Dataset expected = SampleSyntheticData(
+      ModelA(), static_cast<int>(request.num_rows), rng);
+
+  SamplingService chunked(&registry, /*max_parallel_batches=*/2,
+                          /*chunk_rows=*/NetworkSampler::kShardRows);
+  SamplingService one_shot(&registry);
+  EXPECT_TRUE(SameData(chunked.SampleToDataset(request), expected));
+  EXPECT_TRUE(SameData(one_shot.SampleToDataset(request), expected));
+}
+
+TEST(SamplingService, InlineFallbackSameBits) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  SampleRequest request;
+  request.model = "m";
+  request.num_rows = 2 * NetworkSampler::kShardRows;
+  request.seed = 7;
+
+  SamplingService pooled(&registry, /*max_parallel_batches=*/2);
+  SamplingService inline_only(&registry, /*max_parallel_batches=*/0);
+
+  DatasetSink a, b;
+  EXPECT_TRUE(pooled.Sample(request, a).pool_admitted);
+  EXPECT_FALSE(inline_only.Sample(request, b).pool_admitted);
+  EXPECT_TRUE(SameData(a.dataset(), b.dataset()));
+  EXPECT_EQ(inline_only.admission().bypassed_total(), 1u);
+  EXPECT_EQ(pooled.admission().admitted_total(), 1u);
+  EXPECT_EQ(pooled.admission().in_flight(), 0);
+}
+
+TEST(SamplingService, Projection) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  SampleRequest full;
+  full.model = "m";
+  full.num_rows = 500;
+  full.seed = 3;
+  Dataset all = SamplingService(&registry).SampleToDataset(full);
+
+  SampleRequest projected = full;
+  projected.columns = {5, 0, 2};
+  Dataset some = SamplingService(&registry).SampleToDataset(projected);
+  ASSERT_EQ(some.num_attrs(), 3);
+  EXPECT_EQ(some.schema().attr(0).name, all.schema().attr(5).name);
+  EXPECT_EQ(some.column(0), all.column(5));
+  EXPECT_EQ(some.column(1), all.column(0));
+  EXPECT_EQ(some.column(2), all.column(2));
+
+  SampleRequest bad = full;
+  bad.columns = {0, 99};
+  EXPECT_THROW(SamplingService(&registry).SampleToDataset(bad),
+               std::invalid_argument);
+  bad.columns = {1, 1};
+  EXPECT_THROW(SamplingService(&registry).SampleToDataset(bad),
+               std::invalid_argument);
+  EXPECT_THROW(SamplingService(&registry).SampleToDataset(SampleRequest{
+                   "nope", 10, 1, {}}),
+               std::out_of_range);
+}
+
+TEST(SamplingService, CsvSinkMatchesWriteCsv) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  SampleRequest request;
+  request.model = "m";
+  request.num_rows = NetworkSampler::kShardRows + 77;
+  request.seed = 5;
+
+  SamplingService service(&registry, 2, NetworkSampler::kShardRows);
+  std::ostringstream streamed;
+  CsvSink csv(streamed);
+  service.Sample(request, csv);
+  EXPECT_EQ(csv.rows_written(), request.num_rows);
+
+  std::ostringstream assembled;
+  WriteCsv(service.SampleToDataset(request), assembled);
+  EXPECT_EQ(streamed.str(), assembled.str());
+}
+
+// The acceptance criterion: identical request seeds yield bit-identical rows
+// across 1, 4, and 16 client threads, with registry hot-swap happening
+// mid-run. Clients sample both a stable model and the one being swapped;
+// the swapped model's rows must match one of its two versions exactly.
+TEST(SamplingService, ConcurrentDeterminismUnderHotSwap) {
+  ModelRegistry registry;
+  registry.Put("stable", ModelA());
+  registry.Put("swapped", ModelA());
+  SamplingService service(&registry, /*max_parallel_batches=*/2,
+                          /*chunk_rows=*/NetworkSampler::kShardRows);
+
+  SampleRequest stable_request;
+  stable_request.model = "stable";
+  stable_request.num_rows = 2 * NetworkSampler::kShardRows + 19;
+  stable_request.seed = 99;
+  Dataset stable_expected = service.SampleToDataset(stable_request);
+
+  SampleRequest swapped_request = stable_request;
+  swapped_request.model = "swapped";
+  Dataset swapped_as_a = service.SampleToDataset(swapped_request);
+  Dataset swapped_as_b;
+  {
+    ModelRegistry tmp;
+    tmp.Put("swapped", ModelB());
+    swapped_as_b = SamplingService(&tmp).SampleToDataset(swapped_request);
+  }
+
+  for (int num_threads : {1, 4, 16}) {
+    std::atomic<bool> stop_swapping{false};
+    std::thread swapper([&] {
+      bool flip = false;
+      while (!stop_swapping.load()) {
+        registry.Put("swapped", flip ? ModelA() : ModelB());
+        flip = !flip;
+      }
+    });
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < num_threads; ++t) {
+      clients.emplace_back([&, t] {
+        for (int round = 0; round < 3; ++round) {
+          Dataset stable_rows = service.SampleToDataset(stable_request);
+          if (!SameData(stable_rows, stable_expected)) failures.fetch_add(1);
+          Dataset swapped_rows = service.SampleToDataset(swapped_request);
+          if (!SameData(swapped_rows, swapped_as_a) &&
+              !SameData(swapped_rows, swapped_as_b)) {
+            failures.fetch_add(1);
+          }
+        }
+        (void)t;
+      });
+    }
+    for (std::thread& c : clients) c.join();
+    stop_swapping.store(true);
+    swapper.join();
+    EXPECT_EQ(failures.load(), 0) << "at " << num_threads << " threads";
+  }
+}
+
+TEST(QueryService, MatchesModelMarginalAndSurvivesHotSwap) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  QueryService query(&registry);
+
+  ProbTable direct = ModelMarginal(ModelA(), {0, 3});
+  ProbTable served = query.Marginal("m", {0, 3});
+  ASSERT_EQ(served.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served[i], direct[i]);
+  }
+  EXPECT_THROW(query.Marginal("nope", {0}), std::out_of_range);
+
+  // A provider resolved before a hot-swap keeps answering from the old
+  // model for its whole workload.
+  MarginalProvider provider = query.Provider("m");
+  registry.Put("m", ModelB());
+  ProbTable after_swap = provider({0, 3});
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(after_swap[i], direct[i]);
+  }
+}
+
+TEST(RegistryManifest, RoundTripAndLoad) {
+  std::string dir = ::testing::TempDir();
+  SaveModelFile(ModelA(), dir + "a.privbayes-model");
+  SaveModelFile(ModelB(), dir + "b.privbayes-model");
+  // Relative paths resolve against the manifest's directory.
+  SaveRegistryManifestFile(
+      {{"alpha", "a.privbayes-model"}, {"beta", "b.privbayes-model"}},
+      dir + "fleet.manifest");
+
+  std::vector<RegistryManifestEntry> entries =
+      LoadRegistryManifestFile(dir + "fleet.manifest");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], (RegistryManifestEntry{"alpha", "a.privbayes-model"}));
+
+  ModelRegistry registry;
+  EXPECT_EQ(registry.LoadManifestFile(dir + "fleet.manifest"),
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(registry.size(), 2u);
+  // The loaded model serves the same rows as the original.
+  SampleRequest request{"alpha", 1000, 17, {}};
+  Rng rng(request.seed);
+  EXPECT_TRUE(SameData(SamplingService(&registry).SampleToDataset(request),
+                       SampleSyntheticData(ModelA(), 1000, rng)));
+}
+
+TEST(RegistryManifest, RejectsMalformedInput) {
+  {
+    std::istringstream in("PRIVBAYES-REGISTRY v9\nmodel a a.model\n");
+    EXPECT_THROW(LoadRegistryManifest(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("nonsense\n");
+    EXPECT_THROW(LoadRegistryManifest(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "PRIVBAYES-REGISTRY v1\nmodel a x.model\nmodel a y.model\n");
+    EXPECT_THROW(LoadRegistryManifest(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("PRIVBAYES-REGISTRY v1\nmodel a\n");
+    EXPECT_THROW(LoadRegistryManifest(in), std::runtime_error);
+  }
+  EXPECT_THROW(SaveRegistryManifestFile({{"bad name", "p"}},
+                                        ::testing::TempDir() + "m"),
+               std::runtime_error);
+}
+
+TEST(ModelIoVersioning, RejectsNewerFormatWithClearMessage) {
+  std::ostringstream out;
+  SaveModel(ModelA(), out);
+  std::string text = out.str();
+  ASSERT_EQ(text.rfind("PRIVBAYES-MODEL v1\n", 0), 0u);
+  std::string newer = "PRIVBAYES-MODEL v99\n" +
+                      text.substr(std::string("PRIVBAYES-MODEL v1\n").size());
+  std::istringstream in(newer);
+  try {
+    LoadModel(in);
+    FAIL() << "newer version accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos);
+  }
+}
+
+TEST(ServeServer, EndToEnd) {
+  ModelRegistry registry;
+  registry.Put("a", ModelA());
+  registry.Put("b", ModelB());
+
+  ServeServerOptions options;
+  options.port = 0;  // ephemeral
+  ServeServer server(&registry, options);
+  server.Start();
+  ASSERT_GT(server.port(), 0);
+
+  ServeClient client("127.0.0.1", server.port());
+  client.Ping();
+  std::vector<ServedModelInfo> models = client.List();
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0].name, "a");
+  EXPECT_EQ(models[0].num_attrs, 16);
+
+  // Sampling over the wire equals local sampling from the same model.
+  const int64_t rows = NetworkSampler::kShardRows + 50;
+  ServeClient::SampleReply reply = client.Sample("a", rows, /*seed=*/12);
+  ASSERT_EQ(reply.rows.size(), static_cast<size_t>(rows));
+  Rng rng(12);
+  Dataset expected =
+      SampleSyntheticData(ModelA(), static_cast<int>(rows), rng);
+  bool all_equal = true;
+  for (int64_t r = 0; r < rows && all_equal; ++r) {
+    for (int c = 0; c < expected.num_attrs(); ++c) {
+      if (reply.rows[r][c] != expected.at(static_cast<int>(r), c)) {
+        all_equal = false;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(all_equal);
+
+  // Same seed on a different connection: identical bytes.
+  {
+    ServeClient other("127.0.0.1", server.port());
+    EXPECT_EQ(other.Sample("a", 500, 12).rows, client.Sample("a", 500, 12).rows);
+  }
+
+  // Projection over the wire.
+  ServeClient::SampleReply proj = client.Sample("a", 100, 1, {3, 1});
+  ASSERT_EQ(proj.columns.size(), 2u);
+  EXPECT_EQ(proj.columns[0], ModelA().original_schema.attr(3).name);
+
+  // A marginal query answered from the model.
+  ServeClient::QueryReply marginal = client.Query("b", {0, 1});
+  ProbTable direct = ModelMarginal(ModelB(), {0, 1});
+  ASSERT_EQ(marginal.probs.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(marginal.probs[i], direct[i]);
+  }
+
+  // A marginal wider than one wire line (512 cells wrap at 256 per line).
+  ServeClient::QueryReply wide =
+      client.Query("a", {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_EQ(wide.probs.size(), 512u);
+  double total = 0;
+  for (double p : wide.probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // Errors keep the connection usable.
+  EXPECT_THROW(client.Sample("nope", 10, 1), std::runtime_error);
+  EXPECT_THROW(client.Query("a", {}), std::runtime_error);
+  client.Ping();
+
+  // DROP evicts server-side.
+  client.Drop("b");
+  EXPECT_THROW(client.Query("b", {0}), std::runtime_error);
+  EXPECT_EQ(client.List().size(), 1u);
+
+  client.Quit();
+  ServeServerStats stats = server.stats();
+  EXPECT_GE(stats.connections, 2u);
+  EXPECT_GE(stats.rows_streamed, rows + 1000 + 100);
+  EXPECT_GE(stats.errors, 2u);
+  server.Stop();
+}
+
+TEST(ServeServer, ManyClientsWithHotSwap) {
+  ModelRegistry registry;
+  registry.Put("stable", ModelA());
+  registry.Put("swapped", ModelA());
+  ServeServer server(&registry, {});
+  server.Start();
+
+  Rng rng(4);
+  Dataset expected = SampleSyntheticData(ModelA(), 2000, rng);
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    bool flip = false;
+    while (!stop.load()) {
+      registry.Put("swapped", flip ? ModelA() : ModelB());
+      flip = !flip;
+    }
+  });
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&] {
+      try {
+        ServeClient client("127.0.0.1", server.port());
+        ServeClient::SampleReply reply = client.Sample("stable", 2000, 4);
+        for (size_t r = 0; r < reply.rows.size(); ++r) {
+          for (int c = 0; c < expected.num_attrs(); ++c) {
+            if (reply.rows[r][c] != expected.at(static_cast<int>(r), c)) {
+              failures.fetch_add(1);
+              return;
+            }
+          }
+        }
+        // The swapped model must still answer (either version).
+        if (client.Sample("swapped", 100, 1).rows.size() != 100u) {
+          failures.fetch_add(1);
+        }
+        client.Quit();
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  stop.store(true);
+  swapper.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace privbayes

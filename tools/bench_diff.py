@@ -1,16 +1,28 @@
 #!/usr/bin/env python3
-"""Diff two google-benchmark JSON files and warn on throughput regressions.
+"""Diff google-benchmark JSON files and track the benchmark trajectory.
 
-Usage: bench_diff.py BASELINE.json NEW.json [--threshold 0.20]
+Two modes:
 
-Compares `items_per_second` (falling back to inverse `real_time`) for every
-benchmark present in both files. Regressions beyond the threshold are
-reported as GitHub Actions `::warning::` annotations; the exit code is
-always 0 — CI machines are noisy, so the diff informs rather than gates.
+  bench_diff.py BASELINE.json NEW.json [--threshold 0.20] [--markdown-out F]
+      Compare one run against a baseline. Regressions beyond the threshold
+      are reported as GitHub Actions `::warning::` annotations; the exit
+      code is always 0 — CI machines are noisy, so the diff informs rather
+      than gates.
+
+  bench_diff.py --trajectory RUN1.json RUN2.json ... [--markdown-out F]
+      Render a benchmark × run markdown table of throughputs (the ROADMAP's
+      BENCH trajectory dashboard). Runs are ordered oldest → newest; column
+      labels default to the file names, override with --labels. CI feeds
+      this the committed baseline plus the fresh run and appends the table
+      to the job summary; pointing it at a directory of archived
+      BENCH_core artifacts charts the whole PR history.
+
+Throughput is `items_per_second`, falling back to inverse `real_time`.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -37,42 +49,117 @@ def load(path):
     return out
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("baseline")
-    parser.add_argument("new")
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="warn when throughput drops more than this "
-                             "fraction (default 0.20)")
-    args = parser.parse_args()
+def human(value):
+    """1234567 -> '1.23M' — keeps the markdown table scannable."""
+    for cutoff, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= cutoff:
+            return f"{value / cutoff:.3g}{suffix}"
+    return f"{value:.3g}"
 
-    base = load(args.baseline)
-    new = load(args.new)
+
+def write_markdown(path, lines):
+    text = "\n".join(lines) + "\n"
+    if path:
+        with open(path, "w") as f:
+            f.write(text)
+        print(f"bench_diff: wrote markdown to {path}")
+    else:
+        print(text)
+
+
+def run_trajectory(paths, labels, markdown_out):
+    if labels and len(labels) != len(paths):
+        print("bench_diff: --labels count must match the number of runs",
+              file=sys.stderr)
+        return 2
+    labels = labels or [os.path.splitext(os.path.basename(p))[0]
+                        for p in paths]
+    runs = [load(p) for p in paths]
+    names = sorted(set().union(*[set(r) for r in runs]))
+
+    lines = ["# Benchmark trajectory", "",
+             "Throughput (items/s; higher is better). Runs ordered oldest "
+             "to newest.", "",
+             "| benchmark | " + " | ".join(labels) + " | last/first |",
+             "|---|" + "---:|" * (len(runs) + 1)]
+    for name in names:
+        cells = [human(run[name][0]) if name in run else "—" for run in runs]
+        # Only meaningful when the benchmark exists in BOTH endpoint runs;
+        # a benchmark added mid-history must show "—", not a partial ratio.
+        ratio = "—"
+        if len(runs) >= 2 and name in runs[0] and name in runs[-1]:
+            first, last = runs[0][name][0], runs[-1][name][0]
+            if first > 0:
+                ratio = f"{last / first:.2f}x"
+        lines.append(f"| `{name}` | " + " | ".join(cells) + f" | {ratio} |")
+    lines += ["", f"{len(names)} benchmarks across {len(runs)} run(s)."]
+    write_markdown(markdown_out, lines)
+    return 0
+
+
+def run_diff(baseline_path, new_path, threshold, markdown_out):
+    base = load(baseline_path)
+    new = load(new_path)
     shared = sorted(set(base) & set(new))
     if not shared:
         print("bench_diff: no shared benchmark names; nothing to compare")
         return 0
 
     regressions = 0
+    md = ["# Benchmark diff", "",
+          f"`{baseline_path}` → `{new_path}`", "",
+          "| benchmark | baseline | new | ratio |", "|---|---:|---:|---:|"]
     print(f"{'benchmark':52s} {'baseline':>12s} {'new':>12s} {'ratio':>7s}")
     for name in shared:
         b, _ = base[name]
         n, _ = new[name]
         ratio = n / b if b > 0 else float("inf")
         flag = ""
-        if ratio < 1.0 - args.threshold:
+        if ratio < 1.0 - threshold:
             flag = "  <-- regression"
             regressions += 1
             print(f"::warning::bench regression: {name} "
                   f"{b:.3g} -> {n:.3g} items/s ({ratio:.2f}x)")
         print(f"{name:52s} {b:12.4g} {n:12.4g} {ratio:6.2f}x{flag}")
+        md.append(f"| `{name}` | {human(b)} | {human(n)} | {ratio:.2f}x"
+                  f"{' ⚠️' if flag else ''} |")
 
     dropped = sorted(set(base) - set(new))
     for name in dropped:
         print(f"::warning::benchmark disappeared from suite: {name}")
-    print(f"bench_diff: {len(shared)} compared, {regressions} regressed "
-          f"beyond {args.threshold:.0%}, {len(dropped)} dropped")
+    summary = (f"{len(shared)} compared, {regressions} regressed beyond "
+               f"{threshold:.0%}, {len(dropped)} dropped")
+    print(f"bench_diff: {summary}")
+    if markdown_out:
+        md += ["", summary]
+        write_markdown(markdown_out, md)
     return 0
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline JSON (diff mode)")
+    parser.add_argument("new", nargs="?", help="new-run JSON (diff mode)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="warn when throughput drops more than this "
+                             "fraction (default 0.20)")
+    parser.add_argument("--trajectory", nargs="+", metavar="RUN.json",
+                        help="render a benchmark × run markdown table "
+                             "instead of diffing")
+    parser.add_argument("--labels", nargs="+",
+                        help="column labels for --trajectory (default: "
+                             "file names)")
+    parser.add_argument("--markdown-out", metavar="FILE",
+                        help="also write the result as markdown")
+    args = parser.parse_args()
+
+    if args.trajectory:
+        return run_trajectory(args.trajectory, args.labels, args.markdown_out)
+    if not args.baseline or not args.new:
+        parser.error("need BASELINE.json NEW.json (or --trajectory)")
+    return run_diff(args.baseline, args.new, args.threshold,
+                    args.markdown_out)
 
 
 if __name__ == "__main__":

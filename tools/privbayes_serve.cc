@@ -1,0 +1,169 @@
+// privbayes_serve: TCP model-serving daemon.
+//
+// Holds a ModelRegistry of fitted PrivBayes models and serves the line
+// protocol of serve/server.h (sampling + direct marginal queries). Models
+// come from three sources, combinable and repeatable:
+//
+//   --fit  NAME=DATASET[:rows[:eps]]   fit a paper dataset in-process
+//                                      (NLTCS, ACS, Adult, BR2000)
+//   --load NAME=PATH                   load a SaveModelFile archive
+//   --manifest PATH                    load every entry of a registry
+//                                      manifest (core/model_io.h)
+//
+// Prints "READY port=<p> models=<k>" once listening — the CI smoke job and
+// scripts wait for that line — then runs until SIGINT/SIGTERM.
+//
+//   privbayes_serve --port 7878 --fit nltcs=NLTCS:4000:0.8 \
+//                   --fit adult=Adult:4000:0.8
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_io.h"
+#include "core/privbayes.h"
+#include "data/generators.h"
+#include "serve/server.h"
+
+namespace pb = privbayes;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--max-parallel N]\n"
+               "          [--fit NAME=DATASET[:rows[:eps]]]... "
+               "[--load NAME=PATH]... [--manifest PATH]...\n",
+               argv0);
+  std::exit(2);
+}
+
+// NAME=SPEC split; dies on malformed input.
+std::pair<std::string, std::string> SplitNameValue(const std::string& arg,
+                                                   const char* argv0) {
+  size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) Usage(argv0);
+  return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+void FitAndRegister(pb::ModelRegistry& registry, const std::string& name,
+                    const std::string& spec, uint64_t seed) {
+  std::string dataset = spec;
+  int rows = 0;
+  double epsilon = 0.8;
+  size_t colon = dataset.find(':');
+  if (colon != std::string::npos) {
+    std::string rest = dataset.substr(colon + 1);
+    dataset = dataset.substr(0, colon);
+    size_t colon2 = rest.find(':');
+    if (colon2 != std::string::npos) {
+      epsilon = std::atof(rest.substr(colon2 + 1).c_str());
+      rest = rest.substr(0, colon2);
+    }
+    rows = std::atoi(rest.c_str());
+  }
+  std::printf("fitting %s on %s (%s rows, eps=%.3g)...\n", name.c_str(),
+              dataset.c_str(), rows > 0 ? std::to_string(rows).c_str() : "all",
+              epsilon);
+  std::fflush(stdout);
+  pb::Dataset data = pb::MakeDatasetByName(dataset, seed, rows);
+  pb::PrivBayesOptions options;
+  options.epsilon = epsilon;
+  options.candidate_cap = 200;
+  pb::PrivBayes privbayes(options);
+  pb::Rng rng(seed);
+  registry.Put(name, privbayes.Fit(data, rng));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pb::ServeServerOptions options;
+  options.port = 7878;
+  std::vector<std::pair<std::string, std::string>> fits;   // name -> spec
+  std::vector<std::pair<std::string, std::string>> loads;  // name -> path
+  std::vector<std::string> manifests;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = std::atoi(next().c_str());
+    } else if (arg == "--max-parallel") {
+      options.max_parallel_batches = std::atoi(next().c_str());
+    } else if (arg == "--fit") {
+      fits.push_back(SplitNameValue(next(), argv[0]));
+    } else if (arg == "--load") {
+      loads.push_back(SplitNameValue(next(), argv[0]));
+    } else if (arg == "--manifest") {
+      manifests.push_back(next());
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (fits.empty() && loads.empty() && manifests.empty()) {
+    // A demo fleet: the same workflow as `--fit nltcs=NLTCS --fit
+    // adult=Adult` but small enough to be up in seconds.
+    fits = {{"nltcs", "NLTCS:4000:0.8"}, {"adult", "Adult:4000:0.8"}};
+  }
+
+  pb::ModelRegistry registry;
+  try {
+    uint64_t seed = 1;
+    for (const auto& [name, spec] : fits) {
+      FitAndRegister(registry, name, spec, seed++);
+    }
+    for (const auto& [name, path] : loads) {
+      std::printf("loading %s from %s\n", name.c_str(), path.c_str());
+      registry.Put(name, pb::LoadModelFile(path));
+    }
+    for (const std::string& manifest : manifests) {
+      for (const std::string& name : registry.LoadManifestFile(manifest)) {
+        std::printf("loaded %s from manifest %s\n", name.c_str(),
+                    manifest.c_str());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "model setup failed: %s\n", e.what());
+    return 1;
+  }
+
+  pb::ServeServer server(&registry, options);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot start server: %s\n", e.what());
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::printf("READY port=%d models=%zu\n", server.port(), registry.size());
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  pb::ServeServerStats stats = server.stats();
+  server.Stop();
+  std::printf(
+      "shutting down: %llu connections, %llu requests (%llu errors), "
+      "%lld rows streamed\n",
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.errors),
+      static_cast<long long>(stats.rows_streamed));
+  return 0;
+}
