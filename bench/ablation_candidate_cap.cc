@@ -44,5 +44,6 @@ int main() {
     }
   }
   table.Print("Ablation candidate cap (NLTCS)", "sum of mutual information");
+  pb::PrintMarginalStoreStats();
   return 0;
 }

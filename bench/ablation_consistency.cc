@@ -56,5 +56,6 @@ int main() {
     table.Print("Ablation consistency NLTCS Q" + std::to_string(alpha),
                 "average variation distance");
   }
+  pb::PrintMarginalStoreStats();
   return 0;
 }

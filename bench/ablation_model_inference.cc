@@ -51,5 +51,6 @@ int main() {
                     std::to_string(alpha),
                 "average variation distance");
   }
+  pb::PrintMarginalStoreStats();
   return 0;
 }

@@ -67,5 +67,6 @@ int main() {
     svm_table.Print(std::string("Fig9 ") + name + " Y=" + label.name,
                     "misclassification rate");
   }
+  pb::PrintMarginalStoreStats();
   return 0;
 }

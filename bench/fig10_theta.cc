@@ -61,5 +61,6 @@ int main() {
     svm_table.Print(std::string("Fig10 ") + name + " Y=" + label.name,
                     "misclassification rate");
   }
+  pb::PrintMarginalStoreStats();
   return 0;
 }

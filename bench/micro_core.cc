@@ -7,6 +7,7 @@
 #include "bn/sampling.h"
 #include "common/cpu.h"
 #include "core/noisy_conditionals.h"
+#include "data/marginal_store.h"
 #include "core/private_greedy.h"
 #include "core/privbayes.h"
 #include "core/score_functions.h"
@@ -269,6 +270,9 @@ BENCHMARK(BM_AncestralSamplingAlias)->Arg(1000)->Arg(10000);
 void BM_GreedyIteration(benchmark::State& state) {
   const pb::Dataset& data = Nltcs();
   data.store();
+  // Fresh MarginalStore so the hit-rate counter measures reuse across THIS
+  // benchmark's learns, not whatever ran before it.
+  pb::MarginalStore::Instance().Clear();
   pb::PrivateGreedyOptions opts;
   opts.score = pb::ScoreKind::kR;
   opts.epsilon1 = 0.1;
@@ -290,6 +294,61 @@ void BM_GreedyIteration(benchmark::State& state) {
       benchmark::Counter(total > 0 ? stats.hits / total : 0);
 }
 BENCHMARK(BM_GreedyIteration)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+// --- cross-run marginal reuse (data/marginal_store.h) ----------------------
+// One ε sweep = four full general-domain PrivBayes fits (structure learn +
+// noisy conditionals) on the same Adult snapshot with fixed per-ε seeds —
+// the fig09/fig10 access pattern in miniature, on the dataset where
+// counting (45k-row radix joints over τ-capped generalized domains)
+// dominates scoring. Cold clears the MarginalStore before every sweep, so
+// each one recounts every joint; Warm populates the store once and keeps
+// it, so every later learn resolves its joints from the snapshot-keyed
+// cache. Warm/Cold is the committed cross-run headline the CI bench diff
+// tracks.
+
+void EpsilonSweepOnce(const pb::Dataset& data) {
+  const double epsilons[] = {0.1, 0.2, 0.4, 0.8};
+  for (size_t i = 0; i < 4; ++i) {
+    pb::PrivateGreedyOptions opts;
+    opts.score = pb::ScoreKind::kR;
+    opts.epsilon1 = 0.3 * epsilons[i];
+    opts.epsilon2_plan = 0.7 * epsilons[i];
+    opts.first_attr = 0;
+    opts.candidate_cap = 150;
+    pb::Rng rng(1000 + i);
+    pb::LearnedNetwork learned = pb::LearnNetworkGeneral(data, opts, rng);
+    pb::Rng crng(2000 + i);
+    benchmark::DoNotOptimize(pb::NoisyConditionalsGeneral(
+        data, learned.net, 0.7 * epsilons[i], crng, nullptr));
+  }
+}
+
+void BM_EpsilonSweepCold(benchmark::State& state) {
+  const pb::Dataset& data = Adult();
+  data.store();
+  for (auto _ : state) {
+    pb::MarginalStore::Instance().Clear();
+    EpsilonSweepOnce(data);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_EpsilonSweepCold)->Unit(benchmark::kMillisecond);
+
+void BM_EpsilonSweepWarm(benchmark::State& state) {
+  const pb::Dataset& data = Adult();
+  data.store();
+  pb::MarginalStore::Instance().Clear();
+  EpsilonSweepOnce(data);  // populate the store outside the timed region
+  for (auto _ : state) {
+    EpsilonSweepOnce(data);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+  pb::MarginalStoreStats stats = pb::MarginalStore::Instance().stats();
+  double total = static_cast<double>(stats.hits + stats.misses);
+  state.counters["store_hit_rate"] =
+      benchmark::Counter(total > 0 ? stats.hits / total : 0);
+}
+BENCHMARK(BM_EpsilonSweepWarm)->Unit(benchmark::kMillisecond);
 
 void BM_LaplaceNoiseVector(benchmark::State& state) {
   pb::Rng rng(5);

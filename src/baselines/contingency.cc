@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "data/marginal_store.h"
 #include "dp/mechanisms.h"
 
 namespace privbayes {
@@ -19,7 +20,11 @@ ProbTable NoisyContingencyTable(const Dataset& data, double epsilon, Rng& rng,
   CheckedDomainSize(cards, max_cells);
   std::vector<int> attrs(schema.num_attrs());
   for (int a = 0; a < schema.num_attrs(); ++a) attrs[a] = a;
-  ProbTable table = data.JointCounts(attrs);
+  // Cached across runs (ε sweeps re-release the same true table under fresh
+  // noise); full-domain tables above the store's byte budget are simply
+  // counted uncached.
+  ProbTable table =
+      MarginalStore::Instance().CountsOrdered(data, std::span<const int>(attrs));
   double n = data.num_rows();
   for (double& v : table.values()) v /= n;
   LaplaceMechanism lap(2.0 / n, epsilon);

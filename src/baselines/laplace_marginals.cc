@@ -1,6 +1,7 @@
 #include "baselines/laplace_marginals.h"
 
 #include "common/check.h"
+#include "data/marginal_store.h"
 #include "dp/mechanisms.h"
 
 namespace privbayes {
@@ -21,7 +22,8 @@ std::vector<ProbTable> LaplaceMarginals(const Dataset& data,
   std::vector<ProbTable> out;
   out.reserve(workload.size());
   for (const std::vector<int>& attrs : workload.attr_sets) {
-    ProbTable marginal = data.JointCounts(attrs);
+    ProbTable marginal = MarginalStore::Instance().CountsOrdered(
+        data, std::span<const int>(attrs));
     for (double& v : marginal.values()) v /= n;
     lap.Apply(marginal.values(), rng);
     marginal.ClampNegatives();

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <memory>
 
 #include "common/check.h"
+#include "data/marginal_store.h"
 #include "dp/mechanisms.h"
 
 namespace privbayes {
@@ -45,14 +45,23 @@ ProbTable RunMwem(const Dataset& data, const MarginalWorkload& workload,
   double eps_iter = epsilon / iterations;
   double n = data.num_rows();
 
-  // Cache of true marginals (counts), keyed by attribute set.
-  std::map<std::vector<int>, ProbTable> true_marginals;
-  auto true_of = [&](const std::vector<int>& attrs) -> const ProbTable& {
-    auto it = true_marginals.find(attrs);
-    if (it == true_marginals.end()) {
-      it = true_marginals.emplace(attrs, data.JointCounts(attrs)).first;
+  // True marginals (counts) come from the process-wide MarginalStore — the
+  // per-run memo this function used to carry is exactly the ad-hoc cache the
+  // store unifies, and the store additionally shares the counts with every
+  // other mechanism (and MWEM rerun) touching the same snapshot. Workload
+  // sets are usually ascending (MarginalWorkload canonicalizes), so the
+  // store's canonical table is read in place, zero copies; an unsorted set
+  // falls back to a reordered copy so cell indices always line up with the
+  // approx marginals computed in `attrs` order.
+  auto true_of =
+      [&](const std::vector<int>& attrs) -> std::shared_ptr<const ProbTable> {
+    MarginalStore& store = MarginalStore::Instance();
+    if (std::is_sorted(attrs.begin(), attrs.end()) &&
+        std::adjacent_find(attrs.begin(), attrs.end()) == attrs.end()) {
+      return store.Counts(data, std::span<const int>(attrs));
     }
-    return it->second;
+    return std::make_shared<const ProbTable>(
+        store.CountsOrdered(data, std::span<const int>(attrs)));
   };
 
   // Precompute full-domain strides for the update pass.
@@ -91,7 +100,8 @@ ProbTable RunMwem(const Dataset& data, const MarginalWorkload& workload,
     for (size_t mi = 0; mi < marg_idx.size(); ++mi) {
       const std::vector<int>& attrs = workload.attr_sets[marg_idx[mi]];
       ProbTable am = ProjectFull(approx, attrs);
-      const ProbTable& tm = true_of(attrs);
+      std::shared_ptr<const ProbTable> tm_ptr = true_of(attrs);
+      const ProbTable& tm = *tm_ptr;
       for (size_t cell = 0; cell < am.size(); ++cell) {
         candidates.push_back({mi, cell});
         // Score in counts (sensitivity 1): |n·q(D)/n − n·q(A)|.
@@ -105,7 +115,7 @@ ProbTable RunMwem(const Dataset& data, const MarginalWorkload& workload,
     const std::vector<int>& attrs = workload.attr_sets[marg_idx[chosen.marginal]];
 
     // --- Measurement (Laplace, eps_iter/2): noisy true count of the cell.
-    double truth = true_of(attrs)[chosen.cell];
+    double truth = (*true_of(attrs))[chosen.cell];
     double measured = truth + rng.Laplace(1.0 / (eps_iter / 2));
 
     // --- Multiplicative-weights update over the full domain. The query's

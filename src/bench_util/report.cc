@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "data/marginal_store.h"
 
 namespace privbayes {
 
@@ -73,6 +74,12 @@ void PrintBenchHeader(const std::string& figure,
               static_cast<unsigned long long>(BenchSeed()),
               FullFidelity() ? " (PRIVBAYES_FULL)" : "");
   std::printf("=======================================================\n");
+  std::fflush(stdout);
+}
+
+void PrintMarginalStoreStats() {
+  std::printf("\nmarginal store: %s\n",
+              MarginalStore::Instance().StatsString().c_str());
   std::fflush(stdout);
 }
 

@@ -50,6 +50,11 @@ class SeriesTable {
 void PrintBenchHeader(const std::string& figure,
                       const std::string& description, int repeats);
 
+/// Prints one summary line of the process-wide MarginalStore — the sweep
+/// benches (fig09/fig10, the ablations) call this at exit so each run
+/// records how much counting the cross-run joint cache absorbed.
+void PrintMarginalStoreStats();
+
 }  // namespace privbayes
 
 #endif  // PRIVBAYES_BENCH_UTIL_REPORT_H_

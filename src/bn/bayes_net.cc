@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "data/marginal_store.h"
 #include "prob/information.h"
 
 namespace privbayes {
@@ -74,7 +75,8 @@ double SumMutualInformation(const Dataset& data, const BayesNet& net) {
     if (p.parents.empty()) continue;  // I(X; ∅) = 0
     std::vector<GenAttr> gattrs = p.parents;
     gattrs.push_back(GenAttr{p.attr, 0});
-    ProbTable joint = data.JointCountsGeneralized(gattrs);
+    ProbTable joint =
+        *MarginalStore::Instance().Counts(data, gattrs);
     joint.Normalize();
     total += MutualInformation(joint, GenVarId(p.attr));
   }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "data/marginal_store.h"
 #include "prob/information.h"
 
 namespace privbayes {
@@ -144,7 +145,11 @@ BayesNet GreedyBayesNonPrivate(const Dataset& data,
       const APPair& pair = candidates[c];
       std::vector<GenAttr> gattrs = pair.parents;
       gattrs.push_back(GenAttr{pair.attr, 0});
-      ProbTable joint = data.JointCountsGeneralized(gattrs);
+      // Canonical-order counts from the cross-run MarginalStore; MI takes
+      // the child id explicitly, so no reorder is needed.
+      std::shared_ptr<const ProbTable> counts =
+          MarginalStore::Instance().Counts(data, gattrs);
+      ProbTable joint = *counts;
       joint.Normalize();
       double mi = MutualInformation(joint, GenVarId(pair.attr));
       if (mi > best_score) {

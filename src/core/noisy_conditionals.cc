@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "data/marginal_store.h"
 #include "dp/mechanisms.h"
 
 namespace privbayes {
@@ -12,15 +13,17 @@ namespace {
 
 // Materializes the noisy joint distribution of one AP pair: counts -> /n ->
 // + Laplace -> clamp -> normalize. `pair_epsilon` is this pair's budget.
-// Counting runs on the ColumnStore engine (SIMD kernels, row-sharded for
-// large n); the Laplace draws come from the per-pair `rng` stream handed in
-// by the caller. Budget accounting is the caller's responsibility (the pair
-// loop runs in parallel and BudgetAccountant is not thread-safe).
+// Counting resolves against the cross-run MarginalStore (the structure
+// learn that chose this pair usually counted its joint already), falling
+// back to the ColumnStore engine on miss; the Laplace draws come from the
+// per-pair `rng` stream handed in by the caller. Budget accounting is the
+// caller's responsibility (the pair loop runs in parallel and
+// BudgetAccountant is not thread-safe).
 ProbTable NoisyJoint(const Dataset& data, const APPair& pair,
                      double pair_epsilon, Rng& rng) {
   std::vector<GenAttr> gattrs = pair.parents;
   gattrs.push_back(GenAttr{pair.attr, 0});
-  ProbTable joint = data.JointCountsGeneralized(gattrs);
+  ProbTable joint = MarginalStore::Instance().CountsOrdered(data, gattrs);
   double n = data.num_rows();
   PB_CHECK(n > 0);
   for (double& v : joint.values()) v /= n;

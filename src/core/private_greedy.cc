@@ -1,8 +1,7 @@
 #include "core/private_greedy.h"
 
 #include <algorithm>
-#include <string>
-#include <unordered_map>
+#include <atomic>
 #include <utility>
 
 #include "bn/greedy_bayes.h"
@@ -10,15 +9,12 @@
 #include "common/parallel.h"
 #include "core/maximal_parent_sets.h"
 #include "core/theta_usefulness.h"
+#include "data/marginal_store.h"
 #include "dp/mechanisms.h"
 
 namespace privbayes {
 
 namespace {
-
-// Stop inserting into the joint-count memo once it holds this many cells
-// (64 MB of doubles); later joints are counted per candidate, uncached.
-constexpr size_t kMaxCachedCells = size_t{1} << 23;
 
 // Reusable per-thread (parents..., child) list: candidate scoring rebuilds
 // this for every joint, so it must not allocate per candidate.
@@ -30,118 +26,49 @@ std::vector<GenAttr>& GattrsScratch(const APPair& pair) {
   return gattrs;
 }
 
-// Memo of empirical joint counts within one greedy learn, keyed on the
-// SORTED GenAttr set of (parents ∪ child). Within a run the sorted set
-// determines the child (the unique member still unchosen when the joint was
-// first counted), and the I/F/R scores only group cells by "all variables
-// except the last", so a table counted in one candidate's (parents, child)
-// order scores every later candidate with the same set — parent order and
-// all — without reordering. This is what makes greedy iteration i + 1 cheap:
-// every candidate that survives iteration i reappears with an identical
-// parent set (cf. AIM-style marginal reuse) and costs one hash lookup
-// instead of a counting pass.
-class JointCountCache {
- public:
-  explicit JointCountCache(const Dataset& data) : data_(data) {}
-
-  // Scores all candidates, counting only joints the memo has not seen.
-  // Deterministic: misses are counted and scored by candidate index, and
-  // the memo is only mutated between the parallel phases.
-  std::vector<double> ScoreAll(const std::vector<APPair>& candidates,
-                               ScoreKind score, size_t f_max_states) {
-    const size_t n_cand = candidates.size();
-    std::vector<double> scores(n_cand);
-    std::vector<const ProbTable*> tables(n_cand, nullptr);
-    std::vector<std::pair<size_t, ProbTable*>> misses;
-
-    // Serial phase: resolve every candidate against the memo; insert empty
-    // placeholders for the joints that must be counted.
-    std::string key;
-    for (size_t c = 0; c < n_cand; ++c) {
-      KeyOf(candidates[c], key);
-      auto it = cache_.find(key);
-      if (it != cache_.end()) {
-        // A placeholder inserted this round is still empty; it is filled
-        // before anything reads it. Distinct candidates in one round never
-        // share a key (their children are all unchosen, but a shared set
-        // would put one child in the other's parents — i.e. chosen).
-        ++stats_.hits;
-        tables[c] = &it->second;
-        continue;
-      }
-      ++stats_.misses;
-      size_t cells = JointCells(candidates[c]);
-      if (cached_cells_ + cells > kMaxCachedCells) continue;  // count inline
-      cached_cells_ += cells;
-      ProbTable& slot = cache_[key];  // node-based: pointer is stable
-      tables[c] = &slot;
-      misses.emplace_back(c, &slot);
-    }
-
-    // Parallel phase 1: count the missing joints into their memo slots.
-    ParallelFor(
-        misses.size(),
-        [&](size_t begin, size_t end) {
-          for (size_t m = begin; m < end; ++m) {
-            const APPair& pair = candidates[misses[m].first];
-            *misses[m].second =
-                data_.JointCountsGeneralized(GattrsScratch(pair));
-          }
-        },
-        /*min_per_thread=*/8);
-
-    // Parallel phase 2: score every candidate from its table (cap-overflow
-    // candidates count their joint on the fly, uncached).
-    const int64_t n = data_.num_rows();
-    ParallelFor(
-        n_cand,
-        [&](size_t begin, size_t end) {
-          for (size_t c = begin; c < end; ++c) {
-            if (tables[c] != nullptr) {
-              scores[c] = ComputeScore(score, *tables[c], n, f_max_states);
-            } else {
-              ProbTable counts =
-                  data_.JointCountsGeneralized(GattrsScratch(candidates[c]));
-              scores[c] = ComputeScore(score, counts, n, f_max_states);
-            }
-          }
-        },
-        /*min_per_thread=*/8);
-    return scores;
+// Scores every candidate from the process-wide MarginalStore: each joint is
+// resolved against the snapshot-keyed cache and counted only on miss, so a
+// candidate that survives an iteration (cf. AIM-style marginal reuse) — or
+// that appeared in ANY earlier learn on the same snapshot (ε sweeps,
+// ablations, serving refits) — costs one hash lookup instead of a counting
+// pass. Tables are cached in canonical sorted order and scored through
+// ComputeScoreForChild, so one entry serves every (parents, child)
+// arrangement of the same attribute set. Deterministic: distinct candidates
+// in one round never share a key (their children are all unchosen, but a
+// shared set would put one child in the other's parents — i.e. chosen), so
+// each joint is counted exactly once regardless of sharding, and counted
+// values never depend on hit/miss history.
+std::vector<double> ScoreAllCandidates(const Dataset& data,
+                                       const std::vector<APPair>& candidates,
+                                       ScoreKind score, size_t f_max_states,
+                                       JointCacheStats* stats) {
+  MarginalStore& store = MarginalStore::Instance();
+  const int64_t n = data.num_rows();
+  std::vector<double> scores(candidates.size());
+  std::atomic<uint64_t> hits{0}, misses{0};
+  ParallelFor(
+      candidates.size(),
+      [&](size_t begin, size_t end) {
+        uint64_t local_hits = 0, local_misses = 0;
+        for (size_t c = begin; c < end; ++c) {
+          const APPair& pair = candidates[c];
+          bool hit = false;
+          std::shared_ptr<const ProbTable> counts =
+              store.Counts(data, GattrsScratch(pair), &hit);
+          (hit ? local_hits : local_misses) += 1;
+          scores[c] = ComputeScoreForChild(score, *counts, GenVarId(pair.attr),
+                                           n, f_max_states);
+        }
+        hits.fetch_add(local_hits, std::memory_order_relaxed);
+        misses.fetch_add(local_misses, std::memory_order_relaxed);
+      },
+      /*min_per_thread=*/8);
+  if (stats != nullptr) {
+    stats->hits += hits.load();
+    stats->misses += misses.load();
   }
-
-  const JointCacheStats& stats() const { return stats_; }
-
- private:
-  // Sorted GenVarIds, two bytes each — order-insensitive and
-  // collision-free (GenVarId is injective and fits 16 bits).
-  void KeyOf(const APPair& pair, std::string& key) {
-    std::vector<GenAttr>& gattrs = GattrsScratch(pair);
-    std::sort(gattrs.begin(), gattrs.end());
-    key.clear();
-    for (const GenAttr& g : gattrs) {
-      int id = GenVarId(g);
-      // Two bytes cover attr < 4096 (kGenVarStride = 16); a wider schema
-      // must widen the key, not silently collide.
-      PB_CHECK_MSG(id >= 0 && id <= 0xFFFF, "GenVarId overflows cache key");
-      key.push_back(static_cast<char>(id & 0xFF));
-      key.push_back(static_cast<char>((id >> 8) & 0xFF));
-    }
-  }
-
-  size_t JointCells(const APPair& pair) const {
-    size_t cells = data_.schema().Cardinality(pair.attr);
-    for (const GenAttr& g : pair.parents) {
-      cells *= data_.schema().CardinalityAt(g.attr, g.level);
-    }
-    return cells;
-  }
-
-  const Dataset& data_;
-  std::unordered_map<std::string, ProbTable> cache_;
-  size_t cached_cells_ = 0;
-  JointCacheStats stats_;
-};
+  return scores;
+}
 
 // Shared selection loop: enumerate-candidates callback differs between the
 // binary and general algorithms.
@@ -169,24 +96,18 @@ BayesNet GreedyLoop(const Dataset& data, const PrivateGreedyOptions& options,
       ScoreSensitivity(options.score, data.num_rows(), binary_side);
   ExponentialMechanism em(sensitivity, per_iter_eps);
 
-  // One memo for the whole learn: joints shared across iterations (same
-  // parent prefix under a still-unchosen child) are counted once.
-  JointCountCache cache(data);
   while (!remaining.empty()) {
     std::vector<APPair> candidates = enumerate(chosen, remaining);
     PB_CHECK_MSG(!candidates.empty(), "empty candidate set");
     std::vector<double> scores =
-        cache.ScoreAll(candidates, options.score, options.f_max_states);
+        ScoreAllCandidates(data, candidates, options.score,
+                           options.f_max_states, options.cache_stats);
     size_t pick = em.Select(scores, rng, acct);
     const APPair& winner = candidates[pick];
     chosen.push_back(winner.attr);
     remaining.erase(
         std::find(remaining.begin(), remaining.end(), winner.attr));
     net.Add(winner);
-  }
-  if (options.cache_stats != nullptr) {
-    options.cache_stats->hits += cache.stats().hits;
-    options.cache_stats->misses += cache.stats().misses;
   }
   return net;
 }

@@ -32,10 +32,13 @@
 
 namespace privbayes {
 
-/// Hit/miss counters of the per-learn joint-count memo (one GreedyLoop run
-/// shares counted joints across iterations — candidates that survive an
-/// iteration reappear with the same parent set, cf. AIM-style marginal
-/// reuse). Exposed for the microbenchmarks and tests.
+/// Hit/miss counters of THIS learn's joint-count lookups against the
+/// process-wide MarginalStore (data/marginal_store.h). Within one learn,
+/// candidates that survive an iteration reappear with the same parent set
+/// (cf. AIM-style marginal reuse); across learns on the same ColumnStore
+/// snapshot (ε sweeps, ablations, serving refits) the store serves joints
+/// counted by earlier runs, so a repeat learn can be all hits. Exposed for
+/// the microbenchmarks and tests.
 struct JointCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -64,8 +67,8 @@ struct PrivateGreedyOptions {
   size_t mps_node_budget = 200000;
   /// First attribute (paper: uniformly random; fix for reproducible tests).
   int first_attr = -1;
-  /// When non-null, the learner accumulates its joint-count memo-cache
-  /// hit/miss counters here (adds to the existing values).
+  /// When non-null, the learner accumulates its MarginalStore hit/miss
+  /// counters here (adds to the existing values).
   JointCacheStats* cache_stats = nullptr;
 };
 

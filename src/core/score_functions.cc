@@ -61,21 +61,69 @@ double ScoreSensitivity(ScoreKind kind, int64_t n, bool binary_side) {
 }
 
 double ScoreI(const ProbTable& joint_counts, int64_t n) {
+  return ScoreIForChild(joint_counts, joint_counts.vars().empty()
+                                          ? -1
+                                          : joint_counts.vars().back(),
+                        n);
+}
+
+double ScoreR(const ProbTable& joint_counts, int64_t n) {
+  return ScoreRForChild(joint_counts, joint_counts.vars().empty()
+                                          ? -1
+                                          : joint_counts.vars().back(),
+                        n);
+}
+
+double ScoreIForChild(const ProbTable& joint_counts, int child_var,
+                      int64_t n) {
   if (joint_counts.num_vars() <= 1) return 0.0;  // I(X; ∅) = 0
   PB_THROW_IF(n <= 0, "scores need n > 0");
   ProbTable probs = joint_counts;
   for (double& v : probs.values()) v /= static_cast<double>(n);
-  return MutualInformation(probs, probs.vars().back());
+  return MutualInformation(probs, child_var);
 }
 
-double ScoreR(const ProbTable& joint_counts, int64_t n) {
+double ScoreRForChild(const ProbTable& joint_counts, int child_var,
+                      int64_t n) {
   PB_THROW_IF(n <= 0, "scores need n > 0");
   if (joint_counts.num_vars() <= 1) return 0.0;  // independent of nothing
   ProbTable probs = joint_counts;
   for (double& v : probs.values()) v /= static_cast<double>(n);
-  int child[1] = {probs.vars().back()};
+  int child[1] = {child_var};
   ProbTable indep = IndependentProduct(probs, child);
   return 0.5 * probs.L1Distance(indep);
+}
+
+double ScoreFForChild(const ProbTable& joint_counts, int child_var, int64_t n,
+                      size_t max_states) {
+  if (!joint_counts.vars().empty() && joint_counts.vars().back() == child_var) {
+    return ScoreF(joint_counts, n, max_states);
+  }
+  // F's column DP reads (X=0, X=1) pairs at stride 1, so a canonical-order
+  // table is permuted child-last first. These tables are small (binary
+  // domains, 2^(k+1) cells) — the permutation is noise next to the DP.
+  std::vector<int> order;
+  order.reserve(joint_counts.vars().size());
+  for (int v : joint_counts.vars()) {
+    if (v != child_var) order.push_back(v);
+  }
+  PB_THROW_IF(order.size() == joint_counts.vars().size(),
+              "child variable not in table");
+  order.push_back(child_var);
+  return ScoreF(joint_counts.Reorder(order), n, max_states);
+}
+
+double ComputeScoreForChild(ScoreKind kind, const ProbTable& joint_counts,
+                            int child_var, int64_t n, size_t f_max_states) {
+  switch (kind) {
+    case ScoreKind::kI:
+      return ScoreIForChild(joint_counts, child_var, n);
+    case ScoreKind::kF:
+      return ScoreFForChild(joint_counts, child_var, n, f_max_states);
+    case ScoreKind::kR:
+      return ScoreRForChild(joint_counts, child_var, n);
+  }
+  PB_CHECK(false);
 }
 
 double ScoreF(const ProbTable& joint_counts, int64_t n, size_t max_states) {

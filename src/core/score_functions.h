@@ -57,6 +57,18 @@ double ScoreF(const ProbTable& joint_counts, int64_t n, size_t max_states = 0);
 double ComputeScore(ScoreKind kind, const ProbTable& joint_counts, int64_t n,
                     size_t f_max_states = 0);
 
+/// The same scores from counts in ANY variable order given the child's
+/// ProbTable variable id (GenVarId). This is how candidates are scored from
+/// the MarginalStore's canonical sorted-order tables: one cached joint serves
+/// every (parents, child) arrangement of the same attribute set. I and R read
+/// the table in place; F reorders the (small) table to put the child last.
+double ScoreIForChild(const ProbTable& joint_counts, int child_var, int64_t n);
+double ScoreRForChild(const ProbTable& joint_counts, int child_var, int64_t n);
+double ScoreFForChild(const ProbTable& joint_counts, int child_var, int64_t n,
+                      size_t max_states = 0);
+double ComputeScoreForChild(ScoreKind kind, const ProbTable& joint_counts,
+                            int child_var, int64_t n, size_t f_max_states = 0);
+
 }  // namespace privbayes
 
 #endif  // PRIVBAYES_CORE_SCORE_FUNCTIONS_H_

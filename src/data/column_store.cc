@@ -1,6 +1,7 @@
 #include "data/column_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <utility>
 
@@ -128,6 +129,8 @@ ColumnStore::ColumnStore(const Schema& schema,
                          const std::vector<std::vector<Value>>& columns,
                          int num_rows)
     : num_rows_(num_rows) {
+  static std::atomic<uint64_t> next_snapshot_id{1};
+  snapshot_id_ = next_snapshot_id.fetch_add(1, std::memory_order_relaxed);
   const int d = schema.num_attrs();
   PB_CHECK(static_cast<int>(columns.size()) == d);
   raw_.resize(d);

@@ -54,6 +54,12 @@ class ColumnStore {
 
   int num_rows() const { return num_rows_; }
 
+  /// Process-unique identity of this snapshot, assigned at construction and
+  /// never reused. Dataset copies share the snapshot (same id); any mutation
+  /// invalidates it, so the next build gets a fresh id. This is the key the
+  /// cross-run MarginalStore (data/marginal_store.h) hangs cached joints on.
+  uint64_t snapshot_id() const { return snapshot_id_; }
+
   /// True when the attribute qualifies for the packed all-binary kernels
   /// (cardinality exactly 2).
   bool packed(int attr) const { return binary_[attr] != 0; }
@@ -101,6 +107,7 @@ class ColumnStore {
                   std::span<double> cells) const;
 
   int num_rows_ = 0;
+  uint64_t snapshot_id_ = 0;
   std::vector<std::vector<Value>> raw_;  // per attr, copied
   std::vector<uint8_t> binary_;          // per attr: cardinality == 2
   // bitpacked_[attr][level]: minimal-width packing of every cached column.

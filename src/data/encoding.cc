@@ -119,14 +119,23 @@ EncodedDataset ApplyEncoding(const Dataset& data, EncodingKind kind) {
       return EncodedDataset{std::move(encoded), std::move(enc)};
     }
     case EncodingKind::kVanilla: {
+      // Same cell values under the flattened schema: adopt column copies
+      // instead of 10⁶ Set() calls (each of which locks to invalidate the
+      // snapshot).
       Schema flat = FlattenTaxonomies(data.schema());
-      Dataset out(flat, data.num_rows());
+      std::vector<std::vector<Value>> columns;
+      columns.reserve(static_cast<size_t>(data.num_attrs()));
       for (int c = 0; c < data.num_attrs(); ++c) {
-        for (int r = 0; r < data.num_rows(); ++r) out.Set(r, c, data.at(r, c));
+        columns.push_back(data.column(c));
       }
-      return EncodedDataset{std::move(out), nullptr};
+      return EncodedDataset{
+          Dataset::FromColumns(std::move(flat), std::move(columns)), nullptr};
     }
     case EncodingKind::kHierarchical:
+      // Build the source's snapshot BEFORE copying: the copy then shares
+      // it, so every Fit on the same dataset counts under one snapshot id —
+      // the key the cross-run MarginalStore hangs cached joints on.
+      data.store();
       return EncodedDataset{data, nullptr};
   }
   PB_CHECK(false);

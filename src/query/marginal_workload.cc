@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "data/marginal_store.h"
 
 namespace privbayes {
 
@@ -40,7 +41,11 @@ void MarginalWorkload::SubsampleTo(size_t max_queries, Rng& rng) {
 
 ProbTable EmpiricalMarginal(const Dataset& data,
                             const std::vector<int>& attrs) {
-  ProbTable counts = data.JointCounts(attrs);
+  // Resolved through the cross-run MarginalStore: evaluation sweeps ask for
+  // the same truth marginals of the same (immutable) real dataset once per
+  // configuration, and only the first ask counts.
+  ProbTable counts =
+      MarginalStore::Instance().CountsOrdered(data, std::span<const int>(attrs));
   counts.Normalize();
   return counts;
 }

@@ -156,6 +156,25 @@ ServeClient::QueryReply ServeClient::Query(const std::string& model,
   return reply;
 }
 
+std::vector<std::pair<std::string, uint64_t>> ServeClient::Stats() {
+  SendLine("STATS");
+  std::istringstream head(ExpectOk());
+  int count = 0;
+  head >> count;
+  if (!head || count < 0) throw std::runtime_error("bad STATS reply");
+  std::vector<std::pair<std::string, uint64_t>> stats;
+  stats.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::istringstream entry(ReadLine());
+    std::string tok, name;
+    uint64_t value = 0;
+    entry >> tok >> name >> value;
+    if (!entry || tok != "STAT") throw std::runtime_error("bad STATS entry");
+    stats.emplace_back(std::move(name), value);
+  }
+  return stats;
+}
+
 void ServeClient::Drop(const std::string& model) {
   SendLine("DROP " + model);
   ExpectOk();

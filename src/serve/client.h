@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "prob/prob_table.h"
@@ -57,6 +58,10 @@ class ServeClient {
   };
   /// Exact model marginal over `attrs`.
   QueryReply Query(const std::string& model, const std::vector<int>& attrs);
+
+  /// Server counters plus the process-wide MarginalStore gauges, in the
+  /// order the server reports them (see serve/server.h's STATS entry).
+  std::vector<std::pair<std::string, uint64_t>> Stats();
 
   /// Evicts a model from the server's registry.
   void Drop(const std::string& model);

@@ -14,6 +14,7 @@
 #include <streambuf>
 
 #include "common/check.h"
+#include "data/marginal_store.h"
 #include "serve/row_sink.h"
 #include "serve/wire.h"
 
@@ -304,6 +305,35 @@ void ServeServer::HandleLine(const std::string& line, FdWriter& out) {
     for (size_t i = 0; i < table.size(); ++i) {
       std::snprintf(cell, sizeof(cell), "%.17g", table[i]);
       out << cell << ((i + 1) % 256 == 0 || i + 1 == table.size() ? "\n" : " ");
+    }
+    return;
+  }
+
+  if (cmd == "STATS") {
+    ServeServerStats server_stats;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      server_stats = stats_;
+    }
+    MarginalStore& store = MarginalStore::Instance();
+    MarginalStoreStats m = store.stats();
+    std::vector<std::pair<std::string, uint64_t>> counters = {
+        {"connections", server_stats.connections},
+        {"requests", server_stats.requests},
+        {"errors", server_stats.errors},
+        {"rows_streamed", static_cast<uint64_t>(server_stats.rows_streamed)},
+        {"marginal_cache_enabled", store.enabled() ? 1u : 0u},
+        {"marginal_hits", m.hits},
+        {"marginal_misses", m.misses},
+        {"marginal_evictions", m.evictions},
+        {"marginal_skipped", m.skipped},
+        {"marginal_entries", m.entries},
+        {"marginal_bytes", m.bytes},
+        {"marginal_byte_budget", store.byte_budget()},
+    };
+    out << "OK " << counters.size() << "\n";
+    for (const auto& [name, value] : counters) {
+      out << "STAT " << name << " " << value << "\n";
     }
     return;
   }

@@ -14,6 +14,11 @@
 //   QUERY <model> <attr> [attr…]         -> OK <vars> <card…>
 //                                           cell probabilities, whitespace-
 //                                           separated, wrapped across lines
+//   STATS                                -> OK <k>
+//                                           k × "STAT <name> <value>":
+//                                           server counters plus the
+//                                           process-wide MarginalStore
+//                                           hit/miss/eviction/byte gauges
 //   DROP <model>                         -> OK DROPPED <model>
 //   QUIT                                 -> OK BYE (connection closes)
 //
@@ -50,7 +55,8 @@ struct ServeServerOptions {
   int64_t max_rows_per_request = int64_t{16} << 20;
 };
 
-/// Counters exposed for the STATS-style introspection the example prints.
+/// Counters exposed through the STATS command (plus the MarginalStore
+/// gauges, which live in data/marginal_store.h).
 struct ServeServerStats {
   uint64_t connections = 0;
   uint64_t requests = 0;

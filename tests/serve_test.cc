@@ -393,6 +393,34 @@ TEST(ServeServer, EndToEnd) {
   for (double p : wide.probs) total += p;
   EXPECT_NEAR(total, 1.0, 1e-9);
 
+  // STATS reports the server counters plus the MarginalStore gauges the
+  // ROADMAP's "richer STATS endpoint" asked for.
+  {
+    std::vector<std::pair<std::string, uint64_t>> stats = client.Stats();
+    auto value_of = [&](const std::string& name) -> const uint64_t* {
+      for (const auto& [key, value] : stats) {
+        if (key == name) return &value;
+      }
+      return nullptr;
+    };
+    const uint64_t* requests = value_of("requests");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_GT(*requests, 0u);
+    const uint64_t* rows_streamed = value_of("rows_streamed");
+    ASSERT_NE(rows_streamed, nullptr);
+    EXPECT_GE(*rows_streamed, static_cast<uint64_t>(rows));
+    for (const char* gauge :
+         {"marginal_cache_enabled", "marginal_hits", "marginal_misses",
+          "marginal_entries", "marginal_bytes", "marginal_byte_budget"}) {
+      ASSERT_NE(value_of(gauge), nullptr) << gauge;
+    }
+    // The fixture models were fitted in this process, so when the cache is
+    // on, their structure learns must have left counted joints behind.
+    if (*value_of("marginal_cache_enabled") == 1) {
+      EXPECT_GT(*value_of("marginal_hits") + *value_of("marginal_misses"), 0u);
+    }
+  }
+
   // Errors keep the connection usable.
   EXPECT_THROW(client.Sample("nope", 10, 1), std::runtime_error);
   EXPECT_THROW(client.Query("a", {}), std::runtime_error);

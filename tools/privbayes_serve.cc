@@ -28,6 +28,7 @@
 #include "core/model_io.h"
 #include "core/privbayes.h"
 #include "data/generators.h"
+#include "data/marginal_store.h"
 #include "serve/server.h"
 
 namespace pb = privbayes;
@@ -44,6 +45,14 @@ void OnSignal(int) { g_stop = 1; }
                "[--load NAME=PATH]... [--manifest PATH]...\n",
                argv0);
   std::exit(2);
+}
+
+// One-line MarginalStore summary: refits and sweeps on a held dataset show
+// up here as hits (the "cross-run marginal reuse" the store exists for).
+void PrintMarginalStoreLine(const char* when) {
+  std::printf("marginal store %s: %s\n", when,
+              pb::MarginalStore::Instance().StatsString().c_str());
+  std::fflush(stdout);
 }
 
 // NAME=SPEC split; dies on malformed input.
@@ -81,6 +90,7 @@ void FitAndRegister(pb::ModelRegistry& registry, const std::string& name,
   pb::PrivBayes privbayes(options);
   pb::Rng rng(seed);
   registry.Put(name, privbayes.Fit(data, rng));
+  PrintMarginalStoreLine("after fit");
 }
 
 }  // namespace
@@ -165,5 +175,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.requests),
       static_cast<unsigned long long>(stats.errors),
       static_cast<long long>(stats.rows_streamed));
+  PrintMarginalStoreLine("at shutdown");
   return 0;
 }
