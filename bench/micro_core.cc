@@ -13,9 +13,11 @@
 #include "core/score_functions.h"
 #include "data/generators.h"
 #include "dp/mechanisms.h"
+#include "serve/client.h"
 #include "serve/model_registry.h"
 #include "serve/query_service.h"
 #include "serve/sampling_service.h"
+#include "serve/server.h"
 
 namespace pb = privbayes;
 
@@ -408,6 +410,49 @@ void BM_ServeSampleBatch(benchmark::State& state) {
 BENCHMARK(BM_ServeSampleBatch)
     ->Arg(1)->Arg(4)->Threads(1)->Threads(4)->Threads(16)
     ->UseRealTime();
+
+// --- loopback wire paths ---------------------------------------------------
+// A real TCP server over the shared fleet, driven through ServeClient: one
+// connection per client thread, pulling 16,384-row batches. ...WireCsv is
+// the SAMPLE text stream (CSV encode on the server + line parse on the
+// client); ...WireBinary is the SAMPLEB length-prefixed packed-column
+// stream. The ratio between the two is the acceptance bar for the binary
+// protocol (≥ 4×).
+
+pb::ServeServer& WireServer() {
+  static pb::ServeServer* server = [] {
+    auto* s = new pb::ServeServer(&Serving().registry, pb::ServeServerOptions{});
+    s->Start();
+    return s;
+  }();
+  return *server;
+}
+
+void BM_ServeSampleBatchWireCsv(benchmark::State& state) {
+  constexpr int kBatchRows = 16384;
+  pb::ServeClient client("127.0.0.1", WireServer().port());
+  uint64_t seed = 1000 * (state.thread_index() + 1);
+  for (auto _ : state) {
+    pb::ServeClient::SampleReply reply =
+        client.Sample("m0", kBatchRows, seed++);
+    benchmark::DoNotOptimize(reply.rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+}
+BENCHMARK(BM_ServeSampleBatchWireCsv)->Threads(1)->Threads(4)->UseRealTime();
+
+void BM_ServeSampleBatchWireBinary(benchmark::State& state) {
+  constexpr int kBatchRows = 16384;
+  pb::ServeClient client("127.0.0.1", WireServer().port());
+  uint64_t seed = 1000 * (state.thread_index() + 1);
+  for (auto _ : state) {
+    pb::Dataset batch = client.SampleBinary("m0", kBatchRows, seed++);
+    benchmark::DoNotOptimize(batch.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+}
+BENCHMARK(BM_ServeSampleBatchWireBinary)
+    ->Threads(1)->Threads(4)->UseRealTime();
 
 void BM_ServeMarginalQuery(benchmark::State& state) {
   ServeFixture& serving = Serving();

@@ -1,10 +1,14 @@
 // Multi-client driver for a running privbayes_serve daemon.
 //
 // Connects several client threads, pulls a synthetic batch from every
-// served model on each, and issues a direct marginal query — the
+// served model on each — once over the CSV SAMPLE stream and once over the
+// binary SAMPLEB stream — and issues a direct marginal query: the
 // end-to-end proof that one server answers concurrent sampling AND query
 // traffic. Verifies on the wire what the serving layer promises:
 //   * same request seed ⇒ byte-identical rows across connections,
+//   * the binary stream decodes to exactly the CSV rows,
+//   * the binary path is at least as fast as the CSV path (it should be
+//     several times faster; < 1× is a regression),
 //   * a projected request returns exactly the requested columns,
 //   * a served marginal is a normalized distribution.
 // Exits non-zero on any violation (the CI smoke job runs this binary).
@@ -56,37 +60,68 @@ int main(int argc, char** argv) {
     }
 
     for (const pb::ServedModelInfo& m : models) {
-      // Throughput: `threads` concurrent connections, each pulling `rows`.
-      auto start = std::chrono::steady_clock::now();
-      std::vector<std::thread> pullers;
-      for (int t = 0; t < threads; ++t) {
-        pullers.emplace_back([&, t] {
-          try {
-            pb::ServeClient client(host, port);
-            pb::ServeClient::SampleReply reply =
-                client.Sample(m.name, rows, /*seed=*/1000 + t);
-            Check(static_cast<int64_t>(reply.rows.size()) == rows,
-                  "short sample batch");
-            client.Quit();
-          } catch (const std::exception& e) {
-            std::fprintf(stderr, "FAIL: puller: %s\n", e.what());
-            g_failures.fetch_add(1);
-          }
-        });
-      }
-      for (std::thread& t : pullers) t.join();
-      double secs = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-      std::printf("%s: %d clients × %lld rows in %.2fs — %.0f rows/s\n",
-                  m.name.c_str(), threads, static_cast<long long>(rows), secs,
-                  threads * static_cast<double>(rows) / secs);
+      // Throughput: `threads` concurrent connections, each pulling `rows` —
+      // first over the CSV SAMPLE stream, then over the binary SAMPLEB
+      // stream. Same seeds, so the two passes move identical rows.
+      auto timed_pull = [&](bool binary) {
+        auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> pullers;
+        for (int t = 0; t < threads; ++t) {
+          pullers.emplace_back([&, t] {
+            try {
+              pb::ServeClient client(host, port);
+              if (binary) {
+                pb::Dataset batch =
+                    client.SampleBinary(m.name, rows, /*seed=*/1000 + t);
+                Check(batch.num_rows() == rows, "short binary sample batch");
+              } else {
+                pb::ServeClient::SampleReply reply =
+                    client.Sample(m.name, rows, /*seed=*/1000 + t);
+                Check(static_cast<int64_t>(reply.rows.size()) == rows,
+                      "short sample batch");
+              }
+              client.Quit();
+            } catch (const std::exception& e) {
+              std::fprintf(stderr, "FAIL: puller: %s\n", e.what());
+              g_failures.fetch_add(1);
+            }
+          });
+        }
+        for (std::thread& t : pullers) t.join();
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        double rate = threads * static_cast<double>(rows) / secs;
+        std::printf("%s: %-6s %d clients × %lld rows in %.2fs — %.0f rows/s\n",
+                    m.name.c_str(), binary ? "binary" : "CSV", threads,
+                    static_cast<long long>(rows), secs, rate);
+        return rate;
+      };
+      double csv_rate = timed_pull(/*binary=*/false);
+      double binary_rate = timed_pull(/*binary=*/true);
+      std::printf("%s: binary/CSV throughput ratio %.2fx\n", m.name.c_str(),
+                  binary_rate / csv_rate);
+      Check(binary_rate >= csv_rate,
+            "binary wire path slower than the CSV path");
 
-      // Determinism on the wire: two connections, same seed, same bytes.
+      // Determinism on the wire: two connections, same seed, same bytes —
+      // and the binary stream decodes to exactly the CSV rows.
       pb::ServeClient a(host, port), b(host, port);
       pb::ServeClient::SampleReply ra = a.Sample(m.name, 1000, /*seed=*/7);
       pb::ServeClient::SampleReply rb = b.Sample(m.name, 1000, /*seed=*/7);
       Check(ra.rows == rb.rows, "same seed gave different rows");
+      pb::Dataset bin = b.SampleBinary(m.name, 1000, /*seed=*/7);
+      bool bin_equal = bin.num_rows() == 1000 &&
+                       bin.num_attrs() == static_cast<int>(ra.columns.size());
+      for (int r = 0; bin_equal && r < bin.num_rows(); ++r) {
+        for (int c = 0; c < bin.num_attrs(); ++c) {
+          if (bin.at(r, c) != ra.rows[static_cast<size_t>(r)][c]) {
+            bin_equal = false;
+            break;
+          }
+        }
+      }
+      Check(bin_equal, "binary rows differ from CSV rows");
 
       // Projection: first two columns only.
       pb::ServeClient::SampleReply proj =

@@ -1,7 +1,10 @@
 #include "data/encoding.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 
 #include "common/check.h"
 
@@ -21,6 +24,85 @@ int FromGray(int g) {
   int v = 0;
   for (; g; g >>= 1) v ^= g;
   return v;
+}
+
+// Memo of Binary/Gray/Vanilla encodes keyed on (source snapshot id, kind).
+// Re-encoding is pure — same source snapshot, same bits — but a fresh encode
+// gets a fresh ColumnStore snapshot id, so every Fit of an encoding sweep
+// (fig05–fig08 run four ε points per encoding on one dataset) used to count
+// its joints under a new key and the cross-run MarginalStore never hit.
+// Serving the SAME encoded Dataset (copies share the snapshot) makes those
+// sweeps share joints exactly like hierarchical — which needs no memo, since
+// it returns the input itself — already does. Mutating a returned copy is
+// safe: Dataset copies deep-copy cells and only drop their own snapshot ref.
+struct EncodingMemo {
+  struct Entry {
+    uint64_t snapshot = 0;
+    EncodingKind kind = EncodingKind::kBinary;
+    size_t bytes = 0;
+    std::shared_ptr<const EncodedDataset> value;
+  };
+
+  // Rough residency of one cached entry: the encoded cells plus the
+  // published ColumnStore snapshot (its raw copy + minimal-width packing
+  // roughly double the cells again).
+  static size_t EstimateBytes(const Dataset& d) {
+    return static_cast<size_t>(d.num_rows()) *
+           static_cast<size_t>(d.num_attrs()) * sizeof(Value) * 3;
+  }
+
+  // Entries are shared_ptrs so the lock only ever covers list bookkeeping;
+  // the deep copy handed to the caller happens outside it.
+  std::shared_ptr<const EncodedDataset> Lookup(uint64_t snapshot,
+                                               EncodingKind kind) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->snapshot == snapshot && it->kind == kind) {
+        entries.splice(entries.begin(), entries, it);  // LRU touch
+        return entries.front().value;
+      }
+    }
+    return nullptr;
+  }
+
+  // Returns the canonical cached dataset for the key: on a concurrent
+  // first-encode race the loser ADOPTS the winner's entry (same encoded
+  // snapshot id), so every caller of the same source shares one snapshot —
+  // the property the memo exists for.
+  std::shared_ptr<const EncodedDataset> Insert(
+      uint64_t snapshot, EncodingKind kind,
+      std::shared_ptr<const EncodedDataset> v) {
+    const size_t entry_bytes = EstimateBytes(v->data);
+    if (entry_bytes > kByteBudget) return v;  // one-shot giant: don't pin it
+    std::lock_guard<std::mutex> lock(mu);
+    for (const Entry& e : entries) {
+      if (e.snapshot == snapshot && e.kind == kind) return e.value;
+    }
+    entries.push_front(Entry{snapshot, kind, entry_bytes, std::move(v)});
+    bytes += entry_bytes;
+    std::shared_ptr<const EncodedDataset> canonical = entries.front().value;
+    while (entries.size() > kCapacity || bytes > kByteBudget) {
+      bytes -= entries.back().bytes;
+      entries.pop_back();
+    }
+    return canonical;
+  }
+
+  // A handful of (dataset, encoding) pairs covers every sweep in the bench
+  // suite; entries are full encoded datasets, so bound both the count and
+  // the resident bytes — an entry that would blow the budget alone is
+  // simply not cached (the caller re-encodes, exactly the old behavior).
+  static constexpr size_t kCapacity = 8;
+  static constexpr size_t kByteBudget = size_t{256} << 20;
+
+  std::mutex mu;
+  size_t bytes = 0;
+  std::list<Entry> entries;
+};
+
+EncodingMemo& Memo() {
+  static EncodingMemo* memo = new EncodingMemo();
+  return *memo;
 }
 
 }  // namespace
@@ -89,18 +171,25 @@ Dataset BinaryEncoder::Encode(const Dataset& data) const {
 Dataset BinaryEncoder::Decode(const Dataset& binary) const {
   PB_THROW_IF(binary.schema().num_attrs() != binary_schema_.num_attrs(),
               "binary dataset width mismatch");
-  Dataset out(original_, binary.num_rows());
+  // Columnar assembly (no per-cell Set with its per-cell snapshot
+  // invalidation): this decode runs per streamed chunk when serving
+  // Binary/Gray-encoded models.
+  const int n = binary.num_rows();
+  std::vector<std::vector<Value>> columns(
+      static_cast<size_t>(original_.num_attrs()));
   for (int a = 0; a < original_.num_attrs(); ++a) {
-    int nb = bits_[a];
-    for (int r = 0; r < binary.num_rows(); ++r) {
+    const int nb = bits_[a];
+    std::vector<Value>& out = columns[static_cast<size_t>(a)];
+    out.resize(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) {
       int code = 0;
       for (int b = 0; b < nb; ++b) {
         code = (code << 1) | binary.at(r, offsets_[a] + b);
       }
-      out.Set(r, a, DecodeValue(a, code));
+      out[static_cast<size_t>(r)] = DecodeValue(a, code);
     }
   }
-  return out;
+  return Dataset::FromColumns(original_, std::move(columns));
 }
 
 Schema FlattenTaxonomies(const Schema& schema) {
@@ -109,7 +198,10 @@ Schema FlattenTaxonomies(const Schema& schema) {
   return Schema(std::move(attrs));
 }
 
-EncodedDataset ApplyEncoding(const Dataset& data, EncodingKind kind) {
+namespace {
+
+// The uncached transform behind ApplyEncoding.
+EncodedDataset EncodeUncached(const Dataset& data, EncodingKind kind) {
   switch (kind) {
     case EncodingKind::kBinary:
     case EncodingKind::kGray: {
@@ -141,6 +233,24 @@ EncodedDataset ApplyEncoding(const Dataset& data, EncodingKind kind) {
   PB_CHECK(false);
 }
 
+}  // namespace
+
+EncodedDataset ApplyEncoding(const Dataset& data, EncodingKind kind) {
+  if (kind == EncodingKind::kHierarchical) return EncodeUncached(data, kind);
+
+  // Binary/Gray/Vanilla go through the memo so repeated encodes of the same
+  // source snapshot return Datasets sharing ONE encoded snapshot id.
+  const uint64_t snapshot = data.store()->snapshot_id();
+  if (std::shared_ptr<const EncodedDataset> hit = Memo().Lookup(snapshot, kind)) {
+    return *hit;
+  }
+  auto fresh = std::make_shared<EncodedDataset>(EncodeUncached(data, kind));
+  // Publish the encoded snapshot before caching so every copy handed out —
+  // including this first one — shares it.
+  fresh->data.store();
+  return *Memo().Insert(snapshot, kind, std::move(fresh));
+}
+
 Dataset DecodeToOriginal(const Dataset& synthetic, const Schema& original,
                          EncodingKind kind, const BinaryEncoder* encoder) {
   switch (kind) {
@@ -150,14 +260,19 @@ Dataset DecodeToOriginal(const Dataset& synthetic, const Schema& original,
       return encoder->Decode(synthetic);
     case EncodingKind::kVanilla:
     case EncodingKind::kHierarchical: {
-      // Same cell values; restore the original schema (taxonomies).
-      Dataset out(original, synthetic.num_rows());
+      // Same cell values; restore the original schema (taxonomies). Adopt
+      // column copies instead of per-cell Set(): this runs per streamed
+      // chunk on the serving hot path, and Set()'s per-cell snapshot
+      // invalidation (a mutex round trip each) dominated decode there —
+      // FromColumns validates each column in one pass instead.
+      PB_THROW_IF(synthetic.num_attrs() != original.num_attrs(),
+                  "synthetic data width does not match the original schema");
+      std::vector<std::vector<Value>> columns;
+      columns.reserve(static_cast<size_t>(synthetic.num_attrs()));
       for (int c = 0; c < synthetic.num_attrs(); ++c) {
-        for (int r = 0; r < synthetic.num_rows(); ++r) {
-          out.Set(r, c, synthetic.at(r, c));
-        }
+        columns.push_back(synthetic.column(c));
       }
-      return out;
+      return Dataset::FromColumns(original, std::move(columns));
     }
   }
   PB_CHECK(false);

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -31,6 +32,9 @@ ServeClient::ServeClient(const std::string& host, int port) {
     throw std::runtime_error("cannot connect to " + host + ":" +
                              std::to_string(port));
   }
+  // Request lines are single small writes; don't let Nagle hold them back.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 ServeClient::~ServeClient() {
@@ -109,7 +113,18 @@ ServeClient::SampleReply ServeClient::Sample(const std::string& model,
   }
   reply.rows.reserve(static_cast<size_t>(rows));
   for (int64_t r = 0; r < rows; ++r) {
-    std::vector<std::string> fields = SplitCsvLine(ReadLine());
+    std::string line = ReadLine();
+    if (line.rfind("!ERR ", 0) == 0) {
+      // In-band abort trailer: the server hit an error (deadline expiry,
+      // an exception) after the row stream began. Consume the END line so
+      // the connection stays usable, then surface the failure.
+      std::string message = line.substr(5);
+      if (ReadLine() != "END") {
+        throw std::runtime_error("missing SAMPLE abort trailer");
+      }
+      throw std::runtime_error("server: " + message);
+    }
+    std::vector<std::string> fields = SplitCsvLine(line);
     if (static_cast<int>(fields.size()) != cols) {
       throw std::runtime_error("bad SAMPLE CSV row");
     }
@@ -121,6 +136,106 @@ ServeClient::SampleReply ServeClient::Sample(const std::string& model,
   }
   if (ReadLine() != "END") throw std::runtime_error("missing SAMPLE trailer");
   return reply;
+}
+
+Dataset ServeClient::SampleBinary(const std::string& model, int64_t num_rows,
+                                  uint64_t seed,
+                                  const std::vector<int>& columns) {
+  std::ostringstream request;
+  request << "SAMPLEB " << model << " " << num_rows << " " << seed;
+  for (int c : columns) request << " " << c;
+  SendLine(request.str());
+
+  std::istringstream head(ExpectOk());
+  int64_t rows = 0;
+  int cols = 0;
+  head >> rows >> cols;
+  if (!head || rows != num_rows || cols <= 0) {
+    throw std::runtime_error("bad SAMPLEB reply header");
+  }
+  std::vector<std::string> names = SplitCsvLine(ReadLine());
+  if (static_cast<int>(names.size()) != cols) {
+    throw std::runtime_error("bad SAMPLEB CSV header");
+  }
+
+  // Frame stream: one schema frame, row frames, then exactly one end frame
+  // (success) or error frame (in-band abort).
+  std::vector<int> cards, bits;
+  std::vector<std::vector<Value>> cols_data;
+  std::string payload;
+  bool saw_schema = false;
+  for (;;) {
+    char lenbuf[4];
+    if (!ReadWireExact(fd_, inbuf_, lenbuf, sizeof(lenbuf))) {
+      throw std::runtime_error("connection closed mid-frame");
+    }
+    uint32_t len = LoadU32(lenbuf);
+    if (len == 0 || len > kMaxWireFrame) {
+      throw std::runtime_error("bad SAMPLEB frame length");
+    }
+    payload.resize(len);
+    if (!ReadWireExact(fd_, inbuf_, payload.data(), len)) {
+      throw std::runtime_error("connection closed mid-frame");
+    }
+    const uint8_t type = static_cast<uint8_t>(payload[0]);
+    if (type == kWireFrameSchema) {
+      if (saw_schema || len < 3) throw std::runtime_error("bad schema frame");
+      int ncols = LoadU16(payload.data() + 1);
+      if (ncols != cols || len != 3 + 2 * static_cast<size_t>(ncols)) {
+        throw std::runtime_error("bad schema frame");
+      }
+      for (int c = 0; c < ncols; ++c) {
+        int card = LoadU16(payload.data() + 3 + 2 * c);
+        if (card == 0) card = 65536;  // wire encoding of the u16 overflow
+        cards.push_back(card);
+        bits.push_back(WirePackedBits(card));
+      }
+      cols_data.assign(static_cast<size_t>(cols), {});
+      saw_schema = true;
+    } else if (type == kWireFrameRows) {
+      if (!saw_schema || len < 3) throw std::runtime_error("bad row frame");
+      const int n = LoadU16(payload.data() + 1);
+      // Per-frame length is capped by kMaxWireFrame, but the total must be
+      // bounded too: never accept more rows than the request asked for, so
+      // a buggy or hostile server cannot grow client memory without bound.
+      if (!cols_data.empty() &&
+          static_cast<int64_t>(cols_data[0].size()) + n > rows) {
+        throw std::runtime_error("SAMPLEB row overrun");
+      }
+      size_t at = 3;
+      for (int c = 0; c < cols; ++c) {
+        if (at + WirePackedBytes(n, bits[c]) > len) {
+          throw std::runtime_error("short row frame");
+        }
+        std::vector<Value>& col = cols_data[static_cast<size_t>(c)];
+        size_t base = col.size();
+        col.resize(base + static_cast<size_t>(n));
+        at += UnpackWireColumn(payload.data() + at, n, bits[c],
+                               col.data() + base);
+      }
+    } else if (type == kWireFrameEnd) {
+      if (!saw_schema) throw std::runtime_error("bad SAMPLEB trailer");
+      break;
+    } else if (type == kWireFrameError) {
+      throw std::runtime_error("server: " + payload.substr(1));
+    } else {
+      throw std::runtime_error("unknown SAMPLEB frame type");
+    }
+  }
+  if (saw_schema && !cols_data.empty() &&
+      static_cast<int64_t>(cols_data[0].size()) != rows) {
+    throw std::runtime_error("short SAMPLEB batch");
+  }
+
+  std::vector<Attribute> attrs;
+  attrs.reserve(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    attrs.push_back(cards[c] == 2
+                        ? Attribute::Binary(names[static_cast<size_t>(c)])
+                        : Attribute::Categorical(names[static_cast<size_t>(c)],
+                                                 cards[c]));
+  }
+  return Dataset::FromColumns(Schema(std::move(attrs)), std::move(cols_data));
 }
 
 ServeClient::QueryReply ServeClient::Query(const std::string& model,

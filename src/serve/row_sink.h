@@ -12,6 +12,7 @@
 #define PRIVBAYES_SERVE_ROW_SINK_H_
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
@@ -59,6 +60,36 @@ class CsvSink : public RowSink {
 
  private:
   std::ostream* out_;
+  int64_t rows_written_ = 0;
+};
+
+/// Renders chunks as the length-prefixed binary frame stream of serve/wire.h
+/// (the SAMPLEB response body): Begin writes one schema frame (per-column
+/// cardinalities — both ends derive the packed bit widths from them), each
+/// Chunk writes row frames of at most kMaxWireFrameRows rows with every
+/// column packed at its minimal power-of-two bit width, End writes the end
+/// frame. Abort writes an error frame instead — the in-band failure marker a
+/// client must surface as a failed request. The stream must outlive the sink.
+class BinaryRowSink : public RowSink {
+ public:
+  explicit BinaryRowSink(std::ostream& out) : out_(&out) {}
+
+  void Begin(const Schema& schema) override;
+  void Chunk(const Dataset& rows) override;
+  void End() override;
+
+  /// Terminates the stream with an error frame carrying `message`.
+  void Abort(const std::string& message);
+
+  int64_t rows_written() const { return rows_written_; }
+
+ private:
+  void WriteFrame();  // emits frame_ with its u32 length prefix
+
+  std::ostream* out_;
+  std::vector<int> bits_;   // packed width per column
+  int rows_per_frame_ = 1;  // bounded by u16 count AND kMaxWireFrame bytes
+  std::string frame_;       // reused payload build buffer
   int64_t rows_written_ = 0;
 };
 

@@ -59,6 +59,13 @@ SampleResult SamplingService::Sample(const SampleRequest& request,
 
   sink.Begin(out_schema);
   for (int64_t row = 0; row < request.num_rows; row += chunk_rows_) {
+    if (row > 0 && request.deadline &&
+        std::chrono::steady_clock::now() > *request.deadline) {
+      throw DeadlineExceeded(
+          "DEADLINE_EXCEEDED: request deadline expired after " +
+          std::to_string(row) + " of " + std::to_string(request.num_rows) +
+          " rows");
+    }
     const int rows_this = static_cast<int>(
         std::min<int64_t>(chunk_rows_, request.num_rows - row));
     const int64_t first_shard = row / NetworkSampler::kShardRows;

@@ -23,7 +23,10 @@
 #ifndef PRIVBAYES_SERVE_SAMPLING_SERVICE_H_
 #define PRIVBAYES_SERVE_SAMPLING_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,6 +36,14 @@
 
 namespace privbayes {
 
+/// Thrown when a request's deadline expires between chunks. The message
+/// starts with "DEADLINE_EXCEEDED" so wire layers can relay it verbatim as
+/// the in-band abort marker.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// One batch request.
 struct SampleRequest {
   std::string model;          ///< registry name
@@ -41,6 +52,14 @@ struct SampleRequest {
   /// Original-schema attribute indices to keep, in the given order; empty
   /// keeps every column.
   std::vector<int> columns;
+  /// Wall-clock cutoff, checked between chunks: a batch that has not
+  /// finished by then aborts with DeadlineExceeded instead of continuing to
+  /// sample (and hold an admission slot) for a consumer that has already
+  /// given up. Single-chunk batches always complete — the check runs only
+  /// before sampling a *subsequent* chunk, so a deadline can never produce
+  /// a half-useful empty stream for a request the service could finish in
+  /// one piece.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// What one request did (for logging / stats endpoints).

@@ -2,9 +2,12 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -64,20 +67,41 @@ std::string OneLine(const char* text) {
   return out;
 }
 
-// Wire framing around CsvSink: the OK line goes out only once the request
-// has validated (SamplingService resolves the model and projection before
-// calling Begin), so protocol errors never interleave with row data.
+// Wire framing around CsvSink/BinaryRowSink: the OK line goes out only once
+// the request has validated (SamplingService resolves the model and
+// projection before calling Begin), so protocol errors never interleave with
+// row data. Once Begin has run (started() == true) the text ERR channel is
+// off limits — failures must go through Abort's in-band marker.
 class WireSampleSink : public RowSink {
  public:
-  WireSampleSink(std::ostream& out, int64_t num_rows)
-      : out_(&out), num_rows_(num_rows), csv_(out) {}
+  enum class Format { kCsv, kBinary };
+
+  WireSampleSink(std::ostream& out, int64_t num_rows, Format format,
+                 std::optional<std::chrono::steady_clock::time_point> deadline)
+      : out_(&out),
+        num_rows_(num_rows),
+        format_(format),
+        deadline_(deadline),
+        csv_(out),
+        binary_(out) {}
 
   void Begin(const Schema& schema) override {
     *out_ << "OK " << num_rows_ << " " << schema.num_attrs() << "\n";
+    // Both formats lead with CsvSink's name header: binary clients get the
+    // column names without a string table in the frame layout, and the
+    // CSV body keeps rendering through the one WriteCsv-identical sink.
     csv_.Begin(schema);
+    started_ = true;
+    if (format_ == Format::kBinary) binary_.Begin(schema);
   }
+
   void Chunk(const Dataset& rows) override {
-    csv_.Chunk(rows);
+    if (format_ == Format::kBinary) {
+      binary_.Chunk(rows);
+    } else {
+      csv_.Chunk(rows);
+    }
+    rows_sent_ += rows.num_rows();
     out_->flush();  // stream chunk-by-chunk, not batch-at-the-end
     if (!out_->good()) {
       // Client went away mid-stream: abort the batch instead of sampling
@@ -85,13 +109,49 @@ class WireSampleSink : public RowSink {
       // holding an admission slot.
       throw std::runtime_error("client disconnected mid-stream");
     }
+    // Wire-side deadline check between chunks, mirroring the one inside
+    // SamplingService: a slow socket (send() absorbed the time, not
+    // sampling) still aborts promptly. Skipped once every row is out —
+    // a batch that finished streaming is delivered, never torn up.
+    if (rows_sent_ < num_rows_ && deadline_ &&
+        std::chrono::steady_clock::now() > *deadline_) {
+      throw DeadlineExceeded(
+          "DEADLINE_EXCEEDED: response deadline expired mid-stream");
+    }
   }
-  void End() override { *out_ << "END\n"; }
+
+  void End() override {
+    if (format_ == Format::kBinary) {
+      binary_.End();
+    } else {
+      *out_ << "END\n";
+    }
+  }
+
+  /// True once the OK line went out — the point past which errors must be
+  /// reported in-band rather than as an ERR line.
+  bool started() const { return started_; }
+
+  /// In-band abort trailer: "!ERR <message>" + "END" for CSV, an error
+  /// frame for binary. The connection stays line-synchronized either way.
+  void Abort(const std::string& message) {
+    if (format_ == Format::kBinary) {
+      binary_.Abort(message);
+    } else {
+      *out_ << "!ERR " << message << "\nEND\n";
+    }
+    out_->flush();
+  }
 
  private:
   std::ostream* out_;
   int64_t num_rows_;
+  Format format_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  bool started_ = false;
+  int64_t rows_sent_ = 0;
   CsvSink csv_;
+  BinaryRowSink binary_;
 };
 
 }  // namespace
@@ -181,6 +241,24 @@ void ServeServer::AcceptLoop() {
       if (!running_.load()) break;
       continue;
     }
+    {
+      // The stream ends with small flushed writes (END line / end frame);
+      // without TCP_NODELAY, Nagle + delayed ACK can park each response's
+      // tail for ~40 ms — dwarfing the transfer itself for binary batches.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    if (options_.idle_timeout.count() > 0) {
+      // SO_RCVTIMEO: a session blocked in recv() for idle_timeout wakes
+      // with EAGAIN, which the wire reader reports as a dead peer — an
+      // idle hostile connection cannot pin its thread forever.
+      const auto usec = std::chrono::duration_cast<std::chrono::microseconds>(
+          options_.idle_timeout);
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(usec.count() / 1000000);
+      tv.tv_usec = static_cast<suseconds_t>(usec.count() % 1000000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
     ReapFinishedSessions();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -222,11 +300,19 @@ void ServeServer::Session(int fd) {
     out.flush();
     if (!out.good()) break;  // client went away mid-response
   }
+  // Join sessions that finished before this one (a thread cannot join
+  // itself), then park our own handle. A daemon that goes quiet therefore
+  // holds at most ONE parked zombie thread — the last session to exit —
+  // instead of one per past connection until the next accept; the accept
+  // loop and Stop() still reap that final straggler.
+  std::vector<std::thread> finished_before_us;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     std::erase(session_fds_, fd);
-    // Park this thread's own handle for the accept loop (or Stop) to join;
-    // after this point the session does nothing but return.
+    finished_before_us.swap(done_sessions_);
+    // Park this thread's own handle for a later session, the accept loop or
+    // Stop to join; after this point the session only joins others and
+    // returns.
     for (size_t i = 0; i < sessions_.size(); ++i) {
       if (sessions_[i].get_id() == std::this_thread::get_id()) {
         done_sessions_.push_back(std::move(sessions_[i]));
@@ -235,6 +321,7 @@ void ServeServer::Session(int fd) {
       }
     }
   }
+  for (std::thread& t : finished_before_us) t.join();
   ::close(fd);
 }
 
@@ -266,22 +353,42 @@ void ServeServer::HandleLine(const std::string& line, FdWriter& out) {
     return;
   }
 
-  if (cmd == "SAMPLE") {
+  if (cmd == "SAMPLE" || cmd == "SAMPLEB") {
     SampleRequest request;
     fields >> request.model >> request.num_rows >> request.seed;
-    PB_THROW_IF(!fields, "usage: SAMPLE <model> <rows> <seed> [col ...]");
+    PB_THROW_IF(!fields, "usage: " << cmd << " <model> <rows> <seed> [col ...]");
     int col = 0;
     while (fields >> col) request.columns.push_back(col);
     // Extraction must have stopped at end-of-line, not at a non-integer
     // token — a typo'd projection must ERR, not silently serve a prefix.
     PB_THROW_IF(!fields.eof(),
-                "usage: SAMPLE <model> <rows> <seed> [col ...]");
+                "usage: " << cmd << " <model> <rows> <seed> [col ...]");
     PB_THROW_IF(request.num_rows < 0 ||
                     request.num_rows > options_.max_rows_per_request,
                 "row count out of range [0, "
                     << options_.max_rows_per_request << "]");
-    WireSampleSink sink(out, request.num_rows);
-    SampleResult result = sampling_.Sample(request, sink);
+    if (options_.request_deadline.count() > 0) {
+      request.deadline =
+          std::chrono::steady_clock::now() + options_.request_deadline;
+    }
+    WireSampleSink sink(out, request.num_rows,
+                        cmd == "SAMPLEB" ? WireSampleSink::Format::kBinary
+                                         : WireSampleSink::Format::kCsv,
+                        request.deadline);
+    SampleResult result;
+    try {
+      result = sampling_.Sample(request, sink);
+    } catch (const std::exception& e) {
+      // Before the OK line the normal ERR channel is still clean — rethrow.
+      // After it, an ERR line would land inside the row stream and the
+      // client would parse it as a row; report in-band instead and keep the
+      // connection usable.
+      if (!sink.started()) throw;
+      sink.Abort(OneLine(e.what()));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.errors;
+      return;
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.rows_streamed += result.rows;
     return;

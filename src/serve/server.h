@@ -11,6 +11,11 @@
 //   SAMPLE <model> <rows> <seed> [col…]  -> OK <rows> <cols>
 //                                           CSV header + <rows> CSV lines
 //                                           END
+//   SAMPLEB <model> <rows> <seed> [col…] -> OK <rows> <cols>
+//                                           CSV header line (column names),
+//                                           then binary frames (serve/
+//                                           wire.h): schema frame, row
+//                                           frames, end frame
 //   QUERY <model> <attr> [attr…]         -> OK <vars> <card…>
 //                                           cell probabilities, whitespace-
 //                                           separated, wrapped across lines
@@ -22,6 +27,19 @@
 //   DROP <model>                         -> OK DROPPED <model>
 //   QUIT                                 -> OK BYE (connection closes)
 //
+// Failure framing: an error detected before any row bytes went out is a
+// plain "ERR <message>" line. An error mid-stream (deadline expiry, an
+// exception after the OK line) can no longer use that channel — the client
+// would parse it as a row — so it is reported in-band: the CSV stream emits
+// a "!ERR <message>" trailer followed by "END", the binary stream an error
+// frame. Either way the connection stays usable for the next request.
+//
+// Deadlines: options.request_deadline (0 = none) bounds each SAMPLE/SAMPLEB
+// response; expiry between chunks aborts the batch (releasing its admission
+// slot) with a DEADLINE_EXCEEDED in-band marker. options.idle_timeout
+// (0 = none) sets SO_RCVTIMEO on session sockets so a connection that goes
+// silent between requests cannot pin its thread forever.
+//
 // Sampling goes through SamplingService (deterministic chunked streaming:
 // the CSV for a (model, rows, seed) request is byte-identical on every
 // connection), queries through QueryService. Each connection is handled by
@@ -32,6 +50,7 @@
 #define PRIVBAYES_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -53,6 +72,15 @@ struct ServeServerOptions {
   int max_parallel_batches = 2;
   /// Upper bound on SAMPLE row counts (one request is one TCP response).
   int64_t max_rows_per_request = int64_t{16} << 20;
+  /// Wall-clock budget per SAMPLE/SAMPLEB response, checked between chunks;
+  /// expiry aborts the stream with an in-band DEADLINE_EXCEEDED marker
+  /// instead of sampling into a slow socket while holding an admission
+  /// slot. Zero disables the deadline.
+  std::chrono::milliseconds request_deadline{0};
+  /// SO_RCVTIMEO on session sockets: a connection idle (or stalled mid-
+  /// request-line) for this long is dropped, so hostile or wedged peers
+  /// cannot pin one server thread each forever. Zero disables the timeout.
+  std::chrono::milliseconds idle_timeout{std::chrono::minutes(5)};
 };
 
 /// Counters exposed through the STATS command (plus the MarginalStore

@@ -2,6 +2,11 @@
 
 #include <sys/socket.h>
 
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
 namespace privbayes {
 
 std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
@@ -27,19 +32,141 @@ std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
     }
     char chunk[1 << 16];
     ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (got <= 0) return std::nullopt;
+    if (got < 0) {
+      // A signal landing on this thread interrupts recv without any data
+      // loss; only a real error (or SO_RCVTIMEO expiry) means a dead peer.
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (got == 0) return std::nullopt;  // EOF
     buf.data.append(chunk, static_cast<size_t>(got));
   }
+}
+
+bool ReadWireExact(int fd, WireBuffer& buf, void* dst, size_t len) {
+  char* out = static_cast<char*>(dst);
+  // Drain bytes already buffered by a preceding line read.
+  size_t have = buf.data.size() - buf.pos;
+  if (have > 0) {
+    size_t take = have < len ? have : len;
+    std::memcpy(out, buf.data.data() + buf.pos, take);
+    buf.pos += take;
+    out += take;
+    len -= take;
+    if (buf.pos == buf.data.size()) {
+      buf.data.clear();
+      buf.pos = 0;
+    }
+  }
+  while (len > 0) {
+    ssize_t got = ::recv(fd, out, len, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF mid-frame
+    out += got;
+    len -= static_cast<size_t>(got);
+  }
+  return true;
 }
 
 bool WriteWireBytes(int fd, const char* data, size_t len) {
   while (len > 0) {
     ssize_t sent = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (sent <= 0) return false;
+    if (sent < 0) {
+      if (errno == EINTR) continue;  // interrupted, not dead
+      return false;
+    }
+    if (sent == 0) return false;
     data += sent;
     len -= static_cast<size_t>(sent);
   }
   return true;
+}
+
+void AppendU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>(v >> 24));
+}
+
+uint16_t LoadU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(b[0] | (b[1] << 8));
+}
+
+uint32_t LoadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+int WirePackedBits(int cardinality) {
+  PB_CHECK(cardinality >= 1 && cardinality <= 65536);
+  int bits = 1;
+  while (bits < 16 && (1 << bits) < cardinality) bits <<= 1;
+  return bits;
+}
+
+size_t WirePackedBytes(int num_values, int bits) {
+  return (static_cast<size_t>(num_values) * static_cast<size_t>(bits) + 7) / 8;
+}
+
+void PackWireColumn(const Value* values, int n, int bits, std::string& out) {
+  switch (bits) {
+    case 16:
+      for (int r = 0; r < n; ++r) AppendU16(out, values[r]);
+      return;
+    case 8:
+      for (int r = 0; r < n; ++r) {
+        out.push_back(static_cast<char>(values[r] & 0xff));
+      }
+      return;
+    default: {
+      // 1/2/4 bits: 8/bits values per byte, LSB-first within the byte.
+      const int per_byte = 8 / bits;
+      const size_t bytes = WirePackedBytes(n, bits);
+      size_t base = out.size();
+      out.resize(base + bytes, '\0');
+      char* dst = out.data() + base;
+      for (int r = 0; r < n; ++r) {
+        dst[r / per_byte] = static_cast<char>(
+            dst[r / per_byte] |
+            ((values[r] & ((1 << bits) - 1)) << ((r % per_byte) * bits)));
+      }
+      return;
+    }
+  }
+}
+
+size_t UnpackWireColumn(const char* p, int n, int bits, Value* dst) {
+  switch (bits) {
+    case 16:
+      for (int r = 0; r < n; ++r) dst[r] = LoadU16(p + 2 * r);
+      return WirePackedBytes(n, 16);
+    case 8:
+      for (int r = 0; r < n; ++r) {
+        dst[r] = static_cast<Value>(static_cast<unsigned char>(p[r]));
+      }
+      return WirePackedBytes(n, 8);
+    default: {
+      const int per_byte = 8 / bits;
+      const Value mask = static_cast<Value>((1 << bits) - 1);
+      for (int r = 0; r < n; ++r) {
+        unsigned char byte = static_cast<unsigned char>(p[r / per_byte]);
+        dst[r] = static_cast<Value>((byte >> ((r % per_byte) * bits)) & mask);
+      }
+      return WirePackedBytes(n, bits);
+    }
+  }
 }
 
 }  // namespace privbayes

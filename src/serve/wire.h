@@ -1,14 +1,28 @@
-// Shared line-level socket I/O for the serve layer. Server and client frame
-// every message the same way ('\n'-terminated, '\r' tolerated), so the
-// reader/writer live here once — a protocol change (or a cap tweak) cannot
-// drift between the two ends.
+// Shared wire-level socket I/O for the serve layer. Server and client frame
+// every message the same way, so the readers/writers live here once — a
+// protocol change (or a cap tweak) cannot drift between the two ends.
+//
+// Two framings share one receive buffer:
+//   * text lines — '\n'-terminated ('\r' tolerated), used by every command
+//     and by the CSV row stream;
+//   * binary frames — u32 little-endian payload length followed by the
+//     payload, whose first byte is a frame type. The SAMPLEB row stream is
+//     a schema frame, then row frames (u16 row count + columns packed at
+//     the same minimal power-of-two bit widths ColumnStore uses), closed by
+//     exactly one end frame (success) or error frame (in-band abort).
+//
+// All reads and writes retry on EINTR: a signal delivered to a session or
+// client thread must never be mistaken for a dead peer.
 
 #ifndef PRIVBAYES_SERVE_WIRE_H_
 #define PRIVBAYES_SERVE_WIRE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
+
+#include "prob/prob_table.h"
 
 namespace privbayes {
 
@@ -18,9 +32,25 @@ namespace privbayes {
 /// bound.
 inline constexpr size_t kMaxWireLine = size_t{1} << 20;
 
+/// Longest accepted binary frame payload. A row frame is at most 65535 rows
+/// × num_attrs × 2 bytes, so 64 MB clears any realistic schema while still
+/// bounding what a hostile length prefix can make the peer allocate.
+inline constexpr size_t kMaxWireFrame = size_t{1} << 26;
+
+/// Binary frame types (first payload byte).
+inline constexpr uint8_t kWireFrameSchema = 0x00;  ///< u16 ncols, ncols × u16 cardinality
+inline constexpr uint8_t kWireFrameRows = 0x01;    ///< u16 nrows, packed columns
+inline constexpr uint8_t kWireFrameEnd = 0x02;     ///< empty; stream completed
+inline constexpr uint8_t kWireFrameError = 0x03;   ///< UTF-8 message; stream aborted
+
+/// Row-frame row-count ceiling (the count is a u16).
+inline constexpr int kMaxWireFrameRows = 65535;
+
 /// Receive-side buffer state. Consumed bytes are tracked by a cursor and
 /// compacted in bulk, so extracting k lines from one recv chunk is O(chunk)
 /// rather than O(k·chunk) — the client's bulk CSV read path depends on it.
+/// Line reads and exact binary reads share the buffer, so a frame stream
+/// may follow a text line on the same connection.
 struct WireBuffer {
   std::string data;
   size_t pos = 0;  // start of unconsumed bytes
@@ -28,13 +58,42 @@ struct WireBuffer {
 
 /// Reads one '\n'-terminated line from `fd` (terminator removed, trailing
 /// '\r' stripped), buffering extra bytes in `buf` across calls. Returns
-/// nullopt on EOF/reset, or when a line exceeds `max_line` bytes.
+/// nullopt on EOF/reset/receive-timeout, or when a line exceeds `max_line`
+/// bytes. Interrupted reads (EINTR) are retried.
 std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
                                         size_t max_line = kMaxWireLine);
 
+/// Reads exactly `len` bytes into `dst`, draining `buf` first. Returns
+/// false when the peer is gone (or a receive timeout fires) before `len`
+/// bytes arrive. Interrupted reads (EINTR) are retried.
+bool ReadWireExact(int fd, WireBuffer& buf, void* dst, size_t len);
+
 /// Writes all `len` bytes to `fd` (send with MSG_NOSIGNAL, retrying short
-/// writes). Returns false when the peer is gone.
+/// and interrupted writes). Returns false when the peer is gone.
 bool WriteWireBytes(int fd, const char* data, size_t len);
+
+/// Little-endian scalar append / load for frame encoding.
+void AppendU16(std::string& out, uint16_t v);
+void AppendU32(std::string& out, uint32_t v);
+uint16_t LoadU16(const char* p);
+uint32_t LoadU32(const char* p);
+
+/// Bits per packed value for a column of the given cardinality: the minimal
+/// power-of-two width (1/2/4/8/16) — identical to ColumnStore's packing, so
+/// a wire frame costs the same bytes per value as the in-memory snapshot.
+int WirePackedBits(int cardinality);
+
+/// Packed byte size of `num_values` values at `bits` per value.
+size_t WirePackedBytes(int num_values, int bits);
+
+/// Appends `n` values packed at `bits` per value to `out`. Values are laid
+/// out LSB-first within each byte (bits ∈ {1,2,4}); 8- and 16-bit values are
+/// byte-aligned (16-bit little-endian).
+void PackWireColumn(const Value* values, int n, int bits, std::string& out);
+
+/// Decodes `n` values packed at `bits` per value from `p` into `dst`;
+/// returns the number of bytes consumed (WirePackedBytes(n, bits)).
+size_t UnpackWireColumn(const char* p, int n, int bits, Value* dst);
 
 }  // namespace privbayes
 

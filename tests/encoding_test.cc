@@ -154,5 +154,50 @@ TEST(Encoding, Names) {
   EXPECT_STREQ(EncodingName(EncodingKind::kHierarchical), "Hierarchical");
 }
 
+// Repeated encodes of the same (unmutated) source must hand back Datasets
+// sharing one ColumnStore snapshot id — the key the cross-run MarginalStore
+// caches joints under, so encoding sweeps reuse counted joints like
+// hierarchical (which returns the input itself) already does.
+TEST(Encoding, RepeatedEncodesShareOneSnapshot) {
+  Schema s = MixedSchema();
+  Dataset d = RandomData(s, 64, 9);
+  for (EncodingKind kind :
+       {EncodingKind::kBinary, EncodingKind::kGray, EncodingKind::kVanilla}) {
+    EncodedDataset first = ApplyEncoding(d, kind);
+    EncodedDataset second = ApplyEncoding(d, kind);
+    EXPECT_EQ(first.data.store()->snapshot_id(),
+              second.data.store()->snapshot_id())
+        << EncodingName(kind);
+    for (int c = 0; c < first.data.num_attrs(); ++c) {
+      EXPECT_EQ(first.data.column(c), second.data.column(c));
+    }
+  }
+  // The two binarizations must not be confused with each other.
+  EXPECT_NE(ApplyEncoding(d, EncodingKind::kBinary).data.store()->snapshot_id(),
+            ApplyEncoding(d, EncodingKind::kGray).data.store()->snapshot_id());
+}
+
+TEST(Encoding, MutationInvalidatesEncodeMemo) {
+  Schema s = MixedSchema();
+  Dataset d = RandomData(s, 64, 10);
+  EncodedDataset before = ApplyEncoding(d, EncodingKind::kBinary);
+  uint64_t before_id = before.data.store()->snapshot_id();
+
+  // Mutating a returned COPY must not poison the memo for later callers.
+  Dataset copy = before.data;
+  copy.Set(0, 0, static_cast<Value>(1 - copy.at(0, 0)));
+  EncodedDataset again = ApplyEncoding(d, EncodingKind::kBinary);
+  EXPECT_EQ(again.data.store()->snapshot_id(), before_id);
+  EXPECT_NE(again.data.at(0, 0), copy.at(0, 0));
+
+  // Mutating the SOURCE retires its snapshot: a fresh encode (fresh id)
+  // reflecting the new cells, never the stale cached bits.
+  Value old = d.at(0, 0);
+  d.Set(0, 0, static_cast<Value>(1 - old));
+  EncodedDataset after = ApplyEncoding(d, EncodingKind::kBinary);
+  EXPECT_NE(after.data.store()->snapshot_id(), before_id);
+  EXPECT_NE(after.data.at(0, 0), before.data.at(0, 0));
+}
+
 }  // namespace
 }  // namespace privbayes

@@ -6,13 +6,22 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "core/inference.h"
 #include "core/model_io.h"
 #include "core/privbayes.h"
@@ -24,6 +33,7 @@
 #include "serve/row_sink.h"
 #include "serve/sampling_service.h"
 #include "serve/server.h"
+#include "serve/wire.h"
 
 namespace privbayes {
 namespace {
@@ -56,6 +66,147 @@ bool SameData(const Dataset& a, const Dataset& b) {
     if (a.column(c) != b.column(c)) return false;
   }
   return true;
+}
+
+// Installs a no-op SIGUSR1 handler WITHOUT SA_RESTART for the test's
+// lifetime, so pthread_kill makes a blocked recv/send actually return EINTR
+// (the condition the wire layer must retry, not treat as a dead peer).
+class ScopedEintrSignal {
+ public:
+  ScopedEintrSignal() {
+    struct sigaction sa {};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    PB_CHECK(sigaction(SIGUSR1, &sa, &old_) == 0);
+  }
+  ~ScopedEintrSignal() { sigaction(SIGUSR1, &old_, nullptr); }
+
+ private:
+  struct sigaction old_ {};
+};
+
+TEST(Wire, ReadLineRetriesAfterEintr) {
+  ScopedEintrSignal handler;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  std::atomic<bool> returned{false};
+  std::optional<std::string> line;
+  std::thread reader([&] {
+    WireBuffer buf;
+    line = ReadWireLine(sv[0], buf);
+    returned.store(true);
+  });
+
+  // Let the reader block in recv, then interrupt it repeatedly; each signal
+  // used to look like a dead peer and kill the session.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (int i = 0; i < 5; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(returned.load());  // still waiting, not dropped
+
+  const std::string payload = "still alive\n";
+  ASSERT_TRUE(WriteWireBytes(sv[1], payload.data(), payload.size()));
+  reader.join();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "still alive");
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(Wire, ReadExactRetriesAfterEintr) {
+  ScopedEintrSignal handler;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  std::vector<char> got(1 << 20, '\0');
+  std::atomic<bool> ok{false};
+  std::atomic<bool> returned{false};
+  std::thread reader([&] {
+    WireBuffer buf;
+    ok.store(ReadWireExact(sv[0], buf, got.data(), got.size()));
+    returned.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<char> sent(got.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<char>(i * 131);
+  }
+  // Feed the payload in slices, interrupting the blocked reader in between.
+  size_t at = 0;
+  while (at < sent.size()) {
+    if (!returned.load()) pthread_kill(reader.native_handle(), SIGUSR1);
+    size_t n = std::min<size_t>(sent.size() - at, 64 * 1024);
+    ASSERT_TRUE(WriteWireBytes(sv[1], sent.data() + at, n));
+    at += n;
+  }
+  reader.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(got, sent);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(Wire, WriteRetriesAfterEintr) {
+  ScopedEintrSignal handler;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  // Big enough to fill the socket buffer, so the writer blocks in send()
+  // while the signals land.
+  std::string big(8 << 20, '\0');
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i * 89);
+  std::atomic<bool> ok{false};
+  std::atomic<bool> returned{false};
+  std::thread writer([&] {
+    ok.store(WriteWireBytes(sv[0], big.data(), big.size()));
+    returned.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::string received;
+  std::vector<char> chunk(64 * 1024);
+  while (received.size() < big.size()) {
+    if (!returned.load()) pthread_kill(writer.native_handle(), SIGUSR1);
+    ssize_t got = ::recv(sv[1], chunk.data(), chunk.size(), 0);
+    ASSERT_GT(got, 0);
+    received.append(chunk.data(), static_cast<size_t>(got));
+  }
+  writer.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(received, big);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(Wire, PackedColumnRoundTripAllWidths) {
+  for (int card : {2, 3, 4, 5, 16, 17, 200, 256, 257, 40000}) {
+    const int bits = WirePackedBits(card);
+    std::vector<Value> values(1237);
+    for (size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<Value>((i * 2654435761u) % card);
+    }
+    std::string packed;
+    PackWireColumn(values.data(), static_cast<int>(values.size()), bits,
+                   packed);
+    ASSERT_EQ(packed.size(),
+              WirePackedBytes(static_cast<int>(values.size()), bits));
+    std::vector<Value> back(values.size());
+    EXPECT_EQ(UnpackWireColumn(packed.data(), static_cast<int>(values.size()),
+                               bits, back.data()),
+              packed.size());
+    EXPECT_EQ(back, values) << "cardinality " << card;
+  }
+  EXPECT_EQ(WirePackedBits(2), 1);
+  EXPECT_EQ(WirePackedBits(3), 2);
+  EXPECT_EQ(WirePackedBits(16), 4);
+  EXPECT_EQ(WirePackedBits(17), 8);
+  EXPECT_EQ(WirePackedBits(257), 16);
+  EXPECT_EQ(WirePackedBits(65536), 16);
 }
 
 TEST(ModelRegistry, PutGetEraseNames) {
@@ -436,6 +587,156 @@ TEST(ServeServer, EndToEnd) {
   EXPECT_GE(stats.connections, 2u);
   EXPECT_GE(stats.rows_streamed, rows + 1000 + 100);
   EXPECT_GE(stats.errors, 2u);
+  server.Stop();
+}
+
+// The binary protocol is a pure transport change: SAMPLEB must deliver
+// cell-for-cell what SAMPLE and local SampleSyntheticData deliver for the
+// same seed, at 1, 4 and 16 concurrent client threads.
+TEST(ServeServer, BinaryMatchesCsvAcrossClientThreads) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServer server(&registry, {});
+  server.Start();
+
+  const int64_t rows = NetworkSampler::kShardRows + 211;
+  Rng rng(31);
+  Dataset expected =
+      SampleSyntheticData(ModelA(), static_cast<int>(rows), rng);
+
+  for (int num_threads : {1, 4, 16}) {
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < num_threads; ++t) {
+      clients.emplace_back([&] {
+        try {
+          ServeClient client("127.0.0.1", server.port());
+          ServeClient::SampleReply csv = client.Sample("m", rows, 31);
+          Dataset binary = client.SampleBinary("m", rows, 31);
+          if (binary.num_rows() != static_cast<int>(rows) ||
+              binary.num_attrs() != expected.num_attrs()) {
+            failures.fetch_add(1);
+            return;
+          }
+          for (int c = 0; c < expected.num_attrs(); ++c) {
+            if (binary.column(c) != expected.column(c)) {
+              failures.fetch_add(1);
+              return;
+            }
+            if (binary.schema().attr(c).name != expected.schema().attr(c).name) {
+              failures.fetch_add(1);
+              return;
+            }
+          }
+          for (size_t r = 0; r < csv.rows.size(); ++r) {
+            for (int c = 0; c < expected.num_attrs(); ++c) {
+              if (csv.rows[r][c] != binary.at(static_cast<int>(r), c)) {
+                failures.fetch_add(1);
+                return;
+              }
+            }
+          }
+          client.Quit();
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+    EXPECT_EQ(failures.load(), 0) << "at " << num_threads << " threads";
+  }
+
+  // Binary projections work like CSV projections.
+  ServeClient client("127.0.0.1", server.port());
+  Dataset proj = client.SampleBinary("m", 200, 5, {3, 1});
+  ServeClient::SampleReply csv_proj = client.Sample("m", 200, 5, {3, 1});
+  ASSERT_EQ(proj.num_attrs(), 2);
+  EXPECT_EQ(proj.schema().attr(0).name, ModelA().original_schema.attr(3).name);
+  for (int r = 0; r < proj.num_rows(); ++r) {
+    EXPECT_EQ(proj.at(r, 0), csv_proj.rows[static_cast<size_t>(r)][0]);
+    EXPECT_EQ(proj.at(r, 1), csv_proj.rows[static_cast<size_t>(r)][1]);
+  }
+  // Pre-stream errors still use the plain ERR channel on SAMPLEB.
+  EXPECT_THROW(client.SampleBinary("nope", 10, 1), std::runtime_error);
+  client.Ping();
+  server.Stop();
+}
+
+// A 1 ms deadline with a multi-chunk batch: the stream must abort with an
+// in-band DEADLINE_EXCEEDED marker (never a mid-stream ERR line), release
+// its admission slot, and leave the connection usable. Single-chunk batches
+// must always complete — the deadline is only checked between chunks.
+TEST(ServeServer, DeadlineExpiryAbortsInBandWithoutLeakingAdmission) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServerOptions options;
+  options.request_deadline = std::chrono::milliseconds(1);
+  ServeServer server(&registry, options);
+  server.Start();
+
+  const int64_t big = 3 * SamplingService::kDefaultChunkRows;  // 3 chunks
+  ServeClient client("127.0.0.1", server.port());
+
+  // CSV: "!ERR DEADLINE_EXCEEDED..." trailer surfaces as a failed request.
+  try {
+    client.Sample("m", big, 1);
+    FAIL() << "deadline did not abort the CSV stream";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("DEADLINE_EXCEEDED"),
+              std::string::npos)
+        << e.what();
+  }
+  // Binary: the error frame carries the same marker.
+  try {
+    client.SampleBinary("m", big, 1);
+    FAIL() << "deadline did not abort the binary stream";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("DEADLINE_EXCEEDED"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // The aborted batches released their admission slots on unwind.
+  EXPECT_EQ(server.sampling().admission().in_flight(), 0);
+
+  // The connection is still line-synchronized, and a single-chunk batch
+  // finishes regardless of the tiny deadline.
+  client.Ping();
+  EXPECT_EQ(client.Sample("m", 500, 2).rows.size(), 500u);
+  EXPECT_EQ(client.SampleBinary("m", 500, 2).num_rows(), 500);
+  ServeServerStats stats = server.stats();
+  EXPECT_GE(stats.errors, 2u);
+  client.Quit();
+  server.Stop();
+}
+
+// SO_RCVTIMEO: a connection that goes silent is dropped after idle_timeout
+// instead of pinning its session thread forever; live traffic is unaffected.
+TEST(ServeServer, IdleTimeoutDropsSilentConnections) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(200);
+  ServeServer server(&registry, options);
+  server.Start();
+
+  ServeClient idle("127.0.0.1", server.port());
+  idle.Ping();
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  // The server timed the session out while we slept; the next round trip
+  // fails (either the send or the response read, depending on timing).
+  EXPECT_THROW(
+      {
+        idle.Ping();
+        idle.Ping();
+      },
+      std::runtime_error);
+
+  // A fresh, active connection is served normally.
+  ServeClient active("127.0.0.1", server.port());
+  active.Ping();
+  EXPECT_EQ(active.Sample("m", 100, 1).rows.size(), 100u);
+  active.Quit();
   server.Stop();
 }
 

@@ -1,8 +1,9 @@
 // privbayes_serve: TCP model-serving daemon.
 //
-// Holds a ModelRegistry of fitted PrivBayes models and serves the line
-// protocol of serve/server.h (sampling + direct marginal queries). Models
-// come from three sources, combinable and repeatable:
+// Holds a ModelRegistry of fitted PrivBayes models and serves the wire
+// protocol of serve/server.h (CSV and binary row streaming + direct
+// marginal queries, optional per-request deadlines and session idle
+// timeouts). Models come from three sources, combinable and repeatable:
 //
 //   --fit  NAME=DATASET[:rows[:eps]]   fit a paper dataset in-process
 //                                      (NLTCS, ACS, Adult, BR2000)
@@ -41,6 +42,7 @@ void OnSignal(int) { g_stop = 1; }
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--max-parallel N]\n"
+               "          [--deadline-ms MS] [--idle-timeout-ms MS]\n"
                "          [--fit NAME=DATASET[:rows[:eps]]]... "
                "[--load NAME=PATH]... [--manifest PATH]...\n",
                argv0);
@@ -114,6 +116,15 @@ int main(int argc, char** argv) {
       options.port = std::atoi(next().c_str());
     } else if (arg == "--max-parallel") {
       options.max_parallel_batches = std::atoi(next().c_str());
+    } else if (arg == "--deadline-ms") {
+      // Per-request streaming deadline (0 = none): a batch that has not
+      // finished by then aborts with an in-band DEADLINE_EXCEEDED marker.
+      options.request_deadline = std::chrono::milliseconds(
+          std::atoll(next().c_str()));
+    } else if (arg == "--idle-timeout-ms") {
+      // SO_RCVTIMEO on sessions (0 = none): silent connections are dropped.
+      options.idle_timeout = std::chrono::milliseconds(
+          std::atoll(next().c_str()));
     } else if (arg == "--fit") {
       fits.push_back(SplitNameValue(next(), argv[0]));
     } else if (arg == "--load") {
