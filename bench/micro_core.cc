@@ -18,6 +18,7 @@
 #include "serve/query_service.h"
 #include "serve/sampling_service.h"
 #include "serve/server.h"
+#include "serve/wire.h"
 
 namespace pb = privbayes;
 
@@ -453,6 +454,29 @@ void BM_ServeSampleBatchWireBinary(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeSampleBatchWireBinary)
     ->Threads(1)->Threads(4)->UseRealTime();
+
+// Goodput under adversity: the same binary pull with the wire fault
+// injector armed at 2% (EINTR storms, short reads/writes, delayed flushes,
+// mid-stream kills) and the client retrying with backoff. Reported time is
+// per *successful* batch including retries — the resilience overhead the
+// serve layer pays for at-least-once delivery. `retries` counts replays.
+void BM_ServeSampleBatchWireBinaryFaulty(benchmark::State& state) {
+  constexpr int kBatchRows = 16384;
+  pb::WireFaults::ConfigureForTesting(/*seed=*/90210, /*rate=*/0.02);
+  pb::ServeClient client("127.0.0.1", WireServer().port(),
+                         pb::RetryPolicy::WithRetries(/*max_attempts=*/16,
+                                                      /*jitter_seed=*/7));
+  uint64_t seed = 1000 * (state.thread_index() + 1);
+  for (auto _ : state) {
+    pb::Dataset batch = client.SampleBinary("m0", kBatchRows, seed++);
+    benchmark::DoNotOptimize(batch.num_rows());
+  }
+  pb::WireFaults::ResetFromEnv();  // disarm (or restore the env arming)
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+  state.counters["retries"] = benchmark::Counter(
+      static_cast<double>(client.retries()));
+}
+BENCHMARK(BM_ServeSampleBatchWireBinaryFaulty)->Threads(1)->UseRealTime();
 
 void BM_ServeMarginalQuery(benchmark::State& state) {
   ServeFixture& serving = Serving();

@@ -1,56 +1,226 @@
 #include "serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
-#include <stdexcept>
+#include <thread>
 
+#include "common/random.h"
 #include "data/csv.h"
 #include "serve/wire.h"
 
 namespace privbayes {
 
-ServeClient::ServeClient(const std::string& host, int port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("socket() failed");
+const char* ServeErrorCodeName(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kRefused: return "refused";
+    case ServeErrorCode::kTimeout: return "timeout";
+    case ServeErrorCode::kShedding: return "shedding";
+    case ServeErrorCode::kShuttingDown: return "shutting_down";
+    case ServeErrorCode::kConnectionLost: return "connection_lost";
+    case ServeErrorCode::kProtocol: return "protocol";
+    case ServeErrorCode::kServer: return "server";
+  }
+  return "unknown";
+}
+
+ServeErrorCode ClassifyServerMessage(const std::string& message) {
+  if (message.rfind("RESOURCE_EXHAUSTED", 0) == 0) {
+    return ServeErrorCode::kShedding;
+  }
+  if (message.rfind("SHUTTING_DOWN", 0) == 0) {
+    return ServeErrorCode::kShuttingDown;
+  }
+  if (message.rfind("DEADLINE_EXCEEDED", 0) == 0) {
+    return ServeErrorCode::kTimeout;
+  }
+  return ServeErrorCode::kServer;
+}
+
+RetryPolicy RetryPolicy::WithRetries(int attempts, uint64_t jitter_seed) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts < 1 ? 1 : attempts;
+  policy.jitter_seed = jitter_seed;
+  return policy;
+}
+
+RetryPolicy RetryPolicy::Default() {
+  const char* faults = std::getenv("PRIVBAYES_WIRE_FAULTS");
+  if (faults != nullptr && *faults != '\0') return WithRetries(8);
+  return None();
+}
+
+namespace {
+
+// Non-blocking connect with a poll()-bounded wait. Returns the connected
+// (blocking-mode) fd; throws ServeError{kRefused|kTimeout|kConnectionLost}.
+// EINTR during connect()/poll() is retried against the remaining budget —
+// a signal must not abort (or infinitely extend) connection establishment.
+int ConnectWithTimeout(const std::string& host, int port,
+                       std::chrono::milliseconds timeout) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ServeError(ServeErrorCode::kConnectionLost, "socket() failed");
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("bad host address: " + host);
+    ::close(fd);
+    throw ServeError(ServeErrorCode::kRefused, "bad host address: " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("cannot connect to " + host + ":" +
-                             std::to_string(port));
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  // On EINTR the connection attempt continues asynchronously — poll for the
+  // outcome exactly as for EINPROGRESS.
+  if (rc != 0 && errno != EINPROGRESS && errno != EALREADY &&
+      errno != EISCONN) {
+    const int err = errno;
+    ::close(fd);
+    throw ServeError(ServeErrorCode::kRefused,
+                     "cannot connect to " + host + ":" + std::to_string(port) +
+                         " (" + std::strerror(err) + ")");
   }
+  if (rc != 0) {
+    for (;;) {
+      const auto remaining = deadline - std::chrono::steady_clock::now();
+      const auto remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count();
+      if (remaining_ms <= 0) {
+        ::close(fd);
+        throw ServeError(ServeErrorCode::kTimeout,
+                         "connect to " + host + ":" + std::to_string(port) +
+                             " timed out after " +
+                             std::to_string(timeout.count()) + " ms");
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining_ms));
+      if (ready < 0) {
+        if (errno == EINTR) continue;  // re-derive the remaining budget
+        ::close(fd);
+        throw ServeError(ServeErrorCode::kConnectionLost, "poll() failed");
+      }
+      if (ready == 0) continue;  // loop re-checks the deadline
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        ::close(fd);
+        throw ServeError(
+            err == ETIMEDOUT ? ServeErrorCode::kTimeout
+                             : ServeErrorCode::kRefused,
+            "cannot connect to " + host + ":" + std::to_string(port) + " (" +
+                std::strerror(err) + ")");
+      }
+      break;  // connected
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
   // Request lines are single small writes; don't let Nagle hold them back.
   int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const std::string& host, int port, RetryPolicy policy)
+    : host_(host), port_(port), policy_(policy) {
+  WithRetry([&] {
+    EnsureConnected();
+    return 0;
+  });
+}
+
+ServeClient::ServeClient(int connected_fd) : policy_(RetryPolicy::None()) {
+  fd_ = connected_fd;
 }
 
 ServeClient::~ServeClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void ServeClient::EnsureConnected() {
+  if (fd_ >= 0) return;
+  if (port_ < 0) {
+    throw ServeError(ServeErrorCode::kConnectionLost,
+                     "adopted connection closed; cannot reconnect");
+  }
+  fd_ = ConnectWithTimeout(host_, port_, policy_.connect_timeout);
+  inbuf_ = WireBuffer{};
+}
+
+void ServeClient::CloseConnection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_ = WireBuffer{};
+}
+
+template <typename Fn>
+auto ServeClient::WithRetry(Fn&& fn) -> decltype(fn()) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      EnsureConnected();
+      return fn();
+    } catch (const ServeError& e) {
+      // In-band aborts (shedding, deadline) leave the connection line-
+      // synchronized; every other failure makes its state suspect.
+      const bool connection_usable =
+          fd_ >= 0 && (e.code() == ServeErrorCode::kShedding ||
+                       e.code() == ServeErrorCode::kTimeout);
+      if (!connection_usable) CloseConnection();
+      if (!e.retryable() || attempt >= policy_.max_attempts) throw;
+      ++retries_;
+      if (fd_ < 0) ++reconnects_;  // the next attempt will reconnect
+      // Capped exponential backoff with deterministic seeded jitter in
+      // [0.5, 1.0): concurrent clients (distinct seeds) spread out instead
+      // of thundering back in lockstep.
+      auto backoff = policy_.initial_backoff * (int64_t{1} << std::min(
+                         attempt - 1, 20));
+      if (backoff > policy_.max_backoff) backoff = policy_.max_backoff;
+      const uint64_t h =
+          SplitMix64(policy_.jitter_seed ^ SplitMix64(backoff_stream_++));
+      const double jitter = 0.5 + 0.5 * (static_cast<double>(h >> 11) *
+                                         0x1.0p-53);
+      std::this_thread::sleep_for(std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(backoff * jitter));
+    }
+  }
+}
+
 void ServeClient::SendLine(const std::string& line) {
   std::string framed = line + "\n";
   if (!WriteWireBytes(fd_, framed.data(), framed.size())) {
-    throw std::runtime_error("connection lost while sending");
+    throw ServeError(ServeErrorCode::kConnectionLost,
+                     "connection lost while sending");
   }
 }
 
 std::string ServeClient::ReadLine() {
   std::optional<std::string> line = ReadWireLine(fd_, inbuf_);
-  if (!line) throw std::runtime_error("connection closed by server");
+  if (!line) {
+    throw ServeError(ServeErrorCode::kConnectionLost,
+                     "connection closed by server");
+  }
   return *std::move(line);
 }
 
@@ -60,244 +230,324 @@ std::string ServeClient::ExpectOk() {
     return line.size() > 3 ? line.substr(3) : std::string();
   }
   if (line.rfind("ERR ", 0) == 0) {
-    throw std::runtime_error("server: " + line.substr(4));
+    std::string message = line.substr(4);
+    throw ServeError(ClassifyServerMessage(message), "server: " + message);
   }
-  throw std::runtime_error("malformed response '" + line + "'");
+  throw ServeError(ServeErrorCode::kProtocol,
+                   "malformed response '" + line + "'");
 }
 
 void ServeClient::Ping() {
-  SendLine("PING");
-  if (ExpectOk() != "PONG") throw std::runtime_error("bad PING reply");
+  WithRetry([&] {
+    SendLine("PING");
+    if (ExpectOk() != "PONG") {
+      throw ServeError(ServeErrorCode::kProtocol, "bad PING reply");
+    }
+    return 0;
+  });
 }
 
 std::vector<ServedModelInfo> ServeClient::List() {
-  SendLine("LIST");
-  std::istringstream head(ExpectOk());
-  int count = 0;
-  head >> count;
-  if (!head || count < 0) throw std::runtime_error("bad LIST reply");
-  std::vector<ServedModelInfo> models;
-  for (int i = 0; i < count; ++i) {
-    std::istringstream entry(ReadLine());
-    std::string tok;
-    ServedModelInfo info;
-    entry >> tok >> info.name >> info.num_attrs >> info.input_rows >>
-        info.epsilon;
-    if (!entry || tok != "MODEL") {
-      throw std::runtime_error("bad LIST entry");
+  return WithRetry([&] {
+    SendLine("LIST");
+    std::istringstream head(ExpectOk());
+    int count = 0;
+    head >> count;
+    if (!head || count < 0) {
+      throw ServeError(ServeErrorCode::kProtocol, "bad LIST reply");
     }
-    models.push_back(std::move(info));
-  }
-  return models;
+    std::vector<ServedModelInfo> models;
+    for (int i = 0; i < count; ++i) {
+      std::istringstream entry(ReadLine());
+      std::string tok;
+      ServedModelInfo info;
+      entry >> tok >> info.name >> info.num_attrs >> info.input_rows >>
+          info.epsilon;
+      if (!entry || tok != "MODEL") {
+        throw ServeError(ServeErrorCode::kProtocol, "bad LIST entry");
+      }
+      models.push_back(std::move(info));
+    }
+    return models;
+  });
 }
 
 ServeClient::SampleReply ServeClient::Sample(const std::string& model,
                                              int64_t num_rows, uint64_t seed,
                                              const std::vector<int>& columns) {
-  std::ostringstream request;
-  request << "SAMPLE " << model << " " << num_rows << " " << seed;
-  for (int c : columns) request << " " << c;
-  SendLine(request.str());
+  return WithRetry([&] {
+    std::ostringstream request;
+    request << "SAMPLE " << model << " " << num_rows << " " << seed;
+    for (int c : columns) request << " " << c;
+    SendLine(request.str());
 
-  std::istringstream head(ExpectOk());
-  int64_t rows = 0;
-  int cols = 0;
-  head >> rows >> cols;
-  if (!head || rows != num_rows || cols <= 0) {
-    throw std::runtime_error("bad SAMPLE reply header");
-  }
-  SampleReply reply;
-  reply.columns = SplitCsvLine(ReadLine());
-  if (static_cast<int>(reply.columns.size()) != cols) {
-    throw std::runtime_error("bad SAMPLE CSV header");
-  }
-  reply.rows.reserve(static_cast<size_t>(rows));
-  for (int64_t r = 0; r < rows; ++r) {
-    std::string line = ReadLine();
-    if (line.rfind("!ERR ", 0) == 0) {
-      // In-band abort trailer: the server hit an error (deadline expiry,
-      // an exception) after the row stream began. Consume the END line so
-      // the connection stays usable, then surface the failure.
-      std::string message = line.substr(5);
-      if (ReadLine() != "END") {
-        throw std::runtime_error("missing SAMPLE abort trailer");
+    std::istringstream head(ExpectOk());
+    int64_t rows = 0;
+    int cols = 0;
+    head >> rows >> cols;
+    if (!head || rows != num_rows || cols <= 0) {
+      throw ServeError(ServeErrorCode::kProtocol, "bad SAMPLE reply header");
+    }
+    SampleReply reply;
+    reply.columns = SplitCsvLine(ReadLine());
+    if (static_cast<int>(reply.columns.size()) != cols) {
+      throw ServeError(ServeErrorCode::kProtocol, "bad SAMPLE CSV header");
+    }
+    reply.rows.reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      std::string line = ReadLine();
+      if (line.rfind("!ERR ", 0) == 0) {
+        // In-band abort trailer: the server hit an error (deadline expiry,
+        // an exception) after the row stream began. Consume the END line so
+        // the connection stays usable, then surface the failure.
+        std::string message = line.substr(5);
+        if (ReadLine() != "END") {
+          throw ServeError(ServeErrorCode::kProtocol,
+                           "missing SAMPLE abort trailer");
+        }
+        throw ServeError(ClassifyServerMessage(message), "server: " + message);
       }
-      throw std::runtime_error("server: " + message);
+      std::vector<std::string> fields = SplitCsvLine(line);
+      if (static_cast<int>(fields.size()) != cols) {
+        throw ServeError(ServeErrorCode::kProtocol, "bad SAMPLE CSV row");
+      }
+      std::vector<Value> row(fields.size());
+      for (size_t c = 0; c < fields.size(); ++c) {
+        row[c] =
+            static_cast<Value>(std::strtoul(fields[c].c_str(), nullptr, 10));
+      }
+      reply.rows.push_back(std::move(row));
     }
-    std::vector<std::string> fields = SplitCsvLine(line);
-    if (static_cast<int>(fields.size()) != cols) {
-      throw std::runtime_error("bad SAMPLE CSV row");
+    if (ReadLine() != "END") {
+      throw ServeError(ServeErrorCode::kProtocol, "missing SAMPLE trailer");
     }
-    std::vector<Value> row(fields.size());
-    for (size_t c = 0; c < fields.size(); ++c) {
-      row[c] = static_cast<Value>(std::strtoul(fields[c].c_str(), nullptr, 10));
-    }
-    reply.rows.push_back(std::move(row));
-  }
-  if (ReadLine() != "END") throw std::runtime_error("missing SAMPLE trailer");
-  return reply;
+    return reply;
+  });
 }
 
 Dataset ServeClient::SampleBinary(const std::string& model, int64_t num_rows,
                                   uint64_t seed,
                                   const std::vector<int>& columns) {
-  std::ostringstream request;
-  request << "SAMPLEB " << model << " " << num_rows << " " << seed;
-  for (int c : columns) request << " " << c;
-  SendLine(request.str());
+  return WithRetry([&] {
+    std::ostringstream request;
+    request << "SAMPLEB " << model << " " << num_rows << " " << seed;
+    for (int c : columns) request << " " << c;
+    SendLine(request.str());
 
-  std::istringstream head(ExpectOk());
-  int64_t rows = 0;
-  int cols = 0;
-  head >> rows >> cols;
-  if (!head || rows != num_rows || cols <= 0) {
-    throw std::runtime_error("bad SAMPLEB reply header");
-  }
-  std::vector<std::string> names = SplitCsvLine(ReadLine());
-  if (static_cast<int>(names.size()) != cols) {
-    throw std::runtime_error("bad SAMPLEB CSV header");
-  }
+    std::istringstream head(ExpectOk());
+    int64_t rows = 0;
+    int cols = 0;
+    head >> rows >> cols;
+    if (!head || rows != num_rows || cols <= 0) {
+      throw ServeError(ServeErrorCode::kProtocol, "bad SAMPLEB reply header");
+    }
+    std::vector<std::string> names = SplitCsvLine(ReadLine());
+    if (static_cast<int>(names.size()) != cols) {
+      throw ServeError(ServeErrorCode::kProtocol, "bad SAMPLEB CSV header");
+    }
 
-  // Frame stream: one schema frame, row frames, then exactly one end frame
-  // (success) or error frame (in-band abort).
-  std::vector<int> cards, bits;
-  std::vector<std::vector<Value>> cols_data;
-  std::string payload;
-  bool saw_schema = false;
-  for (;;) {
-    char lenbuf[4];
-    if (!ReadWireExact(fd_, inbuf_, lenbuf, sizeof(lenbuf))) {
-      throw std::runtime_error("connection closed mid-frame");
-    }
-    uint32_t len = LoadU32(lenbuf);
-    if (len == 0 || len > kMaxWireFrame) {
-      throw std::runtime_error("bad SAMPLEB frame length");
-    }
-    payload.resize(len);
-    if (!ReadWireExact(fd_, inbuf_, payload.data(), len)) {
-      throw std::runtime_error("connection closed mid-frame");
-    }
-    const uint8_t type = static_cast<uint8_t>(payload[0]);
-    if (type == kWireFrameSchema) {
-      if (saw_schema || len < 3) throw std::runtime_error("bad schema frame");
-      int ncols = LoadU16(payload.data() + 1);
-      if (ncols != cols || len != 3 + 2 * static_cast<size_t>(ncols)) {
-        throw std::runtime_error("bad schema frame");
+    // Frame stream: one schema frame, row frames, then exactly one end frame
+    // (success) or error frame (in-band abort). Every length the server
+    // declares is validated BEFORE allocation: the global frame cap first,
+    // then — once the schema fixes the packed widths — the exact byte bound
+    // a full row frame can reach. A hostile 4 GB length prefix, an oversize
+    // row frame or more rows than the request asked for is a typed protocol
+    // error, never an allocation.
+    std::vector<int> cards, bits;
+    std::vector<std::vector<Value>> cols_data;
+    size_t max_row_frame = 0;  // computed from the schema frame
+    std::string payload;
+    bool saw_schema = false;
+    for (;;) {
+      char lenbuf[4];
+      if (!ReadWireExact(fd_, inbuf_, lenbuf, sizeof(lenbuf))) {
+        throw ServeError(ServeErrorCode::kConnectionLost,
+                         "connection closed mid-frame");
       }
-      for (int c = 0; c < ncols; ++c) {
-        int card = LoadU16(payload.data() + 3 + 2 * c);
-        if (card == 0) card = 65536;  // wire encoding of the u16 overflow
-        cards.push_back(card);
-        bits.push_back(WirePackedBits(card));
+      uint32_t len = LoadU32(lenbuf);
+      if (len == 0 || len > kMaxWireFrame) {
+        throw ServeError(ServeErrorCode::kProtocol,
+                         "SAMPLEB frame length " + std::to_string(len) +
+                             " outside (0, " + std::to_string(kMaxWireFrame) +
+                             "]");
       }
-      cols_data.assign(static_cast<size_t>(cols), {});
-      saw_schema = true;
-    } else if (type == kWireFrameRows) {
-      if (!saw_schema || len < 3) throw std::runtime_error("bad row frame");
-      const int n = LoadU16(payload.data() + 1);
-      // Per-frame length is capped by kMaxWireFrame, but the total must be
-      // bounded too: never accept more rows than the request asked for, so
-      // a buggy or hostile server cannot grow client memory without bound.
-      if (!cols_data.empty() &&
-          static_cast<int64_t>(cols_data[0].size()) + n > rows) {
-        throw std::runtime_error("SAMPLEB row overrun");
+      payload.resize(len);
+      if (!ReadWireExact(fd_, inbuf_, payload.data(), len)) {
+        throw ServeError(ServeErrorCode::kConnectionLost,
+                         "connection closed mid-frame");
       }
-      size_t at = 3;
-      for (int c = 0; c < cols; ++c) {
-        if (at + WirePackedBytes(n, bits[c]) > len) {
-          throw std::runtime_error("short row frame");
+      const uint8_t type = static_cast<uint8_t>(payload[0]);
+      if (type == kWireFrameSchema) {
+        if (saw_schema || len < 3) {
+          throw ServeError(ServeErrorCode::kProtocol, "bad schema frame");
         }
-        std::vector<Value>& col = cols_data[static_cast<size_t>(c)];
-        size_t base = col.size();
-        col.resize(base + static_cast<size_t>(n));
-        at += UnpackWireColumn(payload.data() + at, n, bits[c],
-                               col.data() + base);
+        int ncols = LoadU16(payload.data() + 1);
+        if (ncols != cols || len != 3 + 2 * static_cast<size_t>(ncols)) {
+          throw ServeError(ServeErrorCode::kProtocol, "bad schema frame");
+        }
+        max_row_frame = 3;
+        for (int c = 0; c < ncols; ++c) {
+          int card = LoadU16(payload.data() + 3 + 2 * c);
+          if (card == 0) card = 65536;  // wire encoding of the u16 overflow
+          cards.push_back(card);
+          bits.push_back(WirePackedBits(card));
+          max_row_frame += WirePackedBytes(kMaxWireFrameRows, bits.back());
+        }
+        cols_data.assign(static_cast<size_t>(cols), {});
+        saw_schema = true;
+      } else if (type == kWireFrameRows) {
+        if (!saw_schema || len < 3) {
+          throw ServeError(ServeErrorCode::kProtocol, "bad row frame");
+        }
+        if (len > max_row_frame) {
+          throw ServeError(ServeErrorCode::kProtocol,
+                           "row frame larger than the schema allows");
+        }
+        const int n = LoadU16(payload.data() + 1);
+        // Per-frame length is capped above, but the total must be bounded
+        // too: never accept more rows than the request asked for, so a
+        // buggy or hostile server cannot grow client memory without bound.
+        if (!cols_data.empty() &&
+            static_cast<int64_t>(cols_data[0].size()) + n > rows) {
+          throw ServeError(ServeErrorCode::kProtocol, "SAMPLEB row overrun");
+        }
+        size_t at = 3;
+        for (int c = 0; c < cols; ++c) {
+          if (at + WirePackedBytes(n, bits[c]) > len) {
+            throw ServeError(ServeErrorCode::kProtocol, "short row frame");
+          }
+          std::vector<Value>& col = cols_data[static_cast<size_t>(c)];
+          size_t base = col.size();
+          col.resize(base + static_cast<size_t>(n));
+          at += UnpackWireColumn(payload.data() + at, n, bits[c],
+                                 col.data() + base);
+        }
+      } else if (type == kWireFrameEnd) {
+        if (!saw_schema) {
+          throw ServeError(ServeErrorCode::kProtocol, "bad SAMPLEB trailer");
+        }
+        break;
+      } else if (type == kWireFrameError) {
+        std::string message = payload.substr(1);
+        throw ServeError(ClassifyServerMessage(message), "server: " + message);
+      } else {
+        throw ServeError(ServeErrorCode::kProtocol,
+                         "unknown SAMPLEB frame type");
       }
-    } else if (type == kWireFrameEnd) {
-      if (!saw_schema) throw std::runtime_error("bad SAMPLEB trailer");
-      break;
-    } else if (type == kWireFrameError) {
-      throw std::runtime_error("server: " + payload.substr(1));
-    } else {
-      throw std::runtime_error("unknown SAMPLEB frame type");
     }
-  }
-  if (saw_schema && !cols_data.empty() &&
-      static_cast<int64_t>(cols_data[0].size()) != rows) {
-    throw std::runtime_error("short SAMPLEB batch");
-  }
+    if (saw_schema && !cols_data.empty() &&
+        static_cast<int64_t>(cols_data[0].size()) != rows) {
+      throw ServeError(ServeErrorCode::kProtocol, "short SAMPLEB batch");
+    }
 
-  std::vector<Attribute> attrs;
-  attrs.reserve(static_cast<size_t>(cols));
-  for (int c = 0; c < cols; ++c) {
-    attrs.push_back(cards[c] == 2
-                        ? Attribute::Binary(names[static_cast<size_t>(c)])
-                        : Attribute::Categorical(names[static_cast<size_t>(c)],
-                                                 cards[c]));
-  }
-  return Dataset::FromColumns(Schema(std::move(attrs)), std::move(cols_data));
+    std::vector<Attribute> attrs;
+    attrs.reserve(static_cast<size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      attrs.push_back(
+          cards[c] == 2
+              ? Attribute::Binary(names[static_cast<size_t>(c)])
+              : Attribute::Categorical(names[static_cast<size_t>(c)],
+                                       cards[c]));
+    }
+    return Dataset::FromColumns(Schema(std::move(attrs)),
+                                std::move(cols_data));
+  });
 }
 
 ServeClient::QueryReply ServeClient::Query(const std::string& model,
                                            const std::vector<int>& attrs) {
-  std::ostringstream request;
-  request << "QUERY " << model;
-  for (int a : attrs) request << " " << a;
-  SendLine(request.str());
+  return WithRetry([&] {
+    std::ostringstream request;
+    request << "QUERY " << model;
+    for (int a : attrs) request << " " << a;
+    SendLine(request.str());
 
-  std::istringstream head(ExpectOk());
-  int num_vars = 0;
-  head >> num_vars;
-  if (!head || num_vars <= 0) throw std::runtime_error("bad QUERY reply");
-  QueryReply reply;
-  reply.cards.resize(static_cast<size_t>(num_vars));
-  size_t cells = 1;
-  for (int& card : reply.cards) {
-    head >> card;
-    if (!head || card <= 0) throw std::runtime_error("bad QUERY cards");
-    cells *= static_cast<size_t>(card);
-  }
-  // Cells arrive whitespace-separated, wrapped across lines by the server.
-  reply.probs.reserve(cells);
-  while (reply.probs.size() < cells) {
-    std::istringstream body(ReadLine());
-    size_t before = reply.probs.size();
-    double p = 0;
-    while (body >> p) reply.probs.push_back(p);
-    if (reply.probs.size() == before || reply.probs.size() > cells) {
-      throw std::runtime_error("bad QUERY cells");
+    std::istringstream head(ExpectOk());
+    int num_vars = 0;
+    head >> num_vars;
+    if (!head || num_vars <= 0) {
+      throw ServeError(ServeErrorCode::kProtocol, "bad QUERY reply");
     }
-  }
-  return reply;
+    QueryReply reply;
+    reply.cards.resize(static_cast<size_t>(num_vars));
+    size_t cells = 1;
+    for (int& card : reply.cards) {
+      head >> card;
+      if (!head || card <= 0) {
+        throw ServeError(ServeErrorCode::kProtocol, "bad QUERY cards");
+      }
+      cells *= static_cast<size_t>(card);
+    }
+    // Cells arrive whitespace-separated, wrapped across lines by the server.
+    reply.probs.reserve(cells);
+    while (reply.probs.size() < cells) {
+      std::istringstream body(ReadLine());
+      size_t before = reply.probs.size();
+      double p = 0;
+      while (body >> p) reply.probs.push_back(p);
+      if (reply.probs.size() == before || reply.probs.size() > cells) {
+        throw ServeError(ServeErrorCode::kProtocol, "bad QUERY cells");
+      }
+    }
+    return reply;
+  });
 }
 
 std::vector<std::pair<std::string, uint64_t>> ServeClient::Stats() {
-  SendLine("STATS");
-  std::istringstream head(ExpectOk());
-  int count = 0;
-  head >> count;
-  if (!head || count < 0) throw std::runtime_error("bad STATS reply");
-  std::vector<std::pair<std::string, uint64_t>> stats;
-  stats.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    std::istringstream entry(ReadLine());
-    std::string tok, name;
-    uint64_t value = 0;
-    entry >> tok >> name >> value;
-    if (!entry || tok != "STAT") throw std::runtime_error("bad STATS entry");
-    stats.emplace_back(std::move(name), value);
-  }
-  return stats;
+  return WithRetry([&] {
+    SendLine("STATS");
+    std::istringstream head(ExpectOk());
+    int count = 0;
+    head >> count;
+    if (!head || count < 0) {
+      throw ServeError(ServeErrorCode::kProtocol, "bad STATS reply");
+    }
+    std::vector<std::pair<std::string, uint64_t>> stats;
+    stats.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      std::istringstream entry(ReadLine());
+      std::string tok, name;
+      uint64_t value = 0;
+      entry >> tok >> name >> value;
+      if (!entry || tok != "STAT") {
+        throw ServeError(ServeErrorCode::kProtocol, "bad STATS entry");
+      }
+      stats.emplace_back(std::move(name), value);
+    }
+    return stats;
+  });
+}
+
+ServeHealth ServeClient::Health() {
+  return WithRetry([&] {
+    SendLine("HEALTH");
+    std::istringstream head(ExpectOk());
+    ServeHealth health;
+    head >> health.state >> health.sessions >> health.active_batches;
+    if (!head || (health.state != "READY" && health.state != "DRAINING")) {
+      throw ServeError(ServeErrorCode::kProtocol, "bad HEALTH reply");
+    }
+    health.ready = health.state == "READY";
+    return health;
+  });
 }
 
 void ServeClient::Drop(const std::string& model) {
+  EnsureConnected();
   SendLine("DROP " + model);
   ExpectOk();
 }
 
 void ServeClient::Quit() {
-  SendLine("QUIT");
-  ExpectOk();
+  if (fd_ < 0) return;  // nothing to say goodbye on
+  try {
+    SendLine("QUIT");
+    ExpectOk();
+  } catch (const ServeError&) {
+    // Best effort: the goodbye is a courtesy, and whether the peer ACKed it
+    // or the connection died first, the outcome is the same — closed.
+  }
+  CloseConnection();
 }
 
 }  // namespace privbayes

@@ -9,9 +9,10 @@
 namespace privbayes {
 
 SamplingService::SamplingService(ModelRegistry* registry,
-                                 int max_parallel_batches, int chunk_rows)
+                                 int max_parallel_batches, int chunk_rows,
+                                 int max_active_batches)
     : registry_(registry),
-      admission_(max_parallel_batches),
+      admission_(max_parallel_batches, max_active_batches),
       chunk_rows_(chunk_rows) {
   PB_THROW_IF(chunk_rows_ <= 0 ||
                   chunk_rows_ % NetworkSampler::kShardRows != 0,
@@ -53,9 +54,18 @@ SampleResult SamplingService::Sample(const SampleRequest& request,
   Rng rng(request.seed);
   const uint64_t base_seed = rng.engine()();
 
-  AdmissionGate::Ticket ticket = admission_.TryEnter();
+  // Admission: shed outright when the active-batch cap is already met —
+  // before Begin, so the refusal goes out on the clean ERR channel and the
+  // client can retry with backoff instead of queueing on a busy server.
+  std::optional<AdmissionGate::Ticket> ticket = admission_.TryEnter();
+  if (!ticket) {
+    throw ResourceExhausted(
+        "RESOURCE_EXHAUSTED: " + std::to_string(admission_.active()) +
+        " batches already in flight (cap " +
+        std::to_string(admission_.max_active()) + "); retry with backoff");
+  }
   SampleResult result;
-  result.pool_admitted = ticket.admitted();
+  result.pool_admitted = ticket->admitted();
 
   sink.Begin(out_schema);
   for (int64_t row = 0; row < request.num_rows; row += chunk_rows_) {
@@ -70,7 +80,7 @@ SampleResult SamplingService::Sample(const SampleRequest& request,
         std::min<int64_t>(chunk_rows_, request.num_rows - row));
     const int64_t first_shard = row / NetworkSampler::kShardRows;
     Dataset encoded = handle->sampler().SampleChunk(
-        base_seed, first_shard, rows_this, ticket.admitted());
+        base_seed, first_shard, rows_this, ticket->admitted());
     Dataset decoded = DecodeToOriginal(encoded, original, model.encoding,
                                        model.encoder.get());
     if (identity) {

@@ -44,6 +44,15 @@ class DeadlineExceeded : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when the service sheds a request because too many batches are
+/// already running (AdmissionGate's active-batch cap). The message starts
+/// with "RESOURCE_EXHAUSTED" so clients can map the relayed ERR line to the
+/// typed kShedding error and retry with backoff.
+class ResourceExhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// One batch request.
 struct SampleRequest {
   std::string model;          ///< registry name
@@ -73,13 +82,18 @@ class SamplingService {
  public:
   /// `max_parallel_batches` bounds how many batches may use the shared
   /// ThreadPool at once (see AdmissionGate); 0 forces every batch inline.
+  /// `max_active_batches` caps how many batches may be RUNNING at once
+  /// (pooled + inline): beyond it Sample throws ResourceExhausted instead of
+  /// degrading further — overload shedding. 0 = never shed.
   explicit SamplingService(ModelRegistry* registry,
                            int max_parallel_batches = 2,
-                           int chunk_rows = kDefaultChunkRows);
+                           int chunk_rows = kDefaultChunkRows,
+                           int max_active_batches = 0);
 
   /// Streams the batch through `sink`. Throws std::out_of_range for an
-  /// unknown model and std::invalid_argument for a bad row count or column
-  /// projection.
+  /// unknown model, std::invalid_argument for a bad row count or column
+  /// projection, and ResourceExhausted when the active-batch cap sheds the
+  /// request (always before any row is produced).
   SampleResult Sample(const SampleRequest& request, RowSink& sink) const;
 
   /// Convenience: collects the batch into a Dataset via DatasetSink.

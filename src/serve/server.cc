@@ -159,13 +159,16 @@ class WireSampleSink : public RowSink {
 ServeServer::ServeServer(ModelRegistry* registry, ServeServerOptions options)
     : registry_(registry),
       options_(std::move(options)),
-      sampling_(registry, options_.max_parallel_batches),
+      sampling_(registry, options_.max_parallel_batches,
+                SamplingService::kDefaultChunkRows,
+                options_.max_active_batches),
       query_(registry) {}
 
 ServeServer::~ServeServer() { Stop(); }
 
 void ServeServer::Start() {
-  PB_THROW_IF(running_.load(), "server already running");
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  PB_THROW_IF(state_.load() != ServeState::kStopped, "server already running");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
   int one = 1;
@@ -191,12 +194,23 @@ void ServeServer::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  running_.store(true);
+  state_.store(ServeState::kReady);
   accept_thread_ = std::thread(&ServeServer::AcceptLoop, this);
 }
 
-void ServeServer::Stop() {
-  running_.store(false);
+void ServeServer::Drain(std::chrono::milliseconds grace) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (state_.load() == ServeState::kStopped && !accept_thread_.joinable() &&
+      listen_fd_ < 0) {
+    // Never started, or a previous Drain/Stop finished — but still reap any
+    // parked session handles so repeated Stop() stays leak-free.
+    ReapFinishedSessions();
+    return;
+  }
+
+  // 1. Stop taking new work: close the listening socket and join the accept
+  // thread. From here the session set can only shrink.
+  state_.store(ServeState::kDraining);
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
@@ -204,18 +218,59 @@ void ServeServer::Stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  // The accept loop is done, so sessions_ can no longer grow; wake every
-  // live connection out of recv() and join.
-  std::vector<std::thread> sessions;
+  // 2. Nudge idle sessions: SHUT_RD wakes a thread parked in recv() without
+  // touching the write side, so the session's own thread can still send the
+  // SHUTTING_DOWN notice. Sessions inside a request are left alone — they
+  // finish streaming the current response, then notice the drain state.
+  // (No lost wakeup: a session flips in_request off BEFORE re-checking the
+  // state and blocking in recv(), and SHUT_RD issued at any point of that
+  // window still makes the recv return immediately.)
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
-    sessions.swap(sessions_);
-    for (std::thread& t : done_sessions_) sessions.push_back(std::move(t));
+    for (const std::unique_ptr<SessionSlot>& slot : slots_) {
+      if (!slot->in_request.load(std::memory_order_acquire)) {
+        ::shutdown(slot->fd, SHUT_RD);
+      }
+    }
+  }
+
+  // 3. Bounded wait for sessions to finish their in-flight work and exit.
+  if (grace.count() > 0) {
+    std::unique_lock<std::mutex> lock(sessions_mu_);
+    sessions_cv_.wait_for(lock, grace, [&] { return slots_.empty(); });
+  }
+
+  // 4. Hard-stop stragglers (none after a sufficient grace): tear both
+  // directions of their sockets and join every thread. Slot objects are only
+  // destroyed after their threads are joined — a session thread touches its
+  // slot right up to its last instruction.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const std::unique_ptr<SessionSlot>& slot : slots_) {
+      ::shutdown(slot->fd, SHUT_RDWR);
+      if (slot->thread.joinable()) to_join.push_back(std::move(slot->thread));
+    }
+    for (std::thread& t : done_sessions_) to_join.push_back(std::move(t));
     done_sessions_.clear();
   }
-  for (std::thread& t : sessions) t.join();
+  for (std::thread& t : to_join) t.join();
+  // Every session thread has exited (each erased its own slot in its
+  // epilogue, possibly parking a handle we just joined); clear leftovers
+  // and any handle parked between the join and now.
+  std::vector<std::thread> parked;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    slots_.clear();
+    parked.swap(done_sessions_);
+  }
+  for (std::thread& t : parked) {
+    if (t.joinable()) t.join();
+  }
+  state_.store(ServeState::kStopped);
 }
+
+void ServeServer::Stop() { Drain(std::chrono::milliseconds{0}); }
 
 void ServeServer::ReapFinishedSessions() {
   // Finished Session threads parked their handles in done_sessions_; join
@@ -234,11 +289,16 @@ ServeServerStats ServeServer::stats() const {
   return stats_;
 }
 
+int ServeServer::live_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int>(slots_.size());
+}
+
 void ServeServer::AcceptLoop() {
-  while (running_.load()) {
+  while (state_.load() == ServeState::kReady) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (!running_.load()) break;
+      if (state_.load() != ServeState::kReady) break;
       continue;
     }
     {
@@ -260,23 +320,53 @@ void ServeServer::AcceptLoop() {
       ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     }
     ReapFinishedSessions();
+
+    // Session-cap shedding: beyond max_sessions the connection gets one
+    // RESOURCE_EXHAUSTED line and no thread. The client reads it as the
+    // response to whatever it sends first, maps it to kShedding, and backs
+    // off — bounded threads beat an unbounded accept queue.
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      shed = options_.max_sessions > 0 &&
+             static_cast<int>(slots_.size()) >= options_.max_sessions;
+    }
+    if (shed) {
+      const std::string msg =
+          "ERR RESOURCE_EXHAUSTED: session cap " +
+          std::to_string(options_.max_sessions) +
+          " reached; retry with backoff\n";
+      WriteWireBytes(fd, msg.data(), msg.size());
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed_sessions;
+      continue;
+    }
+
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.connections;
     }
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    session_fds_.push_back(fd);
-    sessions_.emplace_back(&ServeServer::Session, this, fd);
+    slots_.push_back(std::make_unique<SessionSlot>(fd));
+    SessionSlot* slot = slots_.back().get();
+    // The new thread may reach its epilogue before this assignment — but the
+    // epilogue takes sessions_mu_ first, which we hold, so slot->thread is
+    // populated before anyone looks at it.
+    slot->thread = std::thread(&ServeServer::Session, this, slot);
   }
 }
 
-void ServeServer::Session(int fd) {
+void ServeServer::Session(SessionSlot* slot) {
+  const int fd = slot->fd;
   FdWriter out(fd);
   WireBuffer inbuf;
-  while (running_.load()) {
+  bool quit = false;
+  while (state_.load() == ServeState::kReady) {
     std::optional<std::string> line = ReadWireLine(fd, inbuf);
-    if (!line) break;  // EOF, reset, or an over-long (hostile) line
+    if (!line) break;  // EOF, reset, drain nudge, or a hostile over-long line
     if (line->empty()) continue;
+    slot->in_request.store(true, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.requests;
@@ -284,10 +374,18 @@ void ServeServer::Session(int fd) {
     if (*line == "QUIT") {
       out << "OK BYE\n";
       out.flush();
+      slot->in_request.store(false, std::memory_order_release);
+      quit = true;
       break;
     }
     try {
       HandleLine(*line, out);
+    } catch (const ResourceExhausted& e) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.shed_requests;
+      }
+      out << "ERR " << OneLine(e.what()) << "\n";
     } catch (const std::exception& e) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -298,7 +396,15 @@ void ServeServer::Session(int fd) {
       out << "ERR " << OneLine(e.what()) << "\n";
     }
     out.flush();
+    slot->in_request.store(false, std::memory_order_release);
     if (!out.good()) break;  // client went away mid-response
+  }
+  if (!quit && state_.load() == ServeState::kDraining) {
+    // Drain notice on the session's own thread (the drain thread never
+    // writes to session sockets): the peer's next pending/future request is
+    // answered with a typed retryable error, then the connection closes.
+    out << "ERR SHUTTING_DOWN: server draining; reconnect and retry\n";
+    out.flush();
   }
   // Join sessions that finished before this one (a thread cannot join
   // itself), then park our own handle. A daemon that goes quiet therefore
@@ -308,19 +414,19 @@ void ServeServer::Session(int fd) {
   std::vector<std::thread> finished_before_us;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    std::erase(session_fds_, fd);
     finished_before_us.swap(done_sessions_);
-    // Park this thread's own handle for a later session, the accept loop or
-    // Stop to join; after this point the session only joins others and
-    // returns.
-    for (size_t i = 0; i < sessions_.size(); ++i) {
-      if (sessions_[i].get_id() == std::this_thread::get_id()) {
-        done_sessions_.push_back(std::move(sessions_[i]));
-        sessions_.erase(sessions_.begin() + static_cast<ptrdiff_t>(i));
-        break;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].get() != slot) continue;
+      // Park this thread's own handle for a later session, the accept loop
+      // or Stop to join — unless a hard-stop already claimed it.
+      if (slot->thread.joinable()) {
+        done_sessions_.push_back(std::move(slot->thread));
       }
+      slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(i));
+      break;
     }
   }
+  sessions_cv_.notify_all();
   for (std::thread& t : finished_before_us) t.join();
   ::close(fd);
 }
@@ -332,6 +438,13 @@ void ServeServer::HandleLine(const std::string& line, FdWriter& out) {
 
   if (cmd == "PING") {
     out << "OK PONG\n";
+    return;
+  }
+
+  if (cmd == "HEALTH") {
+    const bool ready = state_.load() == ServeState::kReady;
+    out << "OK " << (ready ? "READY" : "DRAINING") << " " << live_sessions()
+        << " " << sampling_.admission().active() << "\n";
     return;
   }
 
@@ -422,6 +535,7 @@ void ServeServer::HandleLine(const std::string& line, FdWriter& out) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       server_stats = stats_;
     }
+    const AdmissionGate& gate = sampling_.admission();
     MarginalStore& store = MarginalStore::Instance();
     MarginalStoreStats m = store.stats();
     std::vector<std::pair<std::string, uint64_t>> counters = {
@@ -429,6 +543,13 @@ void ServeServer::HandleLine(const std::string& line, FdWriter& out) {
         {"requests", server_stats.requests},
         {"errors", server_stats.errors},
         {"rows_streamed", static_cast<uint64_t>(server_stats.rows_streamed)},
+        {"shed_sessions", server_stats.shed_sessions},
+        {"shed_requests", server_stats.shed_requests},
+        {"live_sessions", static_cast<uint64_t>(live_sessions())},
+        {"active_batches", static_cast<uint64_t>(gate.active())},
+        {"pool_admitted_total", gate.admitted_total()},
+        {"pool_inline_total", gate.bypassed_total()},
+        {"batch_shed_total", gate.shed_total()},
         {"marginal_cache_enabled", store.enabled() ? 1u : 0u},
         {"marginal_hits", m.hits},
         {"marginal_misses", m.misses},

@@ -24,6 +24,10 @@
 //                                           server counters plus the
 //                                           process-wide MarginalStore
 //                                           hit/miss/eviction/byte gauges
+//   HEALTH                               -> OK <READY|DRAINING> <sessions>
+//                                           <active_batches> — the poll
+//                                           target for boot scripts and
+//                                           balancers (no log grepping)
 //   DROP <model>                         -> OK DROPPED <model>
 //   QUIT                                 -> OK BYE (connection closes)
 //
@@ -33,6 +37,23 @@
 // would parse it as a row — so it is reported in-band: the CSV stream emits
 // a "!ERR <message>" trailer followed by "END", the binary stream an error
 // frame. Either way the connection stays usable for the next request.
+//
+// Overload shedding: two independent caps refuse work instead of queueing
+// it. options.max_sessions bounds live connections — an accept beyond it is
+// answered with one "ERR RESOURCE_EXHAUSTED ..." line and closed, so the
+// server never runs more session threads than configured. options.
+// max_active_batches bounds concurrently RUNNING sample batches (see
+// AdmissionGate): a SAMPLE/SAMPLEB beyond it gets "ERR RESOURCE_EXHAUSTED
+// ..." on the still-synchronized connection. Both markers map to the
+// client's typed kShedding error, which is retryable with backoff.
+//
+// Graceful drain: Drain(grace) stops accepting, nudges idle keep-alive
+// sessions awake, lets every in-flight request finish streaming (a drain
+// never tears a response), sends each surviving session one
+// "ERR SHUTTING_DOWN ..." line (typed kShuttingDown — clients reconnect
+// elsewhere / retry later), and waits up to `grace` before hard-stopping
+// whatever remains. Stop() is Drain with zero grace. The daemon wires
+// SIGTERM to Drain so a rolling restart loses no accepted work.
 //
 // Deadlines: options.request_deadline (0 = none) bounds each SAMPLE/SAMPLEB
 // response; expiry between chunks aborts the batch (releasing its admission
@@ -51,7 +72,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -81,6 +104,14 @@ struct ServeServerOptions {
   /// request-line) for this long is dropped, so hostile or wedged peers
   /// cannot pin one server thread each forever. Zero disables the timeout.
   std::chrono::milliseconds idle_timeout{std::chrono::minutes(5)};
+  /// Live-connection cap: accepts beyond it are shed with one
+  /// RESOURCE_EXHAUSTED line and closed (one session = one thread, so this
+  /// bounds serving threads). Zero = unbounded.
+  int max_sessions = 512;
+  /// Concurrently RUNNING sample batches beyond which SAMPLE/SAMPLEB
+  /// requests are shed with RESOURCE_EXHAUSTED (see AdmissionGate's
+  /// max_active). Zero = never shed.
+  int max_active_batches = 0;
 };
 
 /// Counters exposed through the STATS command (plus the MarginalStore
@@ -90,6 +121,17 @@ struct ServeServerStats {
   uint64_t requests = 0;
   uint64_t errors = 0;
   int64_t rows_streamed = 0;
+  /// Connections refused by the max_sessions cap.
+  uint64_t shed_sessions = 0;
+  /// SAMPLE/SAMPLEB requests refused by the active-batch cap.
+  uint64_t shed_requests = 0;
+};
+
+/// Serving lifecycle, exposed through HEALTH.
+enum class ServeState {
+  kStopped,   ///< not started, or fully stopped
+  kReady,     ///< accepting and serving
+  kDraining,  ///< finishing in-flight work, accepting nothing new
 };
 
 class ServeServer {
@@ -106,22 +148,43 @@ class ServeServer {
   /// when the port cannot be bound.
   void Start();
 
-  /// Stops accepting, shuts down live connections and joins all threads.
-  /// Idempotent; also run by the destructor.
+  /// Graceful shutdown: stop accepting, let in-flight requests finish
+  /// streaming (bounded by `grace`), notify idle sessions with
+  /// SHUTTING_DOWN, then hard-stop stragglers and join every thread.
+  /// Idempotent.
+  void Drain(std::chrono::milliseconds grace);
+
+  /// Immediate shutdown: Drain with zero grace (in-flight streams are torn;
+  /// clients see a connection loss and retry). Idempotent; also run by the
+  /// destructor.
   void Stop();
 
   /// The bound port (after Start); useful with options.port = 0.
   int port() const { return port_; }
 
   ServeServerStats stats() const;
+  ServeState state() const { return state_.load(std::memory_order_relaxed); }
+  /// Live connections right now (the HEALTH gauge).
+  int live_sessions() const;
 
   ModelRegistry& registry() { return *registry_; }
   const SamplingService& sampling() const { return sampling_; }
 
  private:
+  /// One live connection: its socket, whether its thread is inside a
+  /// request right now (drain uses this to decide who gets nudged awake),
+  /// and the thread handle. Slots live in slots_ behind unique_ptr so their
+  /// addresses are stable for the session threads that use them.
+  struct SessionSlot {
+    explicit SessionSlot(int fd_in) : fd(fd_in) {}
+    int fd;
+    std::atomic<bool> in_request{false};
+    std::thread thread;
+  };
+
   void AcceptLoop();
   void ReapFinishedSessions();
-  void Session(int fd);
+  void Session(SessionSlot* slot);
   void HandleLine(const std::string& line, class FdWriter& out);
 
   ModelRegistry* registry_;
@@ -131,14 +194,15 @@ class ServeServer {
 
   int listen_fd_ = -1;
   int port_ = 0;
-  std::atomic<bool> running_{false};
+  std::atomic<ServeState> state_{ServeState::kStopped};
   std::thread accept_thread_;
+  std::mutex lifecycle_mu_;  // serializes Start/Drain/Stop
 
-  std::mutex sessions_mu_;
-  std::vector<std::thread> sessions_;       // live connections
+  mutable std::mutex sessions_mu_;
+  std::condition_variable sessions_cv_;  // signaled as sessions exit
+  std::vector<std::unique_ptr<SessionSlot>> slots_;  // live connections
   std::vector<std::thread> done_sessions_;  // exited, awaiting join (reaped
                                             // by the accept loop / Stop)
-  std::vector<int> session_fds_;
 
   mutable std::mutex stats_mu_;
   ServeServerStats stats_;

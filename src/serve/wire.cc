@@ -3,11 +3,186 @@
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 #include "common/check.h"
+#include "common/random.h"
 
 namespace privbayes {
+
+// --------------------------------------------------------------- faults ----
+
+namespace {
+
+// Injector state. seed/rate change rarely (test setup, env parse) and are
+// read on every armed I/O call; a mutex guards writes, the hot path reads
+// the packed snapshot through one acquire load.
+struct FaultConfig {
+  uint64_t seed = 0;
+  double rate = 0;
+};
+std::mutex g_fault_mu;
+FaultConfig g_fault_config;                 // guarded by g_fault_mu
+std::atomic<uint64_t> g_fault_calls{0};     // global decision index
+std::atomic<uint64_t> g_stat_eintr{0};
+std::atomic<uint64_t> g_stat_short{0};
+std::atomic<uint64_t> g_stat_delay{0};
+std::atomic<uint64_t> g_stat_kill{0};
+FaultConfig LoadFaultConfig() {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  return g_fault_config;
+}
+
+}  // namespace
+
+std::atomic<bool> WireFaults::armed_{false};
+
+namespace {
+
+// Arms the injector from PRIVBAYES_WIRE_FAULTS at load time, so a daemon or
+// test binary started under the env var needs no code change to run faulty.
+struct WireFaultEnvInit {
+  WireFaultEnvInit() {
+    if (std::getenv("PRIVBAYES_WIRE_FAULTS") != nullptr) {
+      WireFaults::ResetFromEnv();
+    }
+  }
+} g_wire_fault_env_init;
+
+}  // namespace
+
+void WireFaults::ConfigureForTesting(uint64_t seed, double rate) {
+  if (rate < 0) rate = 0;
+  if (rate > 1) rate = 1;
+  {
+    std::lock_guard<std::mutex> lock(g_fault_mu);
+    g_fault_config = {seed, rate};
+  }
+  armed_.store(rate > 0, std::memory_order_relaxed);
+}
+
+void WireFaults::Disable() { ConfigureForTesting(0, 0); }
+
+void WireFaults::ResetFromEnv() {
+  const char* spec = std::getenv("PRIVBAYES_WIRE_FAULTS");
+  if (spec == nullptr || *spec == '\0') {
+    Disable();
+    return;
+  }
+  char* after_seed = nullptr;
+  const uint64_t seed = std::strtoull(spec, &after_seed, 10);
+  double rate = 0;
+  if (after_seed != spec && *after_seed == ':') {
+    rate = std::strtod(after_seed + 1, nullptr);
+  }
+  ConfigureForTesting(seed, rate);
+}
+
+WireFaultStats WireFaults::stats() {
+  WireFaultStats s;
+  s.calls = g_fault_calls.load(std::memory_order_relaxed);
+  s.eintr = g_stat_eintr.load(std::memory_order_relaxed);
+  s.short_io = g_stat_short.load(std::memory_order_relaxed);
+  s.delays = g_stat_delay.load(std::memory_order_relaxed);
+  s.kills = g_stat_kill.load(std::memory_order_relaxed);
+  return s;
+}
+
+void WireFaults::ResetStats() {
+  g_fault_calls.store(0, std::memory_order_relaxed);
+  g_stat_eintr.store(0, std::memory_order_relaxed);
+  g_stat_short.store(0, std::memory_order_relaxed);
+  g_stat_delay.store(0, std::memory_order_relaxed);
+  g_stat_kill.store(0, std::memory_order_relaxed);
+}
+
+WireFaults::ScopedDisable::ScopedDisable() {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  saved_seed_ = g_fault_config.seed;
+  saved_rate_ = g_fault_config.rate;
+  g_fault_config.rate = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+WireFaults::ScopedDisable::~ScopedDisable() {
+  ConfigureForTesting(saved_seed_, saved_rate_);
+}
+
+WireFaults::Action WireFaults::Decide(size_t& len) {
+  const FaultConfig config = LoadFaultConfig();
+  if (config.rate <= 0) return Action::kNone;
+  const uint64_t index = g_fault_calls.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t h = SplitMix64(config.seed ^ SplitMix64(index));
+  // Top 53 bits as a uniform in [0,1): below the rate → inject.
+  if (static_cast<double>(h >> 11) * 0x1.0p-53 >= config.rate) {
+    return Action::kNone;
+  }
+  switch (SplitMix64(h) & 3) {
+    case 0:
+      g_stat_eintr.fetch_add(1, std::memory_order_relaxed);
+      return Action::kEintr;
+    case 1: {
+      g_stat_short.fetch_add(1, std::memory_order_relaxed);
+      // Cap, never grow: recv writes into the caller's buffer, so the
+      // perturbed length must stay within the requested one.
+      const size_t cap = 1 + (SplitMix64(h + 1) & 7);
+      if (len > cap) len = cap;
+      return Action::kShortIo;
+    }
+    case 2:
+      g_stat_delay.fetch_add(1, std::memory_order_relaxed);
+      return Action::kDelay;
+    default:
+      g_stat_kill.fetch_add(1, std::memory_order_relaxed);
+      return Action::kKill;
+  }
+}
+
+ssize_t FaultyRecv(int fd, void* buf, size_t len) {
+  if (WireFaults::enabled()) {
+    switch (WireFaults::Decide(len)) {
+      case WireFaults::Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case WireFaults::Action::kDelay:
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            200 + (g_fault_calls.load(std::memory_order_relaxed) % 8) * 250));
+        break;
+      case WireFaults::Action::kKill:
+        ::shutdown(fd, SHUT_RDWR);
+        break;
+      case WireFaults::Action::kShortIo:  // len already capped
+      case WireFaults::Action::kNone:
+        break;
+    }
+  }
+  return ::recv(fd, buf, len, 0);
+}
+
+ssize_t FaultySend(int fd, const void* buf, size_t len) {
+  if (WireFaults::enabled()) {
+    switch (WireFaults::Decide(len)) {
+      case WireFaults::Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case WireFaults::Action::kDelay:
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            200 + (g_fault_calls.load(std::memory_order_relaxed) % 8) * 250));
+        break;
+      case WireFaults::Action::kKill:
+        ::shutdown(fd, SHUT_RDWR);
+        break;
+      case WireFaults::Action::kShortIo:
+      case WireFaults::Action::kNone:
+        break;
+    }
+  }
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
 
 std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
                                         size_t max_line) {
@@ -31,7 +206,7 @@ std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
       buf.pos = 0;
     }
     char chunk[1 << 16];
-    ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    ssize_t got = FaultyRecv(fd, chunk, sizeof(chunk));
     if (got < 0) {
       // A signal landing on this thread interrupts recv without any data
       // loss; only a real error (or SO_RCVTIMEO expiry) means a dead peer.
@@ -59,7 +234,7 @@ bool ReadWireExact(int fd, WireBuffer& buf, void* dst, size_t len) {
     }
   }
   while (len > 0) {
-    ssize_t got = ::recv(fd, out, len, 0);
+    ssize_t got = FaultyRecv(fd, out, len);
     if (got < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -73,7 +248,7 @@ bool ReadWireExact(int fd, WireBuffer& buf, void* dst, size_t len) {
 
 bool WriteWireBytes(int fd, const char* data, size_t len) {
   while (len > 0) {
-    ssize_t sent = ::send(fd, data, len, MSG_NOSIGNAL);
+    ssize_t sent = FaultySend(fd, data, len);
     if (sent < 0) {
       if (errno == EINTR) continue;  // interrupted, not dead
       return false;

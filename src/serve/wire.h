@@ -13,10 +13,20 @@
 //
 // All reads and writes retry on EINTR: a signal delivered to a session or
 // client thread must never be mistaken for a dead peer.
+//
+// Every socket call in this file funnels through a deterministic, seeded
+// fault injector (WireFaults) so the chaos tests, the CI chaos lane and the
+// faulty wire bench can subject BOTH ends of a connection to short reads and
+// writes, synthetic EINTR storms, delayed flushes and mid-stream connection
+// kills without any cooperation from the peer. Disabled (the default) it is
+// one relaxed atomic load per I/O call — nothing on the fault-free hot path.
 
 #ifndef PRIVBAYES_SERVE_WIRE_H_
 #define PRIVBAYES_SERVE_WIRE_H_
 
+#include <sys/types.h>
+
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -45,6 +55,92 @@ inline constexpr uint8_t kWireFrameError = 0x03;   ///< UTF-8 message; stream ab
 
 /// Row-frame row-count ceiling (the count is a u16).
 inline constexpr int kMaxWireFrameRows = 65535;
+
+// ---------------------------------------------------------------------------
+// Deterministic wire fault injection.
+//
+// Armed via PRIVBAYES_WIRE_FAULTS=<seed>:<rate> (rate = per-socket-call
+// probability in [0,1]) or programmatically from tests/benches. Each recv()
+// and send() in wire.cc first consults the injector: with probability `rate`
+// the call is perturbed by one of four fault kinds, chosen by a SplitMix64
+// stream over (seed, global call index) — the decision sequence is a pure
+// function of the seed and the call order, so a failing chaos run replays:
+//
+//   * kEintr      — the call returns -1/EINTR without touching the socket
+//                   (the retry loops must treat it as "try again");
+//   * kShortIo    — the call is capped to 1–8 bytes (short reads/writes:
+//                   every framing path must reassemble across fragments);
+//   * kDelay      — the thread sleeps 0.2–2 ms first (delayed flushes,
+//                   reordered wakeups, deadline pressure);
+//   * kKill       — the connection is shutdown(SHUT_RDWR) first: the call
+//                   and everything after it sees a torn stream / RST, the
+//                   same surface a crashed peer or a dropped link presents.
+//
+// Faults perturb scheduling and connection lifetime but never payload bytes:
+// a stream that completes is bit-identical to the fault-free stream, which
+// is what lets clients retry whole requests safely.
+
+struct WireFaultStats {
+  uint64_t calls = 0;        ///< injector consultations while armed
+  uint64_t eintr = 0;        ///< synthetic EINTR returns
+  uint64_t short_io = 0;     ///< reads/writes capped short
+  uint64_t delays = 0;       ///< injected sleeps
+  uint64_t kills = 0;        ///< connections torn down
+};
+
+class WireFaults {
+ public:
+  /// True when a non-zero injection rate is armed. One relaxed load —
+  /// callers on the fault-free path pay nothing else.
+  static bool enabled() {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the injector (rate clamped to [0,1]; 0 disarms). Overrides any
+  /// environment configuration until Disable()/ResetFromEnv().
+  static void ConfigureForTesting(uint64_t seed, double rate);
+
+  /// Disarms the injector.
+  static void Disable();
+
+  /// Re-reads PRIVBAYES_WIRE_FAULTS ("<seed>:<rate>"); unset/invalid or a
+  /// zero rate disarms. Called once automatically before the first wire I/O.
+  static void ResetFromEnv();
+
+  static WireFaultStats stats();
+  static void ResetStats();
+
+  /// RAII guard: tests whose assertions are incompatible with injected
+  /// faults (signal-driven EINTR tests, exact timing tests) disable the
+  /// injector for a scope and restore the previous arming after.
+  class ScopedDisable {
+   public:
+    ScopedDisable();
+    ~ScopedDisable();
+    ScopedDisable(const ScopedDisable&) = delete;
+    ScopedDisable& operator=(const ScopedDisable&) = delete;
+
+   private:
+    uint64_t saved_seed_;
+    double saved_rate_;
+  };
+
+ private:
+  friend ssize_t FaultyRecv(int fd, void* buf, size_t len);
+  friend ssize_t FaultySend(int fd, const void* buf, size_t len);
+
+  enum class Action { kNone, kEintr, kShortIo, kDelay, kKill };
+  static Action Decide(size_t& len);
+
+  static std::atomic<bool> armed_;
+};
+
+/// recv()/send() with the fault injector applied (see WireFaults). These are
+/// the ONLY socket data calls the serve wire layer makes — both ends of
+/// every connection run through them, so arming the injector perturbs
+/// client and server symmetrically.
+ssize_t FaultyRecv(int fd, void* buf, size_t len);
+ssize_t FaultySend(int fd, const void* buf, size_t len);
 
 /// Receive-side buffer state. Consumed bytes are tracked by a cursor and
 /// compacted in bulk, so extracting k lines from one recv chunk is O(chunk)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -87,6 +89,7 @@ class ScopedEintrSignal {
 };
 
 TEST(Wire, ReadLineRetriesAfterEintr) {
+  WireFaults::ScopedDisable no_faults;  // real-signal EINTR, not synthetic
   ScopedEintrSignal handler;
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
@@ -118,6 +121,7 @@ TEST(Wire, ReadLineRetriesAfterEintr) {
 }
 
 TEST(Wire, ReadExactRetriesAfterEintr) {
+  WireFaults::ScopedDisable no_faults;
   ScopedEintrSignal handler;
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
@@ -152,6 +156,7 @@ TEST(Wire, ReadExactRetriesAfterEintr) {
 }
 
 TEST(Wire, WriteRetriesAfterEintr) {
+  WireFaults::ScopedDisable no_faults;
   ScopedEintrSignal handler;
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
@@ -482,6 +487,7 @@ TEST(ModelIoVersioning, RejectsNewerFormatWithClearMessage) {
 }
 
 TEST(ServeServer, EndToEnd) {
+  WireFaults::ScopedDisable no_faults;  // exact byte/counter expectations
   ModelRegistry registry;
   registry.Put("a", ModelA());
   registry.Put("b", ModelB());
@@ -594,6 +600,7 @@ TEST(ServeServer, EndToEnd) {
 // cell-for-cell what SAMPLE and local SampleSyntheticData deliver for the
 // same seed, at 1, 4 and 16 concurrent client threads.
 TEST(ServeServer, BinaryMatchesCsvAcrossClientThreads) {
+  WireFaults::ScopedDisable no_faults;
   ModelRegistry registry;
   registry.Put("m", ModelA());
   ServeServer server(&registry, {});
@@ -667,6 +674,7 @@ TEST(ServeServer, BinaryMatchesCsvAcrossClientThreads) {
 // its admission slot, and leave the connection usable. Single-chunk batches
 // must always complete — the deadline is only checked between chunks.
 TEST(ServeServer, DeadlineExpiryAbortsInBandWithoutLeakingAdmission) {
+  WireFaults::ScopedDisable no_faults;
   ModelRegistry registry;
   registry.Put("m", ModelA());
   ServeServerOptions options;
@@ -675,7 +683,9 @@ TEST(ServeServer, DeadlineExpiryAbortsInBandWithoutLeakingAdmission) {
   server.Start();
 
   const int64_t big = 3 * SamplingService::kDefaultChunkRows;  // 3 chunks
-  ServeClient client("127.0.0.1", server.port());
+  // No retries: a deadline abort is kTimeout (retryable), and a retried
+  // request would expire 8 more times before surfacing.
+  ServeClient client("127.0.0.1", server.port(), RetryPolicy::None());
 
   // CSV: "!ERR DEADLINE_EXCEEDED..." trailer surfaces as a failed request.
   try {
@@ -713,6 +723,7 @@ TEST(ServeServer, DeadlineExpiryAbortsInBandWithoutLeakingAdmission) {
 // SO_RCVTIMEO: a connection that goes silent is dropped after idle_timeout
 // instead of pinning its session thread forever; live traffic is unaffected.
 TEST(ServeServer, IdleTimeoutDropsSilentConnections) {
+  WireFaults::ScopedDisable no_faults;
   ModelRegistry registry;
   registry.Put("m", ModelA());
   ServeServerOptions options;
@@ -720,7 +731,9 @@ TEST(ServeServer, IdleTimeoutDropsSilentConnections) {
   ServeServer server(&registry, options);
   server.Start();
 
-  ServeClient idle("127.0.0.1", server.port());
+  // No retries: the whole point is to observe the dropped connection, not
+  // have the client transparently reconnect around it.
+  ServeClient idle("127.0.0.1", server.port(), RetryPolicy::None());
   idle.Ping();
   std::this_thread::sleep_for(std::chrono::milliseconds(700));
   // The server timed the session out while we slept; the next round trip
@@ -741,6 +754,7 @@ TEST(ServeServer, IdleTimeoutDropsSilentConnections) {
 }
 
 TEST(ServeServer, ManyClientsWithHotSwap) {
+  WireFaults::ScopedDisable no_faults;
   ModelRegistry registry;
   registry.Put("stable", ModelA());
   registry.Put("swapped", ModelA());
@@ -789,6 +803,795 @@ TEST(ServeServer, ManyClientsWithHotSwap) {
   swapper.join();
   EXPECT_EQ(failures.load(), 0);
   server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Serve-layer resilience: fault injection, typed client errors and retry,
+// overload shedding, graceful drain, hostile-stream decoding, chaos soak.
+
+// Runs `fn`, which must throw ServeError, and returns the error's code.
+template <typename Fn>
+ServeErrorCode CodeOf(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ServeError& e) {
+    return e.code();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "threw non-ServeError: " << e.what();
+    return ServeErrorCode::kServer;
+  }
+  ADD_FAILURE() << "did not throw";
+  return ServeErrorCode::kServer;
+}
+
+bool ReplyMatches(const ServeClient::SampleReply& reply,
+                  const Dataset& expected) {
+  if (reply.rows.size() != static_cast<size_t>(expected.num_rows())) {
+    return false;
+  }
+  for (size_t r = 0; r < reply.rows.size(); ++r) {
+    for (int c = 0; c < expected.num_attrs(); ++c) {
+      if (reply.rows[r][c] != expected.at(static_cast<int>(r), c)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(WireFaults, DecisionStreamIsDeterministicAndAccounted) {
+  // Same seed + same call sequence → identical fault decisions, so a
+  // failing chaos run replays. Drive 300 identical recv calls twice.
+  auto run_once = [] {
+    WireFaults::ConfigureForTesting(7, 0.5);
+    WireFaults::ResetStats();
+    int sv[2];
+    PB_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0);
+    std::string payload(4096, 'x');
+    PB_CHECK(::send(sv[1], payload.data(), payload.size(), MSG_NOSIGNAL) > 0);
+    char buf[4];
+    for (int i = 0; i < 300; ++i) {
+      (void)FaultyRecv(sv[0], buf, sizeof(buf));
+    }
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return WireFaults::stats();
+  };
+  WireFaultStats a = run_once();
+  WireFaultStats b = run_once();
+  EXPECT_EQ(a.calls, 300u);
+  EXPECT_EQ(a.eintr, b.eintr);
+  EXPECT_EQ(a.short_io, b.short_io);
+  EXPECT_EQ(a.delays, b.delays);
+  EXPECT_EQ(a.kills, b.kills);
+  // rate 0.5 over 300 calls: faults happened, spread across all four kinds.
+  EXPECT_GT(a.eintr + a.short_io + a.delays + a.kills, 50u);
+  EXPECT_GT(a.kills, 0u);
+
+  // ScopedDisable turns injection off and restores the prior arming.
+  WireFaults::ConfigureForTesting(9, 0.25);
+  EXPECT_TRUE(WireFaults::enabled());
+  {
+    WireFaults::ScopedDisable off;
+    EXPECT_FALSE(WireFaults::enabled());
+  }
+  EXPECT_TRUE(WireFaults::enabled());
+  WireFaults::Disable();
+  EXPECT_FALSE(WireFaults::enabled());
+
+  // Env arming: "<seed>:<rate>".
+  const char* saved = std::getenv("PRIVBAYES_WIRE_FAULTS");
+  const std::string saved_copy = saved ? saved : "";
+  ::setenv("PRIVBAYES_WIRE_FAULTS", "123:0.25", 1);
+  WireFaults::ResetFromEnv();
+  EXPECT_TRUE(WireFaults::enabled());
+  ::setenv("PRIVBAYES_WIRE_FAULTS", "123:0", 1);
+  WireFaults::ResetFromEnv();
+  EXPECT_FALSE(WireFaults::enabled());
+  if (saved) {
+    ::setenv("PRIVBAYES_WIRE_FAULTS", saved_copy.c_str(), 1);
+  } else {
+    ::unsetenv("PRIVBAYES_WIRE_FAULTS");
+  }
+  WireFaults::ResetFromEnv();
+}
+
+TEST(WireFaults, CompletedTransfersAreBitIdenticalUnderFaults) {
+  // Faults perturb scheduling and connection lifetime, never payload bytes:
+  // any transfer that completes must be exactly the sent bytes. Retry whole
+  // transfers until one survives the injected kills.
+  WireFaults::ConfigureForTesting(4242, 0.05);
+  std::string sent(256 * 1024, '\0');
+  for (size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<char>(i * 131);
+  }
+  bool completed = false;
+  for (int attempt = 0; attempt < 50 && !completed; ++attempt) {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    std::atomic<bool> write_ok{false};
+    std::thread writer([&] {
+      write_ok.store(WriteWireBytes(sv[1], sent.data(), sent.size()));
+    });
+    std::string got(sent.size(), '\0');
+    WireBuffer buf;
+    bool read_ok = ReadWireExact(sv[0], buf, got.data(), got.size());
+    writer.join();
+    ::close(sv[0]);
+    ::close(sv[1]);
+    if (read_ok && write_ok.load()) {
+      EXPECT_EQ(got, sent) << "fault injection corrupted payload bytes";
+      completed = true;
+    }
+  }
+  WireFaults::ResetFromEnv();  // restore whatever the environment says
+  EXPECT_TRUE(completed) << "no transfer survived 50 attempts at rate 0.05";
+}
+
+TEST(ServeClientConnect, RefusedIsTypedAndFast) {
+  WireFaults::ScopedDisable no_faults;
+  // Grab a port that nothing listens on: bind ephemeral, then close.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  const auto start = std::chrono::steady_clock::now();
+  ServeErrorCode code = CodeOf([&] {
+    ServeClient client("127.0.0.1", dead_port, RetryPolicy::None());
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(code, ServeErrorCode::kRefused);
+  EXPECT_LT(elapsed, std::chrono::seconds(2)) << "refused connect hung";
+}
+
+TEST(ServeClientConnect, BlackHoleHonorsConnectTimeout) {
+  WireFaults::ScopedDisable no_faults;
+  // RFC 5737 TEST-NET-1: no host answers, so a blocking connect() would hang
+  // for minutes. The client must give up at connect_timeout instead.
+  RetryPolicy policy = RetryPolicy::None();
+  policy.connect_timeout = std::chrono::milliseconds(300);
+  const auto start = std::chrono::steady_clock::now();
+  ServeErrorCode code;
+  try {
+    ServeClient client("192.0.2.1", 9, policy);
+    // A NATed/sandboxed network may answer on TEST-NET addresses; nothing
+    // about the timeout path can be observed from here.
+    GTEST_SKIP() << "environment answers connects to 192.0.2.1";
+  } catch (const ServeError& e) {
+    code = e.code();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Sandboxed networks may answer with an immediate unreachable (kRefused)
+  // instead of black-holing (kTimeout); both are typed and prompt.
+  EXPECT_TRUE(code == ServeErrorCode::kTimeout ||
+              code == ServeErrorCode::kRefused)
+      << ServeErrorCodeName(code);
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "black-holed connect hung";
+}
+
+TEST(ServeClientRetry, ReconnectsAcrossServerRestartBitIdentically) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServerOptions options;
+  options.port = 0;
+  auto server = std::make_unique<ServeServer>(&registry, options);
+  server->Start();
+  const int port = server->port();
+  options.port = port;
+
+  Rng rng(5);
+  Dataset expected = SampleSyntheticData(ModelA(), 800, rng);
+  ServeClient client("127.0.0.1", port, RetryPolicy::WithRetries(10, 99));
+  EXPECT_TRUE(ReplyMatches(client.Sample("m", 800, 5), expected));
+
+  // Kill the daemon and bring a replacement up on the same port.
+  server.reset();
+  server = std::make_unique<ServeServer>(&registry, options);
+  bool started = false;
+  for (int i = 0; i < 100 && !started; ++i) {
+    try {
+      server->Start();
+      started = true;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_TRUE(started);
+
+  // The stale connection surfaces a retryable failure; the retry loop
+  // reconnects and replays, and the seeded request returns the same bits
+  // from the new process.
+  EXPECT_TRUE(ReplyMatches(client.Sample("m", 800, 5), expected));
+  EXPECT_TRUE(SameData(client.SampleBinary("m", 800, 5),
+                       SamplingService(&registry).SampleToDataset(
+                           SampleRequest{"m", 800, 5, {}})));
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_GE(client.retries(), 1u);
+  server->Stop();
+}
+
+TEST(ServeServer, SessionCapShedsWithTypedError) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServerOptions options;
+  options.max_sessions = 1;
+  ServeServer server(&registry, options);
+  server.Start();
+
+  ServeClient first("127.0.0.1", server.port(), RetryPolicy::None());
+  first.Ping();  // round trip ⇒ the one session slot is occupied
+
+  ServeClient second("127.0.0.1", server.port(), RetryPolicy::None());
+  try {
+    second.Ping();
+    FAIL() << "session over the cap was served";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kShedding) << e.what();
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("RESOURCE_EXHAUSTED"),
+              std::string::npos);
+  }
+  EXPECT_GE(server.stats().shed_sessions, 1u);
+
+  // Capacity freed ⇒ new sessions are admitted again.
+  first.Quit();
+  bool admitted = false;
+  for (int i = 0; i < 200 && !admitted; ++i) {
+    try {
+      ServeClient third("127.0.0.1", server.port(), RetryPolicy::None());
+      third.Ping();
+      admitted = true;
+    } catch (const ServeError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(admitted);
+  server.Stop();
+}
+
+TEST(ServeServer, BatchCapShedsAndRecovers) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServerOptions options;
+  options.max_active_batches = 1;
+  ServeServer server(&registry, options);
+  server.Start();
+
+  // A raw client that requests a huge batch and never reads: the server
+  // fills the socket buffers and blocks mid-stream, pinning active_batches
+  // at 1 for as long as we like.
+  int stuck = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stuck, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(stuck, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "SAMPLE m 4000000 1\n";
+  ASSERT_TRUE(WriteWireBytes(stuck, request.data(), request.size()));
+
+  ServeClient probe("127.0.0.1", server.port(), RetryPolicy::None());
+  bool busy = false;
+  for (int i = 0; i < 500 && !busy; ++i) {
+    busy = probe.Health().active_batches >= 1;
+    if (!busy) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(busy) << "big batch never became active";
+
+  try {
+    probe.Sample("m", 100, 2);
+    FAIL() << "request over the batch cap was served";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kShedding) << e.what();
+    EXPECT_TRUE(e.retryable());
+  }
+  EXPECT_GE(server.stats().shed_requests, 1u);
+  EXPECT_GE(server.sampling().admission().shed_total(), 1u);
+  // The shed reply is a clean ERR line: the connection stays usable.
+  probe.Ping();
+
+  // Dropping the stuck client aborts its batch and frees the slot.
+  ::close(stuck);
+  bool freed = false;
+  for (int i = 0; i < 500 && !freed; ++i) {
+    freed = probe.Health().active_batches == 0;
+    if (!freed) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(freed) << "aborted batch leaked its active slot";
+  EXPECT_EQ(probe.Sample("m", 100, 2).rows.size(), 100u);
+  server.Stop();
+}
+
+TEST(ServeServer, GracefulDrainFinishesInFlightAndNotifiesIdle) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServer server(&registry, {});
+  server.Start();
+
+  // An idle keep-alive session, driven raw so we can read the drain notice
+  // without sending anything (no RST racing the notice out of the buffer).
+  int idle = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(idle, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(idle, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  WireBuffer idle_buf;
+  const std::string ping = "PING\n";
+  ASSERT_TRUE(WriteWireBytes(idle, ping.data(), ping.size()));
+  ASSERT_EQ(ReadWireLine(idle, idle_buf).value_or(""), "OK PONG");
+
+  // A big in-flight batch that must finish streaming across the drain.
+  const int64_t big = 6 * SamplingService::kDefaultChunkRows;
+  Rng rng(9);
+  Dataset expected = SampleSyntheticData(ModelA(), static_cast<int>(big), rng);
+  std::atomic<bool> in_flight_ok{false};
+  std::thread sampler([&] {
+    try {
+      ServeClient client("127.0.0.1", server.port(), RetryPolicy::None());
+      in_flight_ok.store(ReplyMatches(client.Sample("m", big, 9), expected));
+    } catch (const std::exception&) {
+      in_flight_ok.store(false);
+    }
+  });
+  bool active = false;
+  for (int i = 0; i < 2000 && !active; ++i) {
+    active = server.sampling().admission().active() >= 1;
+    if (!active) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(active) << "batch never started";
+
+  server.Drain(std::chrono::seconds(30));
+  sampler.join();
+  EXPECT_TRUE(in_flight_ok.load())
+      << "drain tore an in-flight stream (rows lost or wrong)";
+  EXPECT_EQ(server.state(), ServeState::kStopped);
+  EXPECT_EQ(server.live_sessions(), 0);
+  EXPECT_EQ(server.sampling().admission().active(), 0);
+
+  // The idle session got the typed shutdown notice before its socket closed.
+  std::optional<std::string> notice = ReadWireLine(idle, idle_buf);
+  ASSERT_TRUE(notice.has_value()) << "idle session closed without notice";
+  EXPECT_EQ(notice->rfind("ERR SHUTTING_DOWN", 0), 0u) << *notice;
+  EXPECT_EQ(ClassifyServerMessage(notice->substr(4)),
+            ServeErrorCode::kShuttingDown);
+  ::close(idle);
+
+  // New connections are refused outright — the listener is gone.
+  ServeErrorCode code = CodeOf([&] {
+    ServeClient late("127.0.0.1", server.port(), RetryPolicy::None());
+  });
+  EXPECT_EQ(code, ServeErrorCode::kRefused);
+}
+
+TEST(ServeServer, DrainDeadlineBoundsStalledSessions) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServer server(&registry, {});
+  server.Start();
+
+  // A stalled consumer: requests a huge batch, never reads. Its session is
+  // permanently in_request, so only the drain deadline can end it.
+  int stuck = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stuck, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(stuck, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "SAMPLE m 4000000 1\n";
+  ASSERT_TRUE(WriteWireBytes(stuck, request.data(), request.size()));
+  bool active = false;
+  for (int i = 0; i < 5000 && !active; ++i) {
+    active = server.sampling().admission().active() >= 1;
+    if (!active) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(active);
+
+  const auto start = std::chrono::steady_clock::now();
+  server.Drain(std::chrono::milliseconds(300));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(server.state(), ServeState::kStopped);
+  EXPECT_EQ(server.live_sessions(), 0);
+  EXPECT_EQ(server.sampling().admission().active(), 0)
+      << "hard-stopped batch leaked its admission slot";
+  EXPECT_LT(elapsed, std::chrono::seconds(20))
+      << "drain did not respect its deadline";
+  ::close(stuck);
+}
+
+TEST(ServeServer, HealthReportsStateAndGauges) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServer server(&registry, {});
+  server.Start();
+
+  ServeClient client("127.0.0.1", server.port(), RetryPolicy::None());
+  ServeHealth health = client.Health();
+  EXPECT_TRUE(health.ready);
+  EXPECT_EQ(health.state, "READY");
+  EXPECT_GE(health.sessions, 1);  // at least this probe
+  EXPECT_EQ(health.active_batches, 0);
+
+  // STATS grew the shedding/served-load counters.
+  std::vector<std::pair<std::string, uint64_t>> stats = client.Stats();
+  auto value_of = [&](const std::string& name) -> const uint64_t* {
+    for (const auto& [key, value] : stats) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  };
+  for (const char* counter :
+       {"shed_sessions", "shed_requests", "live_sessions", "active_batches",
+        "pool_admitted_total", "pool_inline_total", "batch_shed_total"}) {
+    ASSERT_NE(value_of(counter), nullptr) << counter;
+  }
+  EXPECT_GE(*value_of("live_sessions"), 1u);
+  client.Quit();
+  server.Stop();
+}
+
+// Feeds a scripted server-side byte stream to a ServeClient over a
+// socketpair: consumes the client's request line, plays the script, then
+// half-closes (FIN, not RST — buffered script bytes must stay readable).
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::string script) {
+    PB_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv_) == 0);
+    feeder_ = std::thread([fd = sv_[1], script = std::move(script)] {
+      char buf[4096];
+      (void)::recv(fd, buf, sizeof(buf), 0);  // the request line
+      if (!script.empty()) {
+        (void)::send(fd, script.data(), script.size(), MSG_NOSIGNAL);
+      }
+      ::shutdown(fd, SHUT_WR);
+      while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+      }
+      ::close(fd);
+    });
+  }
+  ~ScriptedServer() { feeder_.join(); }
+
+  /// The client's end; ServeClient(fd) adopts (and eventually closes) it.
+  int client_fd() const { return sv_[0]; }
+
+ private:
+  int sv_[2];
+  std::thread feeder_;
+};
+
+// Runs `drive(client)` against a scripted stream and returns the ServeError
+// code it surfaces.
+template <typename Fn>
+ServeErrorCode ScriptedCode(const std::string& script, Fn&& drive) {
+  ScriptedServer server(script);
+  ServeClient client(server.client_fd());
+  return CodeOf([&] { drive(client); });
+}
+
+std::string Frame(std::string payload) {
+  std::string framed;
+  AppendU32(framed, static_cast<uint32_t>(payload.size()));
+  framed += payload;
+  return framed;
+}
+
+std::string SchemaFramePayload(const std::vector<int>& cards) {
+  std::string p;
+  p.push_back(static_cast<char>(kWireFrameSchema));
+  AppendU16(p, static_cast<uint16_t>(cards.size()));
+  for (int card : cards) {
+    AppendU16(p, static_cast<uint16_t>(card == 65536 ? 0 : card));
+  }
+  return p;
+}
+
+TEST(HostileStream, PreOkErrorLinesMapToTaxonomy) {
+  WireFaults::ScopedDisable no_faults;
+  auto sample = [](ServeClient& c) { c.Sample("m", 5, 1); };
+  EXPECT_EQ(ScriptedCode("ERR RESOURCE_EXHAUSTED: busy\n", sample),
+            ServeErrorCode::kShedding);
+  EXPECT_EQ(ScriptedCode("ERR SHUTTING_DOWN: draining\n", sample),
+            ServeErrorCode::kShuttingDown);
+  EXPECT_EQ(ScriptedCode("ERR DEADLINE_EXCEEDED: too slow\n", sample),
+            ServeErrorCode::kTimeout);
+  EXPECT_EQ(ScriptedCode("ERR no model named 'm'\n", sample),
+            ServeErrorCode::kServer);
+  // Retryability split: load/lifecycle errors retry, rejections don't.
+  EXPECT_TRUE(ServeError(ServeErrorCode::kShedding, "").retryable());
+  EXPECT_TRUE(ServeError(ServeErrorCode::kShuttingDown, "").retryable());
+  EXPECT_FALSE(ServeError(ServeErrorCode::kServer, "").retryable());
+  EXPECT_FALSE(ServeError(ServeErrorCode::kProtocol, "").retryable());
+}
+
+TEST(HostileStream, CsvDecodePathRejectsTornAndMalformedStreams) {
+  WireFaults::ScopedDisable no_faults;
+  auto sample = [](ServeClient& c) { c.Sample("m", 5, 1); };
+  // Garbage response line.
+  EXPECT_EQ(ScriptedCode("WAT\n", sample), ServeErrorCode::kProtocol);
+  // Header promising a different row count than requested.
+  EXPECT_EQ(ScriptedCode("OK 4 2\nA,B\n", sample), ServeErrorCode::kProtocol);
+  // Mid-stream disconnect after one row.
+  EXPECT_EQ(ScriptedCode("OK 5 2\nA,B\n0,1\n", sample),
+            ServeErrorCode::kConnectionLost);
+  // Disconnect before the header line.
+  EXPECT_EQ(ScriptedCode("", sample), ServeErrorCode::kConnectionLost);
+  // Row wider than the schema.
+  EXPECT_EQ(ScriptedCode("OK 5 2\nA,B\n0,1,2\n", sample),
+            ServeErrorCode::kProtocol);
+  // In-band abort trailer at the first row position...
+  EXPECT_EQ(ScriptedCode("OK 5 2\nA,B\n!ERR DEADLINE_EXCEEDED: slow\nEND\n",
+                         sample),
+            ServeErrorCode::kTimeout);
+  // ...and after some rows, carrying a server error message.
+  EXPECT_EQ(ScriptedCode("OK 5 2\nA,B\n0,1\n1,0\n!ERR boom\nEND\n", sample),
+            ServeErrorCode::kServer);
+  // Abort trailer not followed by END: the stream state is unknowable.
+  EXPECT_EQ(ScriptedCode("OK 5 2\nA,B\n!ERR boom\nWAT\n", sample),
+            ServeErrorCode::kProtocol);
+  // Missing END after all rows.
+  EXPECT_EQ(ScriptedCode("OK 2 2\nA,B\n0,1\n1,0\nWAT\n", sample),
+            ServeErrorCode::kProtocol);
+}
+
+TEST(HostileStream, BinaryDecodePathBoundsEveryDeclaredLength) {
+  WireFaults::ScopedDisable no_faults;
+  auto sampleb = [](ServeClient& c) { c.SampleBinary("m", 4, 1); };
+  const std::string ok_header = "OK 4 2\nA,B\n";
+  const std::string schema = Frame(SchemaFramePayload({2, 2}));
+
+  // A 4 GB length prefix must be rejected before any allocation.
+  {
+    std::string oversize;
+    AppendU32(oversize, 0xFFFFFFFFu);
+    EXPECT_EQ(ScriptedCode(ok_header + oversize, sampleb),
+              ServeErrorCode::kProtocol);
+  }
+  // Zero-length frames carry no type byte.
+  {
+    std::string zero;
+    AppendU32(zero, 0);
+    EXPECT_EQ(ScriptedCode(ok_header + zero, sampleb),
+              ServeErrorCode::kProtocol);
+  }
+  // Truncated schema frame: length promises 7 payload bytes, 3 arrive.
+  {
+    std::string torn;
+    AppendU32(torn, 7);
+    torn += SchemaFramePayload({2, 2}).substr(0, 3);
+    EXPECT_EQ(ScriptedCode(ok_header + torn, sampleb),
+              ServeErrorCode::kConnectionLost);
+  }
+  // Unknown frame type.
+  EXPECT_EQ(ScriptedCode(ok_header + Frame("\x7f"), sampleb),
+            ServeErrorCode::kProtocol);
+  // Row frame before any schema frame.
+  {
+    std::string rows_first;
+    rows_first.push_back(static_cast<char>(kWireFrameRows));
+    AppendU16(rows_first, 1);
+    EXPECT_EQ(ScriptedCode(ok_header + Frame(rows_first), sampleb),
+              ServeErrorCode::kProtocol);
+  }
+  // Row frame longer than the schema's worst-case byte bound.
+  {
+    std::string fat(20000, '\0');
+    fat[0] = static_cast<char>(kWireFrameRows);
+    EXPECT_EQ(ScriptedCode(ok_header + schema + Frame(fat), sampleb),
+              ServeErrorCode::kProtocol);
+  }
+  // Row frame declaring more rows than its payload holds.
+  {
+    std::string short_rows;
+    short_rows.push_back(static_cast<char>(kWireFrameRows));
+    AppendU16(short_rows, 4);  // 4 rows but zero column bytes
+    EXPECT_EQ(ScriptedCode(ok_header + schema + Frame(short_rows), sampleb),
+              ServeErrorCode::kProtocol);
+  }
+  // More total rows than the request asked for (client-side allocation cap).
+  {
+    std::string overrun;
+    overrun.push_back(static_cast<char>(kWireFrameRows));
+    AppendU16(overrun, 5);  // request asked for 4
+    overrun.append(WirePackedBytes(5, 1) * 2, '\0');
+    EXPECT_EQ(ScriptedCode(ok_header + schema + Frame(overrun), sampleb),
+              ServeErrorCode::kProtocol);
+  }
+  // End frame before all promised rows arrived.
+  {
+    std::string two_rows;
+    two_rows.push_back(static_cast<char>(kWireFrameRows));
+    AppendU16(two_rows, 2);
+    two_rows.append(WirePackedBytes(2, 1) * 2, '\0');
+    const std::string end = Frame(std::string(1, kWireFrameEnd));
+    EXPECT_EQ(
+        ScriptedCode(ok_header + schema + Frame(two_rows) + end, sampleb),
+        ServeErrorCode::kProtocol);
+  }
+  // Mid-frame disconnect: length promises 10 bytes, 2 arrive.
+  {
+    std::string torn;
+    AppendU32(torn, 10);
+    torn += "\x01x";
+    EXPECT_EQ(ScriptedCode(ok_header + schema + torn, sampleb),
+              ServeErrorCode::kConnectionLost);
+  }
+  // Error frame mid-stream maps its marker through the taxonomy.
+  {
+    std::string err(1, kWireFrameError);
+    err += "DEADLINE_EXCEEDED: response deadline expired";
+    EXPECT_EQ(ScriptedCode(ok_header + schema + Frame(err), sampleb),
+              ServeErrorCode::kTimeout);
+  }
+}
+
+TEST(AdmissionGate, ActiveCapShedsAndTicketsRelease) {
+  AdmissionGate gate(/*max_admitted=*/1, /*max_active=*/2);
+  std::optional<AdmissionGate::Ticket> a = gate.TryEnter();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->admitted());  // pool slot
+  std::optional<AdmissionGate::Ticket> b = gate.TryEnter();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(b->admitted());  // inline, but active
+  EXPECT_EQ(gate.active(), 2);
+  EXPECT_FALSE(gate.TryEnter().has_value());  // over the active cap: shed
+  EXPECT_EQ(gate.shed_total(), 1u);
+
+  b.reset();
+  EXPECT_EQ(gate.active(), 1);
+  std::optional<AdmissionGate::Ticket> c = gate.TryEnter();
+  ASSERT_TRUE(c.has_value());   // active capacity returned…
+  EXPECT_FALSE(c->admitted());  // …but `a` still holds the one pool slot
+  a.reset();
+  c.reset();
+  EXPECT_EQ(gate.active(), 0);
+  EXPECT_EQ(gate.in_flight(), 0);
+  EXPECT_EQ(gate.admitted_total(), 1u);
+  EXPECT_EQ(gate.bypassed_total(), 2u);
+}
+
+// The acceptance soak: ≥1000 requests from 16 concurrent clients against a
+// server whose every socket call runs under 5% fault injection, with the
+// daemon killed and restarted mid-run. Every request must end bit-identical
+// to the fault-free result or as a typed ServeError — no hangs, no crashes,
+// no leaked sessions or admission slots.
+TEST(ServeServer, ChaosSoakSurvivesFaultsAndRestart) {
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServerOptions options;
+  options.port = 0;
+  auto server = std::make_unique<ServeServer>(&registry, options);
+  server->Start();
+  const int port = server->port();
+  options.port = port;
+
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 63;  // 16 × 63 = 1008 requests
+  constexpr int kSeeds = 8;
+  const int64_t kRows = 1000;
+  std::vector<Dataset> expected;
+  for (int s = 0; s < kSeeds; ++s) {
+    Rng rng(static_cast<uint64_t>(100 + s));
+    expected.push_back(
+        SampleSyntheticData(ModelA(), static_cast<int>(kRows), rng));
+  }
+
+  WireFaults::ConfigureForTesting(2024, 0.05);
+  WireFaults::ResetStats();
+
+  std::atomic<int> done{0};
+  std::atomic<int> succeeded{0};
+  std::atomic<int> typed_errors{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> hard_failures{0};
+  std::atomic<uint64_t> total_retries{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Generous attempts: the run spans a server restart, and every
+      // connection is lossy by construction.
+      RetryPolicy policy =
+          RetryPolicy::WithRetries(16, static_cast<uint64_t>(1000 + t));
+      std::unique_ptr<ServeClient> client;
+      for (int i = 0; i < kPerThread; ++i) {
+        const int s = (t * kPerThread + i) % kSeeds;
+        const uint64_t seed = static_cast<uint64_t>(100 + s);
+        try {
+          if (!client) {
+            client =
+                std::make_unique<ServeClient>("127.0.0.1", port, policy);
+          }
+          bool match;
+          if ((t + i) % 2 == 0) {
+            match = ReplyMatches(client->Sample("m", kRows, seed),
+                                 expected[static_cast<size_t>(s)]);
+          } else {
+            match = SameData(client->SampleBinary("m", kRows, seed),
+                             expected[static_cast<size_t>(s)]);
+          }
+          if (match) {
+            succeeded.fetch_add(1);
+          } else {
+            mismatches.fetch_add(1);
+          }
+        } catch (const ServeError&) {
+          typed_errors.fetch_add(1);  // acceptable outcome; never a hang
+        } catch (const std::exception&) {
+          hard_failures.fetch_add(1);
+        }
+        done.fetch_add(1);
+      }
+      if (client) total_retries.fetch_add(client->retries());
+    });
+  }
+
+  // Kill the daemon mid-soak and restart it on the same port; the clients'
+  // retry loops must carry every in-flight request across the gap.
+  while (done.load() < kThreads * kPerThread / 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  server->Stop();
+  server = std::make_unique<ServeServer>(&registry, options);
+  bool restarted = false;
+  for (int i = 0; i < 200 && !restarted; ++i) {
+    try {
+      server->Start();
+      restarted = true;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  ASSERT_TRUE(restarted) << "could not rebind the soak port";
+
+  for (std::thread& w : workers) w.join();
+  WireFaults::Disable();
+
+  const int total = kThreads * kPerThread;
+  EXPECT_EQ(done.load(), total);
+  EXPECT_EQ(hard_failures.load(), 0) << "untyped exception escaped";
+  EXPECT_EQ(mismatches.load(), 0)
+      << "a completed request was not bit-identical to the fault-free rows";
+  // Retry absorbs the 5% fault rate and the restart: the vast majority of
+  // requests must SUCCEED, not merely fail cleanly.
+  EXPECT_GE(succeeded.load(), (total * 9) / 10)
+      << typed_errors.load() << " typed errors";
+  EXPECT_GT(total_retries.load(), 0u) << "soak exercised no retries";
+  WireFaultStats faults = WireFaults::stats();
+  EXPECT_GT(faults.eintr + faults.short_io + faults.delays + faults.kills, 0u);
+
+  // Quiescence: no leaked sessions or admission slots once traffic stops.
+  ServeClient probe("127.0.0.1", port, RetryPolicy::WithRetries(5));
+  bool quiescent = false;
+  for (int i = 0; i < 500 && !quiescent; ++i) {
+    ServeHealth health = probe.Health();
+    quiescent =
+        health.ready && health.sessions == 1 && health.active_batches == 0;
+    if (!quiescent) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ServeHealth health = probe.Health();
+  EXPECT_TRUE(health.ready);
+  EXPECT_EQ(health.sessions, 1) << "leaked session slots";
+  EXPECT_EQ(health.active_batches, 0) << "leaked admission slots";
+  server->Stop();
+  WireFaults::ResetFromEnv();  // restore the chaos lane's env arming, if any
 }
 
 }  // namespace

@@ -11,8 +11,11 @@
 //   --manifest PATH                    load every entry of a registry
 //                                      manifest (core/model_io.h)
 //
-// Prints "READY port=<p> models=<k>" once listening — the CI smoke job and
-// scripts wait for that line — then runs until SIGINT/SIGTERM.
+// Prints "READY port=<p> models=<k>" once listening (scripts should prefer
+// polling the HEALTH wire command — `serve_client --health PORT` — over
+// grepping stdout), then runs until SIGINT/SIGTERM, which triggers a
+// graceful drain: accepting stops, in-flight streams get --drain-ms to
+// finish, idle sessions are told SHUTTING_DOWN.
 //
 //   privbayes_serve --port 7878 --fit nltcs=NLTCS:4000:0.8 \
 //                   --fit adult=Adult:4000:0.8
@@ -43,6 +46,8 @@ void OnSignal(int) { g_stop = 1; }
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--max-parallel N]\n"
                "          [--deadline-ms MS] [--idle-timeout-ms MS]\n"
+               "          [--max-sessions N] [--max-active-batches N]\n"
+               "          [--drain-ms MS]\n"
                "          [--fit NAME=DATASET[:rows[:eps]]]... "
                "[--load NAME=PATH]... [--manifest PATH]...\n",
                argv0);
@@ -100,6 +105,10 @@ void FitAndRegister(pb::ModelRegistry& registry, const std::string& name,
 int main(int argc, char** argv) {
   pb::ServeServerOptions options;
   options.port = 7878;
+  // Grace for SIGINT/SIGTERM shutdown: in-flight streams get this long to
+  // finish before the server hard-stops them (rolling restarts lose no
+  // accepted work).
+  long long drain_ms = 5000;
   std::vector<std::pair<std::string, std::string>> fits;   // name -> spec
   std::vector<std::pair<std::string, std::string>> loads;  // name -> path
   std::vector<std::string> manifests;
@@ -125,6 +134,16 @@ int main(int argc, char** argv) {
       // SO_RCVTIMEO on sessions (0 = none): silent connections are dropped.
       options.idle_timeout = std::chrono::milliseconds(
           std::atoll(next().c_str()));
+    } else if (arg == "--max-sessions") {
+      // Session cap (0 = unbounded): accepts beyond it are shed with a
+      // RESOURCE_EXHAUSTED line instead of spawning a thread.
+      options.max_sessions = std::atoi(next().c_str());
+    } else if (arg == "--max-active-batches") {
+      // Running-batch cap (0 = never shed): SAMPLE/SAMPLEB beyond it get
+      // RESOURCE_EXHAUSTED and the client backs off.
+      options.max_active_batches = std::atoi(next().c_str());
+    } else if (arg == "--drain-ms") {
+      drain_ms = std::atoll(next().c_str());
     } else if (arg == "--fit") {
       fits.push_back(SplitNameValue(next(), argv[0]));
     } else if (arg == "--load") {
@@ -177,14 +196,18 @@ int main(int argc, char** argv) {
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  std::printf("draining (grace %lld ms)...\n", drain_ms);
+  std::fflush(stdout);
+  server.Drain(std::chrono::milliseconds(drain_ms));
   pb::ServeServerStats stats = server.stats();
-  server.Stop();
   std::printf(
-      "shutting down: %llu connections, %llu requests (%llu errors), "
-      "%lld rows streamed\n",
+      "shutting down: %llu connections, %llu requests (%llu errors, "
+      "%llu shed sessions, %llu shed requests), %lld rows streamed\n",
       static_cast<unsigned long long>(stats.connections),
       static_cast<unsigned long long>(stats.requests),
       static_cast<unsigned long long>(stats.errors),
+      static_cast<unsigned long long>(stats.shed_sessions),
+      static_cast<unsigned long long>(stats.shed_requests),
       static_cast<long long>(stats.rows_streamed));
   PrintMarginalStoreLine("at shutdown");
   return 0;
