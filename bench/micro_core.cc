@@ -267,6 +267,42 @@ void BM_AncestralSamplingAlias(benchmark::State& state) {
 }
 BENCHMARK(BM_AncestralSamplingAlias)->Arg(1000)->Arg(10000);
 
+// The columnar engine under forced dispatch — scalar vs the detected SIMD
+// level on one thread — isolating what the vector kernels themselves buy
+// over the (already columnar) scalar reference.
+void BM_SampleColumnar(benchmark::State& state, pb::SimdLevel level) {
+  const pb::Dataset& data = Nltcs();
+  pb::BayesNet net;
+  for (int i = 0; i < data.num_attrs(); ++i) {
+    pb::APPair p;
+    p.attr = i;
+    for (int j = std::max(0, i - 2); j < i; ++j) {
+      p.parents.push_back(pb::GenAttr{j, 0});
+    }
+    net.Add(std::move(p));
+  }
+  pb::Rng crng(3);
+  pb::ConditionalSet cs =
+      pb::NoisyConditionalsBinary(data, net, 2, 0.0, crng, nullptr);
+  pb::NetworkSampler sampler(data.schema(), net, cs);
+  pb::SetSimdForTesting(level, /*packed_gather=*/false);
+  const int rows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampler.SampleChunk(4, 0, rows, /*parallel=*/false));
+  }
+  pb::ResetSimdForTesting();
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+void BM_SampleColumnarScalar(benchmark::State& state) {
+  BM_SampleColumnar(state, pb::SimdLevel::kScalar);
+}
+void BM_SampleColumnarSimd(benchmark::State& state) {
+  BM_SampleColumnar(state, pb::DetectedSimdLevel());
+}
+BENCHMARK(BM_SampleColumnarScalar)->Arg(65536);
+BENCHMARK(BM_SampleColumnarSimd)->Arg(65536);
+
 // One full private-greedy structure learn on NLTCS: the end-to-end
 // candidate-scoring loop (enumerate, count, score, EM-select) the engine
 // exists for.

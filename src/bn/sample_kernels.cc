@@ -1,0 +1,22 @@
+#include "bn/sample_kernels.h"
+
+#include "common/cpu.h"
+
+namespace privbayes {
+
+SampleKernels SelectSampleKernels() {
+  SampleKernels merged = kScalarSampleKernels;
+  const auto overlay = [&merged](const SampleKernels& k) {
+    if (k.fill_uniform) merged.fill_uniform = k.fill_uniform;
+    if (k.threshold) merged.threshold = k.threshold;
+    if (k.threshold_root) merged.threshold_root = k.threshold_root;
+    if (k.alias) merged.alias = k.alias;
+    if (k.alias_root) merged.alias_root = k.alias_root;
+  };
+  const SimdConfig& simd = ActiveSimd();
+  if (simd.level >= SimdLevel::kAvx2) overlay(kAvx2SampleKernels);
+  if (simd.level >= SimdLevel::kAvx512) overlay(kAvx512SampleKernels);
+  return merged;
+}
+
+}  // namespace privbayes

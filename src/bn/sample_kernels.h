@@ -1,0 +1,86 @@
+// Per-ISA kernels for the column-at-a-time sampling engine.
+//
+// NetworkSampler processes one network node across a whole shard of rows at
+// a time: a random block is generated up front (4 interleaved xoshiro256++
+// lanes, see FastRng4), parent slice indices are resolved for the chunk, and
+// the per-row conditional draw is then a data-parallel map over the block.
+// These kernels are that map, in three bit-identical implementations:
+//
+//   scalar  — the always-compiled reference (also what PRIVBAYES_SIMD=off
+//             runs end to end);
+//   avx2    — 4 rows per iteration: gathered thresholds / alias cells via
+//             vgatherdpd, uniform conversion via the 2^52/2^84 magic-number
+//             trick (exact for 53-bit integers, so bit-identical to the
+//             scalar cast);
+//   avx512  — 8 rows per iteration with masked compares (vcmppd → k-mask →
+//             vpmovm2w) and native unsigned 64→double conversion
+//             (vcvtuqq2pd; needs DQ+VL on top of F+BW).
+//
+// Two probe shapes cover every conditional:
+//
+//   threshold — child cardinality ≤ 2. The draw collapses to one compare:
+//               value = (u < P[child=0 | slice]) ? 0 : 1. Root nodes use
+//               the _root variant (single broadcast threshold, no gather).
+//   alias     — child cardinality > 2. The Walker/Vose probe over the
+//               node's flattened per-slice alias tables: x = u·card picks
+//               bucket ⌊x⌋, the fractional part is the biased coin, one
+//               gather each for the acceptance threshold and the alias.
+//
+// Every kernel computes the same IEEE double operations in the same order,
+// so outputs are bit-identical across ISA levels — the cross-dispatch
+// equivalence suite (sample_kernels_test) locks that in. Which table runs
+// is decided per call against common/cpu.h's active level, honoring
+// PRIVBAYES_SIMD.
+
+#ifndef PRIVBAYES_BN_SAMPLE_KERNELS_H_
+#define PRIVBAYES_BN_SAMPLE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "prob/prob_table.h"
+
+namespace privbayes {
+
+/// One ISA's implementations. Null entries mean "not compiled for this
+/// ISA" (per-file -m flags unavailable) and fall back to the next level
+/// down when tables are merged by SelectSampleKernels.
+struct SampleKernels {
+  /// Fills out[0..n) with uniforms in [0, 1): the FastRng4(seed) block.
+  void (*fill_uniform)(uint64_t seed, size_t n, double* out);
+
+  /// out[i] = u[i] < thresholds[slices[i]] ? 0 : 1.
+  void (*threshold)(const double* u, const uint32_t* slices, size_t n,
+                    const double* thresholds, Value* out);
+
+  /// out[i] = u[i] < t ? 0 : 1 (root node: one slice, no gather).
+  void (*threshold_root)(const double* u, size_t n, double t, Value* out);
+
+  /// Alias probe: x = u[i]·card, bucket = min(⌊x⌋, card−1), cell =
+  /// slices[i]·card + bucket; out[i] = (x − bucket) < prob[cell] ? bucket
+  /// : alias[cell]. `prob`/`alias` point at the node's slice-0 bucket-0
+  /// entry. The alias array must be readable 2 bytes past its last used
+  /// cell (SIMD gathers load 32 bits per 16-bit entry); NetworkSampler
+  /// pads its flattened table by one sentinel Value.
+  void (*alias)(const double* u, const uint32_t* slices, size_t n,
+                const double* prob, const Value* alias, uint32_t card,
+                Value* out);
+
+  /// Alias probe for a root node (slice fixed at 0).
+  void (*alias_root)(const double* u, size_t n, const double* prob,
+                     const Value* alias, uint32_t card, Value* out);
+};
+
+extern const SampleKernels kScalarSampleKernels;  // fully populated
+extern const SampleKernels kAvx2SampleKernels;
+extern const SampleKernels kAvx512SampleKernels;
+
+/// The merged table for the active SIMD level (common/cpu.h): scalar
+/// entries overlaid by AVX2 then AVX-512 where compiled. Consulted per
+/// sampling call so PRIVBAYES_SIMD / SetSimdForTesting take effect
+/// immediately.
+SampleKernels SelectSampleKernels();
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_BN_SAMPLE_KERNELS_H_

@@ -1,0 +1,209 @@
+// AVX2 sampling kernels: 4 rows per iteration. Compiled with -mavx2
+// (per-file, see CMakeLists.txt); when the compiler cannot target AVX2 this
+// TU degrades to a table of nulls and dispatch falls back to scalar.
+//
+// Bit-identity with the scalar reference holds because every floating-point
+// operation is the same IEEE double op in the same order: the xoshiro
+// output is converted to a double with the 2^52/2^84 magic-number splice —
+// exact for the 53-bit values (x >> 11) takes — and the probe arithmetic
+// (u·card, x − ⌊x⌋, compares) uses no FMA contraction or reassociation.
+
+#include <cstring>
+
+#include "bn/sample_kernels.h"
+#include "common/random.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace privbayes {
+
+namespace {
+
+inline __m256i Rotl64(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k), _mm256_srli_epi64(x, 64 - k));
+}
+
+// One scalar xoshiro256++ step (the tail path; lanes step at most once).
+inline uint64_t StepScalar(uint64_t s[4]) {
+  auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+  const uint64_t result = rotl(s[0] + s[3], 23) + s[0];
+  const uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = rotl(s[3], 45);
+  return result;
+}
+
+void FillUniformAvx2(uint64_t seed, size_t n, double* out) {
+  uint64_t lane[4][4];
+  for (uint64_t l = 0; l < 4; ++l) SeedXoshiro(DeriveSeed(seed, l), lane[l]);
+  __m256i s0 = _mm256_set_epi64x(lane[3][0], lane[2][0], lane[1][0], lane[0][0]);
+  __m256i s1 = _mm256_set_epi64x(lane[3][1], lane[2][1], lane[1][1], lane[0][1]);
+  __m256i s2 = _mm256_set_epi64x(lane[3][2], lane[2][2], lane[1][2], lane[0][2]);
+  __m256i s3 = _mm256_set_epi64x(lane[3][3], lane[2][3], lane[1][3], lane[0][3]);
+
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i exp_hi = _mm256_set1_epi64x(0x4530000000000000LL);  // 2^84
+  const __m256i exp_lo = _mm256_set1_epi64x(0x4330000000000000LL);  // 2^52
+  const __m256d sub_hi = _mm256_set1_pd(0x1.0p84);
+  const __m256d sub_lo = _mm256_set1_pd(0x1.0p52);
+  const __m256d scale = _mm256_set1_pd(0x1.0p-53);
+
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i result = _mm256_add_epi64(Rotl64(_mm256_add_epi64(s0, s3), 23), s0);
+    const __m256i t = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, t);
+    s3 = Rotl64(s3, 45);
+
+    const __m256i r = _mm256_srli_epi64(result, 11);  // 53-bit value
+    const __m256i hi = _mm256_srli_epi64(r, 32);
+    const __m256i lo = _mm256_and_si256(r, mask32);
+    const __m256d dhi =
+        _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(hi, exp_hi)), sub_hi);
+    const __m256d dlo =
+        _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(lo, exp_lo)), sub_lo);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_add_pd(dhi, dlo), scale));
+  }
+  if (i < n) {
+    alignas(32) uint64_t w0[4], w1[4], w2[4], w3[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(w0), s0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(w1), s1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(w2), s2);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(w3), s3);
+    for (; i < n; ++i) {
+      const size_t l = i & 3;
+      uint64_t s[4] = {w0[l], w1[l], w2[l], w3[l]};
+      out[i] = static_cast<double>(StepScalar(s) >> 11) * 0x1.0p-53;
+    }
+  }
+}
+
+// 4 packed uint16 outputs per compare-mask nibble: lane j is 0 where the
+// mask bit (u < t) is set, 1 otherwise.
+constexpr uint64_t OutWord(int m) {
+  uint64_t v = 0;
+  for (int j = 0; j < 4; ++j) {
+    if (!((m >> j) & 1)) v |= uint64_t{1} << (16 * j);
+  }
+  return v;
+}
+constexpr uint64_t kThresholdLut[16] = {
+    OutWord(0),  OutWord(1),  OutWord(2),  OutWord(3),
+    OutWord(4),  OutWord(5),  OutWord(6),  OutWord(7),
+    OutWord(8),  OutWord(9),  OutWord(10), OutWord(11),
+    OutWord(12), OutWord(13), OutWord(14), OutWord(15)};
+
+void ThresholdAvx2(const double* u, const uint32_t* slices, size_t n,
+                   const double* thresholds, Value* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(slices + i));
+    const __m256d t = _mm256_i32gather_pd(thresholds, idx, 8);
+    const int m =
+        _mm256_movemask_pd(_mm256_cmp_pd(_mm256_loadu_pd(u + i), t, _CMP_LT_OQ));
+    std::memcpy(out + i, &kThresholdLut[m], 8);
+  }
+  for (; i < n; ++i) out[i] = u[i] < thresholds[slices[i]] ? Value{0} : Value{1};
+}
+
+void ThresholdRootAvx2(const double* u, size_t n, double t, Value* out) {
+  const __m256d vt = _mm256_set1_pd(t);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int m =
+        _mm256_movemask_pd(_mm256_cmp_pd(_mm256_loadu_pd(u + i), vt, _CMP_LT_OQ));
+    std::memcpy(out + i, &kThresholdLut[m], 8);
+  }
+  for (; i < n; ++i) out[i] = u[i] < t ? Value{0} : Value{1};
+}
+
+inline Value ProbeOneScalar(double u, uint32_t slice, const double* prob,
+                            const Value* alias, uint32_t card) {
+  const double x = u * static_cast<double>(card);
+  uint32_t bucket = static_cast<uint32_t>(x);
+  if (bucket >= card) bucket = card - 1;
+  const size_t cell = static_cast<size_t>(slice) * card + bucket;
+  return (x - static_cast<double>(bucket)) < prob[cell]
+             ? static_cast<Value>(bucket)
+             : alias[cell];
+}
+
+// Shared 4-wide probe body; `cell` already includes the slice offset.
+inline void ProbeStore4(__m256d x, __m128i bucket, __m128i cell,
+                        const double* prob, const Value* alias, Value* out) {
+  const __m256d p = _mm256_i32gather_pd(prob, cell, 8);
+  const __m256d frac = _mm256_sub_pd(x, _mm256_cvtepi32_pd(bucket));
+  const __m256i accept =
+      _mm256_castpd_si256(_mm256_cmp_pd(frac, p, _CMP_LT_OQ));
+  // alias[cell] via a 32-bit gather at scale 2: low 16 bits are the entry
+  // (little-endian); the caller's table is padded for the 2-byte overread.
+  __m128i a = _mm_i32gather_epi32(reinterpret_cast<const int*>(alias), cell, 2);
+  a = _mm_and_si128(a, _mm_set1_epi32(0xFFFF));
+  // Narrow the 4×64-bit compare mask to 4×32 bits, then pick bucket where
+  // the coin accepted and the alias otherwise.
+  const __m128i m32 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+      accept, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0)));
+  const __m128i chosen = _mm_blendv_epi8(a, bucket, m32);
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(out),
+                   _mm_packus_epi32(chosen, chosen));
+}
+
+void AliasAvx2(const double* u, const uint32_t* slices, size_t n,
+               const double* prob, const Value* alias, uint32_t card,
+               Value* out) {
+  const __m256d vcard = _mm256_set1_pd(static_cast<double>(card));
+  const __m128i vcard_i = _mm_set1_epi32(static_cast<int>(card));
+  const __m128i vclamp = _mm_set1_epi32(static_cast<int>(card) - 1);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_mul_pd(_mm256_loadu_pd(u + i), vcard);
+    const __m128i bucket = _mm_min_epi32(_mm256_cvttpd_epi32(x), vclamp);
+    const __m128i sl =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(slices + i));
+    const __m128i cell = _mm_add_epi32(_mm_mullo_epi32(sl, vcard_i), bucket);
+    ProbeStore4(x, bucket, cell, prob, alias, out + i);
+  }
+  for (; i < n; ++i) out[i] = ProbeOneScalar(u[i], slices[i], prob, alias, card);
+}
+
+void AliasRootAvx2(const double* u, size_t n, const double* prob,
+                   const Value* alias, uint32_t card, Value* out) {
+  const __m256d vcard = _mm256_set1_pd(static_cast<double>(card));
+  const __m128i vclamp = _mm_set1_epi32(static_cast<int>(card) - 1);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_mul_pd(_mm256_loadu_pd(u + i), vcard);
+    const __m128i bucket = _mm_min_epi32(_mm256_cvttpd_epi32(x), vclamp);
+    ProbeStore4(x, bucket, bucket, prob, alias, out + i);
+  }
+  for (; i < n; ++i) out[i] = ProbeOneScalar(u[i], 0, prob, alias, card);
+}
+
+}  // namespace
+
+const SampleKernels kAvx2SampleKernels = {
+    FillUniformAvx2, ThresholdAvx2, ThresholdRootAvx2,
+    AliasAvx2,       AliasRootAvx2,
+};
+
+}  // namespace privbayes
+
+#else  // !defined(__AVX2__)
+
+namespace privbayes {
+const SampleKernels kAvx2SampleKernels = {nullptr, nullptr, nullptr, nullptr,
+                                          nullptr};
+}  // namespace privbayes
+
+#endif

@@ -1,0 +1,180 @@
+// AVX-512 sampling kernels: 8 rows per iteration. Compiled with
+// -mavx512f/bw/dq/vl (per-file, see CMakeLists.txt); without those flags
+// this TU degrades to a table of nulls and dispatch falls back to AVX2 or
+// scalar.
+//
+// The RNG keeps the canonical 4-lane xoshiro layout in 256-bit registers
+// (widening to 8 lanes would change the stream) and uses vcvtuqq2pd (DQ+VL)
+// for the exact 53-bit → double conversion. The probes run 8-wide: gathered
+// doubles via vgatherdpd, compare to a k-mask, and vpmovm2w / masked blends
+// to materialize the 16-bit outputs — the same IEEE double ops as scalar,
+// so outputs stay bit-identical.
+
+#include "bn/sample_kernels.h"
+#include "common/random.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512DQ__) && \
+    defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+namespace privbayes {
+
+namespace {
+
+inline __m256i Rotl64(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k), _mm256_srli_epi64(x, 64 - k));
+}
+
+inline uint64_t StepScalar(uint64_t s[4]) {
+  auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+  const uint64_t result = rotl(s[0] + s[3], 23) + s[0];
+  const uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = rotl(s[3], 45);
+  return result;
+}
+
+void FillUniformAvx512(uint64_t seed, size_t n, double* out) {
+  uint64_t lane[4][4];
+  for (uint64_t l = 0; l < 4; ++l) SeedXoshiro(DeriveSeed(seed, l), lane[l]);
+  __m256i s0 = _mm256_set_epi64x(lane[3][0], lane[2][0], lane[1][0], lane[0][0]);
+  __m256i s1 = _mm256_set_epi64x(lane[3][1], lane[2][1], lane[1][1], lane[0][1]);
+  __m256i s2 = _mm256_set_epi64x(lane[3][2], lane[2][2], lane[1][2], lane[0][2]);
+  __m256i s3 = _mm256_set_epi64x(lane[3][3], lane[2][3], lane[1][3], lane[0][3]);
+  const __m256d scale = _mm256_set1_pd(0x1.0p-53);
+
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i result =
+        _mm256_add_epi64(Rotl64(_mm256_add_epi64(s0, s3), 23), s0);
+    const __m256i t = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, t);
+    s3 = Rotl64(s3, 45);
+    const __m256d d = _mm256_cvtepu64_pd(_mm256_srli_epi64(result, 11));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(d, scale));
+  }
+  if (i < n) {
+    alignas(32) uint64_t w0[4], w1[4], w2[4], w3[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(w0), s0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(w1), s1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(w2), s2);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(w3), s3);
+    for (; i < n; ++i) {
+      const size_t l = i & 3;
+      uint64_t s[4] = {w0[l], w1[l], w2[l], w3[l]};
+      out[i] = static_cast<double>(StepScalar(s) >> 11) * 0x1.0p-53;
+    }
+  }
+}
+
+void ThresholdAvx512(const double* u, const uint32_t* slices, size_t n,
+                     const double* thresholds, Value* out) {
+  const __m128i one = _mm_set1_epi16(1);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slices + i));
+    const __m512d t = _mm512_i32gather_pd(idx, thresholds, 8);
+    const __mmask8 less =
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(u + i), t, _CMP_LT_OQ);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_maskz_mov_epi16(static_cast<__mmask8>(~less), one));
+  }
+  for (; i < n; ++i) out[i] = u[i] < thresholds[slices[i]] ? Value{0} : Value{1};
+}
+
+void ThresholdRootAvx512(const double* u, size_t n, double t, Value* out) {
+  const __m512d vt = _mm512_set1_pd(t);
+  const __m128i one = _mm_set1_epi16(1);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 less =
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(u + i), vt, _CMP_LT_OQ);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_maskz_mov_epi16(static_cast<__mmask8>(~less), one));
+  }
+  for (; i < n; ++i) out[i] = u[i] < t ? Value{0} : Value{1};
+}
+
+inline Value ProbeOneScalar(double u, uint32_t slice, const double* prob,
+                            const Value* alias, uint32_t card) {
+  const double x = u * static_cast<double>(card);
+  uint32_t bucket = static_cast<uint32_t>(x);
+  if (bucket >= card) bucket = card - 1;
+  const size_t cell = static_cast<size_t>(slice) * card + bucket;
+  return (x - static_cast<double>(bucket)) < prob[cell]
+             ? static_cast<Value>(bucket)
+             : alias[cell];
+}
+
+inline void ProbeStore8(__m512d x, __m256i bucket, __m256i cell,
+                        const double* prob, const Value* alias, Value* out) {
+  const __m512d p = _mm512_i32gather_pd(cell, prob, 8);
+  const __m512d frac = _mm512_sub_pd(x, _mm512_cvtepi32_pd(bucket));
+  const __mmask8 accept = _mm512_cmp_pd_mask(frac, p, _CMP_LT_OQ);
+  __m256i a =
+      _mm256_i32gather_epi32(reinterpret_cast<const int*>(alias), cell, 2);
+  a = _mm256_and_si256(a, _mm256_set1_epi32(0xFFFF));
+  const __m256i chosen = _mm256_mask_blend_epi32(accept, a, bucket);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm256_cvtepi32_epi16(chosen));
+}
+
+void AliasAvx512(const double* u, const uint32_t* slices, size_t n,
+                 const double* prob, const Value* alias, uint32_t card,
+                 Value* out) {
+  const __m512d vcard = _mm512_set1_pd(static_cast<double>(card));
+  const __m256i vcard_i = _mm256_set1_epi32(static_cast<int>(card));
+  const __m256i vclamp = _mm256_set1_epi32(static_cast<int>(card) - 1);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d x = _mm512_mul_pd(_mm512_loadu_pd(u + i), vcard);
+    const __m256i bucket = _mm256_min_epi32(_mm512_cvttpd_epi32(x), vclamp);
+    const __m256i sl =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slices + i));
+    const __m256i cell =
+        _mm256_add_epi32(_mm256_mullo_epi32(sl, vcard_i), bucket);
+    ProbeStore8(x, bucket, cell, prob, alias, out + i);
+  }
+  for (; i < n; ++i) out[i] = ProbeOneScalar(u[i], slices[i], prob, alias, card);
+}
+
+void AliasRootAvx512(const double* u, size_t n, const double* prob,
+                     const Value* alias, uint32_t card, Value* out) {
+  const __m512d vcard = _mm512_set1_pd(static_cast<double>(card));
+  const __m256i vclamp = _mm256_set1_epi32(static_cast<int>(card) - 1);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d x = _mm512_mul_pd(_mm512_loadu_pd(u + i), vcard);
+    const __m256i bucket = _mm256_min_epi32(_mm512_cvttpd_epi32(x), vclamp);
+    ProbeStore8(x, bucket, bucket, prob, alias, out + i);
+  }
+  for (; i < n; ++i) out[i] = ProbeOneScalar(u[i], 0, prob, alias, card);
+}
+
+}  // namespace
+
+const SampleKernels kAvx512SampleKernels = {
+    FillUniformAvx512, ThresholdAvx512, ThresholdRootAvx512,
+    AliasAvx512,       AliasRootAvx512,
+};
+
+}  // namespace privbayes
+
+#else  // missing AVX-512 F/BW/DQ/VL
+
+namespace privbayes {
+const SampleKernels kAvx512SampleKernels = {nullptr, nullptr, nullptr, nullptr,
+                                            nullptr};
+}  // namespace privbayes
+
+#endif

@@ -1,0 +1,64 @@
+// Scalar sampling kernels — the always-compiled reference implementation
+// every SIMD kernel must match bit for bit, and the code PRIVBAYES_SIMD=off
+// runs end to end.
+
+#include "bn/sample_kernels.h"
+#include "common/random.h"
+
+namespace privbayes {
+
+namespace {
+
+void FillUniformScalar(uint64_t seed, size_t n, double* out) {
+  FastRng4(seed).UniformBlock(out, n);
+}
+
+void ThresholdScalar(const double* u, const uint32_t* slices, size_t n,
+                     const double* thresholds, Value* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = u[i] < thresholds[slices[i]] ? Value{0} : Value{1};
+  }
+}
+
+void ThresholdRootScalar(const double* u, size_t n, double t, Value* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = u[i] < t ? Value{0} : Value{1};
+  }
+}
+
+// The reference probe: identical arithmetic (and rounding) to
+// AliasTable::Sample, applied over a block with precomputed slices.
+inline Value ProbeOne(double u, uint32_t slice, const double* prob,
+                      const Value* alias, uint32_t card) {
+  const double x = u * static_cast<double>(card);
+  uint32_t bucket = static_cast<uint32_t>(x);
+  if (bucket >= card) bucket = card - 1;
+  const size_t cell = static_cast<size_t>(slice) * card + bucket;
+  return (x - static_cast<double>(bucket)) < prob[cell]
+             ? static_cast<Value>(bucket)
+             : alias[cell];
+}
+
+void AliasScalar(const double* u, const uint32_t* slices, size_t n,
+                 const double* prob, const Value* alias, uint32_t card,
+                 Value* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = ProbeOne(u[i], slices[i], prob, alias, card);
+  }
+}
+
+void AliasRootScalar(const double* u, size_t n, const double* prob,
+                     const Value* alias, uint32_t card, Value* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = ProbeOne(u[i], 0, prob, alias, card);
+  }
+}
+
+}  // namespace
+
+const SampleKernels kScalarSampleKernels = {
+    FillUniformScalar, ThresholdScalar, ThresholdRootScalar,
+    AliasScalar,       AliasRootScalar,
+};
+
+}  // namespace privbayes

@@ -2,19 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <span>
 
+#include "bn/alias_table.h"
+#include "bn/sample_kernels.h"
 #include "common/check.h"
 #include "common/parallel.h"
 
 namespace privbayes {
 
 namespace {
-
-// Rows per shard of a batch sampling / likelihood call. Fixed (not derived
-// from the thread count) so per-shard seeds land on the same rows no matter
-// how many threads run.
-constexpr int kSampleShardRows = NetworkSampler::kShardRows;
 
 // Validates table/pair agreement and returns the child's cardinality.
 int CheckPairTable(const Schema& schema, const APPair& pair,
@@ -52,6 +50,11 @@ NetworkSampler::NetworkSampler(const Schema& schema, const BayesNet& net,
     node.attr = pair.attr;
     node.child_card = CheckPairTable(schema, pair, table);
     node.table = &table;
+    // The SIMD kernels compute slice and cell indices in 32-bit lanes; a
+    // table past 2^31 cells (16+ GiB of doubles) would wrap them.
+    PB_THROW_IF(table.size() > size_t{1} << 31,
+                "conditional table for attribute "
+                    << pair.attr << " too large for the sampling kernels");
 
     // Parent strides in units of child slices: the table is row-major with
     // the child last (stride 1), so parent p's flat stride divided by the
@@ -63,7 +66,7 @@ NetworkSampler::NetworkSampler(const Schema& schema, const BayesNet& net,
       const GenAttr& g = pair.parents[p];
       ParentRef& ref = node.parents[p];
       ref.attr = g.attr;
-      ref.stride = stride;
+      ref.stride = static_cast<uint32_t>(stride);
       ref.leaf_map = g.level == 0
                          ? nullptr
                          : schema.attr(g.attr).taxonomy.LeafMapAt(g.level)
@@ -71,50 +74,116 @@ NetworkSampler::NetworkSampler(const Schema& schema, const BayesNet& net,
       stride *= static_cast<size_t>(table.card(static_cast<int>(p)));
     }
 
-    node.alias_offset = alias_prob_.size();
     const size_t num_slices =
         table.size() / static_cast<size_t>(node.child_card);
     const std::vector<double>& cells = table.values();
-    for (size_t s = 0; s < num_slices; ++s) {
-      AliasTable slice_table(std::span<const double>(
-          cells.data() + s * static_cast<size_t>(node.child_card),
-          static_cast<size_t>(node.child_card)));
-      alias_prob_.insert(alias_prob_.end(), slice_table.probs().begin(),
-                         slice_table.probs().end());
-      alias_value_.insert(alias_value_.end(), slice_table.aliases().begin(),
-                          slice_table.aliases().end());
+    if (node.child_card <= 2) {
+      // Stream v2 draws binary children by thresholding the uniform against
+      // P[child=0 | slice] directly — no alias table. Same degenerate-slice
+      // conventions as AliasTable: negative weights throw, an all-zero slice
+      // falls back to uniform.
+      node.thresholds.resize(num_slices);
+      for (size_t s = 0; s < num_slices; ++s) {
+        const double* w = cells.data() + s * static_cast<size_t>(node.child_card);
+        const double w0 = w[0];
+        const double w1 = node.child_card == 2 ? w[1] : 0.0;
+        PB_THROW_IF(w0 < 0 || w1 < 0, "negative weight in conditional slice");
+        const double sum = w0 + w1;
+        node.thresholds[s] =
+            sum > 0 ? w0 / sum : (node.child_card == 2 ? 0.5 : 1.0);
+      }
+    } else {
+      node.alias_offset = alias_prob_.size();
+      for (size_t s = 0; s < num_slices; ++s) {
+        AliasTable slice_table(std::span<const double>(
+            cells.data() + s * static_cast<size_t>(node.child_card),
+            static_cast<size_t>(node.child_card)));
+        alias_prob_.insert(alias_prob_.end(), slice_table.probs().begin(),
+                           slice_table.probs().end());
+        alias_value_.insert(alias_value_.end(), slice_table.aliases().begin(),
+                            slice_table.aliases().end());
+      }
+    }
+  }
+  // Sentinel pad: the SIMD alias kernels fetch 16-bit entries with 32-bit
+  // gathers, reading 2 bytes past the last cell they touch.
+  alias_value_.push_back(Value{0});
+}
+
+void NetworkSampler::ResolveSlices(const Node& node, const Value* const* cols,
+                                   int64_t row_begin, int64_t row_end,
+                                   uint32_t* slices) {
+  const size_t n = static_cast<size_t>(row_end - row_begin);
+  for (size_t p = 0; p < node.parents.size(); ++p) {
+    const ParentRef& ref = node.parents[p];
+    const Value* col = cols[ref.attr] + row_begin;
+    const uint32_t stride = ref.stride;
+    const Value* map = ref.leaf_map;
+    // First parent assigns, the rest accumulate; the leaf-map branch is
+    // hoisted out of the row loop so each variant vectorizes cleanly.
+    if (p == 0) {
+      if (map) {
+        for (size_t i = 0; i < n; ++i) slices[i] = stride * map[col[i]];
+      } else {
+        for (size_t i = 0; i < n; ++i) slices[i] = stride * col[i];
+      }
+    } else {
+      if (map) {
+        for (size_t i = 0; i < n; ++i) slices[i] += stride * map[col[i]];
+      } else {
+        for (size_t i = 0; i < n; ++i) slices[i] += stride * col[i];
+      }
     }
   }
 }
 
-void NetworkSampler::SampleRange(const std::vector<Value*>& cols, int begin,
-                                 int end, FastRng& rng) const {
-  const double* prob = alias_prob_.data();
-  const Value* alias = alias_value_.data();
-  for (int r = begin; r < end; ++r) {
-    for (const Node& node : nodes_) {
-      size_t slice = 0;
-      for (const ParentRef& p : node.parents) {
-        Value v = cols[p.attr][r];
-        slice += p.stride * (p.leaf_map ? p.leaf_map[v] : v);
+void NetworkSampler::SampleShard(const std::vector<Value*>& cols,
+                                 int64_t row_begin, int64_t row_end,
+                                 uint64_t shard_seed) const {
+  const SampleKernels kernels = SelectSampleKernels();
+  const size_t n = static_cast<size_t>(row_end - row_begin);
+  // Per-thread scratch, retained across shards (pool threads persist): one
+  // uniform block and one slice-index block of at most kShardRows entries.
+  thread_local std::vector<double> uniforms;
+  thread_local std::vector<uint32_t> slices;
+  if (uniforms.size() < n) uniforms.resize(n);
+  if (slices.size() < n) slices.resize(n);
+
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    // Stream v2: node i's uniforms are an independent 4-lane block keyed by
+    // (shard seed, node index) — see kSampleStreamVersion.
+    kernels.fill_uniform(DeriveSeed(shard_seed, i), n, uniforms.data());
+    Value* out = cols[node.attr] + row_begin;
+    const bool binary = node.child_card <= 2;
+    if (node.parents.empty()) {
+      if (binary) {
+        kernels.threshold_root(uniforms.data(), n, node.thresholds[0], out);
+      } else {
+        kernels.alias_root(uniforms.data(), n,
+                           alias_prob_.data() + node.alias_offset,
+                           alias_value_.data() + node.alias_offset,
+                           static_cast<uint32_t>(node.child_card), out);
       }
-      const size_t card = static_cast<size_t>(node.child_card);
-      const size_t base = node.alias_offset + slice * card;
-      double u = rng.Uniform() * static_cast<double>(card);
-      size_t bucket = static_cast<size_t>(u);
-      if (bucket >= card) bucket = card - 1;
-      Value sampled = (u - static_cast<double>(bucket)) < prob[base + bucket]
-                          ? static_cast<Value>(bucket)
-                          : alias[base + bucket];
-      cols[node.attr][r] = sampled;
+    } else {
+      ResolveSlices(node, cols.data(), row_begin, row_end, slices.data());
+      if (binary) {
+        kernels.threshold(uniforms.data(), slices.data(), n,
+                          node.thresholds.data(), out);
+      } else {
+        kernels.alias(uniforms.data(), slices.data(), n,
+                      alias_prob_.data() + node.alias_offset,
+                      alias_value_.data() + node.alias_offset,
+                      static_cast<uint32_t>(node.child_card), out);
+      }
     }
   }
 }
 
 Dataset NetworkSampler::Sample(int num_rows, Rng& rng) const {
-  // One seed drawn from the caller's stream, one derived Rng per fixed-size
-  // shard: the synthetic table is a pure function of the incoming Rng state,
-  // whether shards run on one thread or many.
+  // One seed drawn from the caller's stream, one derived stream per
+  // fixed-size shard: the synthetic table is a pure function of the incoming
+  // Rng state, whether shards run on one thread or many.
   return SampleChunk(rng.engine()(), /*first_shard=*/0, num_rows);
 }
 
@@ -128,14 +197,15 @@ Dataset NetworkSampler::SampleChunk(uint64_t base_seed, int64_t first_shard,
   std::vector<Value*> cols(d);
   for (int c = 0; c < d; ++c) cols[c] = columns[c].data();
 
-  const int num_shards = (num_rows + kSampleShardRows - 1) / kSampleShardRows;
+  const int64_t rows = num_rows;
+  const int64_t num_shards = (rows + kShardRows - 1) / kShardRows;
   auto sample_shards = [&](size_t begin, size_t end) {
     for (size_t s = begin; s < end; ++s) {
-      FastRng shard_rng(
-          DeriveSeed(base_seed, static_cast<uint64_t>(first_shard) + s));
-      int row_begin = static_cast<int>(s) * kSampleShardRows;
-      int row_end = std::min(num_rows, row_begin + kSampleShardRows);
-      SampleRange(cols, row_begin, row_end, shard_rng);
+      const int64_t row_begin = static_cast<int64_t>(s) * kShardRows;
+      const int64_t row_end = std::min<int64_t>(rows, row_begin + kShardRows);
+      const uint64_t shard_seed =
+          DeriveSeed(base_seed, static_cast<uint64_t>(first_shard) + s);
+      SampleShard(cols, row_begin, row_end, shard_seed);
     }
   };
   if (parallel) {
@@ -151,33 +221,48 @@ double NetworkSampler::LogLikelihood(const Dataset& data,
                                      double floor_prob) const {
   PB_THROW_IF(data.num_attrs() != schema_->num_attrs(),
               "network/schema mismatch");
-  const int n = data.num_rows();
+  const int64_t n = data.num_rows();
   const int d = data.num_attrs();
   std::vector<const Value*> cols(d);
   for (int c = 0; c < d; ++c) cols[c] = data.column(c).data();
 
-  const int num_shards = (n + kSampleShardRows - 1) / kSampleShardRows;
-  std::vector<double> partial(std::max(num_shards, 1), 0.0);
+  const int64_t num_shards = (n + kShardRows - 1) / kShardRows;
+  std::vector<double> partial(static_cast<size_t>(std::max<int64_t>(num_shards, 1)),
+                              0.0);
   ParallelFor(
       static_cast<size_t>(num_shards),
       [&](size_t begin, size_t end) {
+        thread_local std::vector<uint32_t> slices;
+        thread_local std::vector<double> acc;
         for (size_t s = begin; s < end; ++s) {
-          int row_begin = static_cast<int>(s) * kSampleShardRows;
-          int row_end = std::min(n, row_begin + kSampleShardRows);
-          double total = 0;
-          for (int r = row_begin; r < row_end; ++r) {
-            for (const Node& node : nodes_) {
-              size_t slice = 0;
-              for (const ParentRef& p : node.parents) {
-                Value v = cols[p.attr][r];
-                slice += p.stride * (p.leaf_map ? p.leaf_map[v] : v);
+          const int64_t row_begin = static_cast<int64_t>(s) * kShardRows;
+          const int64_t row_end = std::min<int64_t>(n, row_begin + kShardRows);
+          const size_t rows = static_cast<size_t>(row_end - row_begin);
+          if (slices.size() < rows) slices.resize(rows);
+          if (acc.size() < rows) acc.resize(rows);
+          std::fill_n(acc.begin(), rows, 0.0);
+          // Column-at-a-time like the sampler, accumulating per row: slice
+          // resolution is shared with SampleShard via ResolveSlices.
+          for (const Node& node : nodes_) {
+            const double* cells = node.table->values().data();
+            const size_t card = static_cast<size_t>(node.child_card);
+            const Value* child = cols[node.attr] + row_begin;
+            if (node.parents.empty()) {
+              for (size_t r = 0; r < rows; ++r) {
+                acc[r] += std::log2(std::max(cells[child[r]], floor_prob));
               }
-              double prob =
-                  (*node.table)[slice * static_cast<size_t>(node.child_card) +
-                                cols[node.attr][r]];
-              total += std::log2(std::max(prob, floor_prob));
+            } else {
+              ResolveSlices(node, cols.data(), row_begin, row_end,
+                            slices.data());
+              for (size_t r = 0; r < rows; ++r) {
+                acc[r] += std::log2(std::max(
+                    cells[static_cast<size_t>(slices[r]) * card + child[r]],
+                    floor_prob));
+              }
             }
           }
+          double total = 0;
+          for (size_t r = 0; r < rows; ++r) total += acc[r];
           partial[s] = total;
         }
       },

@@ -8,22 +8,30 @@
 // already-sampled leaf value through the attribute's taxonomy before the
 // conditional-table lookup.
 //
-// NetworkSampler precompiles a (network, conditionals) pair once: it
-// validates the tables, resolves parent taxonomy maps and table strides, and
-// builds one Walker/Vose alias table per parent configuration, so each cell
-// of a synthetic row costs O(1) with no per-cell checks or variable-id
-// lookups. Rows are written straight into column vectors and adopted by
-// Dataset::FromColumns (one range check per column, not per cell); large
-// batches are row-sharded across the persistent thread pool with per-shard
-// deterministic seeds, so output is identical for a given Rng state
-// regardless of thread count.
+// The engine is column-at-a-time: within each fixed-size shard of rows,
+// every network node is processed in ancestral order as three data-parallel
+// passes over the whole shard — a random block generated up front (4
+// interleaved xoshiro256++ lanes, FastRng4), parent slice indices resolved
+// for the chunk (one shared leaf-map + stride walk, also used by
+// LogLikelihood), then the conditional draw itself via the per-ISA kernels
+// of bn/sample_kernels.h (AVX2/AVX-512 gathered alias probes; child
+// cardinality ≤ 2 collapses to a threshold compare on the uniform block).
+// Writes land directly in the columnar buffers Dataset::FromColumns adopts,
+// so serving sinks consume them with zero transpose. Large batches are
+// row-sharded across the persistent thread pool with per-shard
+// deterministic seeds.
+//
+// Determinism contract: the sampled table is a pure function of (model,
+// base seed) — bit-identical across scalar/AVX2/AVX-512 dispatch, thread
+// counts, and chunk boundaries. The exact byte stream is versioned by
+// kSampleStreamVersion below; see its comment for the layout.
 
 #ifndef PRIVBAYES_BN_SAMPLING_H_
 #define PRIVBAYES_BN_SAMPLING_H_
 
+#include <cstdint>
 #include <vector>
 
-#include "bn/alias_table.h"
 #include "bn/bayes_net.h"
 #include "common/random.h"
 #include "data/dataset.h"
@@ -39,9 +47,9 @@ struct ConditionalSet {
   std::vector<ProbTable> conditionals;
 };
 
-/// A compiled model: alias tables + resolved lookups for repeated sampling
-/// and likelihood evaluation. Holds pointers into `schema`, `net` and
-/// `conditionals`; all three must outlive the sampler.
+/// A compiled model: per-node thresholds / alias tables + resolved lookups
+/// for repeated sampling and likelihood evaluation. Holds pointers into
+/// `schema`, `net` and `conditionals`; all three must outlive the sampler.
 class NetworkSampler {
  public:
   /// Rows per deterministic shard of a batch. Per-shard streams are seeded
@@ -50,9 +58,26 @@ class NetworkSampler {
   /// cut from — the contract the serving layer's streaming relies on.
   static constexpr int kShardRows = 8192;
 
+  /// Version of the sampled byte stream — the analogue of
+  /// kModelFormatVersion for served bytes. Bump it whenever the mapping
+  /// (model, base seed) → rows changes, so replays against archived seeds
+  /// fail loudly instead of silently returning different tables.
+  ///
+  /// Version 2 (the column-at-a-time engine):
+  ///   · shard s of the stream is seeded DeriveSeed(base_seed, s);
+  ///   · node i (network order) of a shard draws its uniform block from
+  ///     FastRng4(DeriveSeed(shard_seed, i)) — 4 interleaved xoshiro256++
+  ///     lanes, row r consuming draw r of the block;
+  ///   · a node with child cardinality ≤ 2 maps u to
+  ///     (u < P[child=0 | slice]) ? 0 : 1; larger cardinalities run the
+  ///     Walker/Vose probe of bn/sample_kernels.h on u · card.
+  /// (Version 1 was the row-at-a-time engine of PRs 1–6: one FastRng per
+  /// shard consumed in row-major node order, alias probes everywhere.)
+  static constexpr int kSampleStreamVersion = 2;
+
   /// Validates the conditionals against the network (same checks the seed's
-  /// SampleFromNetwork ran) and precomputes alias tables; throws
-  /// std::invalid_argument on any mismatch.
+  /// SampleFromNetwork ran) and precomputes thresholds + alias tables;
+  /// throws std::invalid_argument on any mismatch.
   NetworkSampler(const Schema& schema, const BayesNet& net,
                  const ConditionalSet& conditionals);
 
@@ -64,7 +89,9 @@ class NetworkSampler {
   /// first_shard·kShardRows + i of the stream, bit-identical at any thread
   /// count. Sample(n, rng) ≡ SampleChunk(rng.engine()(), 0, n). `parallel`
   /// false runs the shards serially on the calling thread (same output) —
-  /// the serving layer's fallback when the thread pool is saturated.
+  /// the serving layer's fallback when the thread pool is saturated. All
+  /// shard/row arithmetic is 64-bit, so chunks cut deep into a 100M+-row
+  /// stream (first_shard · kShardRows far past 2^31) are safe.
   Dataset SampleChunk(uint64_t base_seed, int64_t first_shard, int num_rows,
                       bool parallel = true) const;
 
@@ -78,7 +105,7 @@ class NetworkSampler {
   // advances the slice index by `stride` slices.
   struct ParentRef {
     int attr = 0;
-    size_t stride = 0;
+    uint32_t stride = 0;
     const Value* leaf_map = nullptr;
   };
   struct Node {
@@ -86,18 +113,29 @@ class NetworkSampler {
     int child_card = 0;
     std::vector<ParentRef> parents;
     const ProbTable* table = nullptr;  // for LogLikelihood
-    size_t alias_offset = 0;  // flat index of slice 0, bucket 0
+    size_t alias_offset = 0;  // flat index of slice 0, bucket 0 (card > 2)
+    std::vector<double> thresholds;  // card ≤ 2: P[child=0 | slice] per slice
   };
 
-  void SampleRange(const std::vector<Value*>& cols, int begin, int end,
-                   FastRng& rng) const;
+  /// Resolves the parent-configuration slice index of rows [row_begin,
+  /// row_end) into `slices` — the leaf-map + stride walk shared by the
+  /// columnar sampler and LogLikelihood. Requires node.parents non-empty.
+  static void ResolveSlices(const Node& node, const Value* const* cols,
+                            int64_t row_begin, int64_t row_end,
+                            uint32_t* slices);
+
+  /// Samples one shard column-at-a-time into the chunk's column buffers.
+  void SampleShard(const std::vector<Value*>& cols, int64_t row_begin,
+                   int64_t row_end, uint64_t shard_seed) const;
 
   const Schema* schema_;
   std::vector<Node> nodes_;
-  // Alias tables of every conditional slice, flattened into two contiguous
-  // arrays (bucket b of slice s of node i lives at nodes_[i].alias_offset +
-  // s·child_card + b): one allocation to walk during sampling instead of one
-  // AliasTable object per parent configuration.
+  // Alias tables of every card > 2 conditional slice, flattened into two
+  // contiguous arrays (bucket b of slice s of node i lives at
+  // nodes_[i].alias_offset + s·child_card + b): one allocation to walk
+  // during sampling instead of one AliasTable object per parent
+  // configuration. alias_value_ carries one trailing sentinel so the SIMD
+  // kernels' 32-bit gathers of 16-bit entries never read past the buffer.
   std::vector<double> alias_prob_;
   std::vector<Value> alias_value_;
 };

@@ -78,6 +78,17 @@ class Rng {
 /// SplitMix64 step; exposed for deriving per-task seeds from (seed, index).
 uint64_t SplitMix64(uint64_t x);
 
+/// Expands a 64-bit seed into a xoshiro256++ state via the SplitMix64
+/// sequence (the reference seeding procedure). Shared by FastRng, FastRng4
+/// and the per-ISA sampling kernels so every implementation of the lane
+/// layout seeds identically.
+inline void SeedXoshiro(uint64_t seed, uint64_t state[4]) {
+  for (int w = 0; w < 4; ++w) {
+    seed += 0x9e3779b97f4a7c15ULL;
+    state[w] = SplitMix64(seed);
+  }
+}
+
 /// xoshiro256++ — a small, statistically strong, non-cryptographic generator
 /// for bulk sampling inner loops, where mt19937_64's per-draw cost dominates
 /// (ancestral sampling draws one uniform per synthetic cell). Seeded via
@@ -85,12 +96,7 @@ uint64_t SplitMix64(uint64_t x);
 /// produce identical streams on all platforms.
 class FastRng {
  public:
-  explicit FastRng(uint64_t seed) {
-    for (uint64_t& word : state_) {
-      seed += 0x9e3779b97f4a7c15ULL;
-      word = SplitMix64(seed);
-    }
-  }
+  explicit FastRng(uint64_t seed) { SeedXoshiro(seed, state_); }
 
   uint64_t Next() {
     auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
@@ -116,6 +122,49 @@ class FastRng {
 inline uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
   return SplitMix64(base ^ SplitMix64(stream + 0x9e3779b97f4a7c15ULL));
 }
+
+/// Four interleaved xoshiro256++ lanes — the bulk API behind the columnar
+/// sampling engine's random blocks. Lane l is FastRng(DeriveSeed(seed, l));
+/// draw j of a block is lane (j mod 4)'s draw (j div 4), so the output is a
+/// pure function of the seed with a fixed lane layout that scalar and SIMD
+/// implementations reproduce bit-for-bit (the layout is part of the sampling
+/// stream contract — see NetworkSampler::kSampleStreamVersion).
+class FastRng4 {
+ public:
+  explicit FastRng4(uint64_t seed) {
+    for (uint64_t l = 0; l < 4; ++l) SeedXoshiro(DeriveSeed(seed, l), state_[l]);
+  }
+
+  /// Fills out[0..n) with the next n interleaved raw draws. A tail of
+  /// n mod 4 draws advances only lanes 0..(n mod 4)-1.
+  void NextBlock(uint64_t* out, size_t n) {
+    for (size_t j = 0; j < n; ++j) out[j] = Step(state_[j & 3]);
+  }
+
+  /// Fills out[0..n) with uniforms in [0, 1), each (draw >> 11) * 2^-53 —
+  /// the same mapping FastRng::Uniform uses.
+  void UniformBlock(double* out, size_t n) {
+    for (size_t j = 0; j < n; ++j) {
+      out[j] = static_cast<double>(Step(state_[j & 3]) >> 11) * 0x1.0p-53;
+    }
+  }
+
+ private:
+  static uint64_t Step(uint64_t s[4]) {
+    auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+    const uint64_t result = rotl(s[0] + s[3], 23) + s[0];
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+  }
+
+  uint64_t state_[4][4];  // [lane][word]
+};
 
 }  // namespace privbayes
 

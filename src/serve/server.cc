@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <streambuf>
 
+#include "bn/sampling.h"
 #include "common/check.h"
 #include "data/marginal_store.h"
 #include "serve/row_sink.h"
@@ -539,6 +540,8 @@ void ServeServer::HandleLine(const std::string& line, FdWriter& out) {
     MarginalStore& store = MarginalStore::Instance();
     MarginalStoreStats m = store.stats();
     std::vector<std::pair<std::string, uint64_t>> counters = {
+        {"sample_stream_version",
+         static_cast<uint64_t>(NetworkSampler::kSampleStreamVersion)},
         {"connections", server_stats.connections},
         {"requests", server_stats.requests},
         {"errors", server_stats.errors},

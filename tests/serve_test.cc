@@ -1245,6 +1245,12 @@ TEST(ServeServer, HealthReportsStateAndGauges) {
     ASSERT_NE(value_of(counter), nullptr) << counter;
   }
   EXPECT_GE(*value_of("live_sessions"), 1u);
+  // Clients replaying archived seeds check this gauge against the stream
+  // version they recorded; it must track the compiled-in constant.
+  const uint64_t* stream_version = value_of("sample_stream_version");
+  ASSERT_NE(stream_version, nullptr);
+  EXPECT_EQ(*stream_version,
+            static_cast<uint64_t>(NetworkSampler::kSampleStreamVersion));
   client.Quit();
   server.Stop();
 }

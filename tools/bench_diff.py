@@ -4,10 +4,13 @@
 Two modes:
 
   bench_diff.py BASELINE.json NEW.json [--threshold 0.20] [--markdown-out F]
+                [--gate REGEX]
       Compare one run against a baseline. Regressions beyond the threshold
       are reported as GitHub Actions `::warning::` annotations; the exit
-      code is always 0 — CI machines are noisy, so the diff informs rather
-      than gates.
+      code is 0 — CI machines are noisy, so the diff informs rather than
+      gates — EXCEPT for benchmarks matching --gate (e.g. the serving
+      hot path), whose regressions are `::error::` annotations and make
+      the script exit 1.
 
   bench_diff.py --trajectory RUN1.json RUN2.json ... [--markdown-out F]
       Render a benchmark × run markdown table of throughputs (the ROADMAP's
@@ -23,6 +26,7 @@ Throughput is `items_per_second`, falling back to inverse `real_time`.
 import argparse
 import json
 import os
+import re
 import sys
 
 
@@ -97,7 +101,7 @@ def run_trajectory(paths, labels, markdown_out):
     return 0
 
 
-def run_diff(baseline_path, new_path, threshold, markdown_out):
+def run_diff(baseline_path, new_path, threshold, markdown_out, gate=None):
     base = load(baseline_path)
     new = load(new_path)
     shared = sorted(set(base) & set(new))
@@ -105,7 +109,9 @@ def run_diff(baseline_path, new_path, threshold, markdown_out):
         print("bench_diff: no shared benchmark names; nothing to compare")
         return 0
 
+    gate_re = re.compile(gate) if gate else None
     regressions = 0
+    gated_failures = 0
     md = ["# Benchmark diff", "",
           f"`{baseline_path}` → `{new_path}`", "",
           "| benchmark | baseline | new | ratio |", "|---|---:|---:|---:|"]
@@ -118,22 +124,34 @@ def run_diff(baseline_path, new_path, threshold, markdown_out):
         if ratio < 1.0 - threshold:
             flag = "  <-- regression"
             regressions += 1
-            print(f"::warning::bench regression: {name} "
-                  f"{b:.3g} -> {n:.3g} items/s ({ratio:.2f}x)")
+            if gate_re and gate_re.search(name):
+                gated_failures += 1
+                print(f"::error::gated bench regression: {name} "
+                      f"{b:.3g} -> {n:.3g} items/s ({ratio:.2f}x)")
+            else:
+                print(f"::warning::bench regression: {name} "
+                      f"{b:.3g} -> {n:.3g} items/s ({ratio:.2f}x)")
         print(f"{name:52s} {b:12.4g} {n:12.4g} {ratio:6.2f}x{flag}")
         md.append(f"| `{name}` | {human(b)} | {human(n)} | {ratio:.2f}x"
                   f"{' ⚠️' if flag else ''} |")
 
     dropped = sorted(set(base) - set(new))
     for name in dropped:
-        print(f"::warning::benchmark disappeared from suite: {name}")
+        # A gated benchmark must not dodge its gate by vanishing.
+        if gate_re and gate_re.search(name):
+            gated_failures += 1
+            print(f"::error::gated benchmark disappeared from suite: {name}")
+        else:
+            print(f"::warning::benchmark disappeared from suite: {name}")
     summary = (f"{len(shared)} compared, {regressions} regressed beyond "
                f"{threshold:.0%}, {len(dropped)} dropped")
+    if gate_re:
+        summary += f", {gated_failures} gated failure(s) for /{gate}/"
     print(f"bench_diff: {summary}")
     if markdown_out:
         md += ["", summary]
         write_markdown(markdown_out, md)
-    return 0
+    return 1 if gated_failures else 0
 
 
 def main():
@@ -152,6 +170,9 @@ def main():
                              "file names)")
     parser.add_argument("--markdown-out", metavar="FILE",
                         help="also write the result as markdown")
+    parser.add_argument("--gate", metavar="REGEX",
+                        help="escalate regressions of matching benchmarks "
+                             "to errors and exit 1 (diff mode)")
     args = parser.parse_args()
 
     if args.trajectory:
@@ -159,7 +180,7 @@ def main():
     if not args.baseline or not args.new:
         parser.error("need BASELINE.json NEW.json (or --trajectory)")
     return run_diff(args.baseline, args.new, args.threshold,
-                    args.markdown_out)
+                    args.markdown_out, args.gate)
 
 
 if __name__ == "__main__":
