@@ -9,10 +9,33 @@
 #include "bn/sample_kernels.h"
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace privbayes {
 
 namespace {
+
+// Chunk-level sampler telemetry (global registry: samplers are per-model but
+// the chunk clock answers a process-wide question — how fast does this box
+// synthesize rows). Per-request timing lives in the serve layer's spans.
+struct SamplerMetrics {
+  Histogram* chunk_time;  // one SampleChunk call, ns (exposed as s)
+  Counter* rows;          // synthetic rows materialized
+
+  SamplerMetrics() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    chunk_time = reg.GetHistogram("privbayes_sampler_chunk_seconds", "",
+                                  "NetworkSampler::SampleChunk wall time",
+                                  1e-9);
+    rows = reg.GetCounter("privbayes_sampler_rows_total", "",
+                          "Synthetic rows materialized by SampleChunk");
+  }
+};
+
+SamplerMetrics& GetSamplerMetrics() {
+  static SamplerMetrics* m = new SamplerMetrics();
+  return *m;
+}
 
 // Validates table/pair agreement and returns the child's cardinality.
 int CheckPairTable(const Schema& schema, const APPair& pair,
@@ -191,6 +214,8 @@ Dataset NetworkSampler::SampleChunk(uint64_t base_seed, int64_t first_shard,
                                     int num_rows, bool parallel) const {
   PB_THROW_IF(num_rows < 0, "negative row count");
   PB_THROW_IF(first_shard < 0, "negative shard index");
+  SamplerMetrics& metrics = GetSamplerMetrics();
+  const uint64_t t0 = MonotonicNowNs();
   const int d = schema_->num_attrs();
   std::vector<std::vector<Value>> columns(
       d, std::vector<Value>(static_cast<size_t>(num_rows)));
@@ -214,6 +239,8 @@ Dataset NetworkSampler::SampleChunk(uint64_t base_seed, int64_t first_shard,
   } else {
     sample_shards(0, static_cast<size_t>(num_shards));
   }
+  metrics.chunk_time->Record(MonotonicNowNs() - t0);
+  metrics.rows->Add(static_cast<uint64_t>(num_rows));
   return Dataset::FromColumns(*schema_, std::move(columns));
 }
 

@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace privbayes {
 
 namespace {
+
+// Pool telemetry lives in the global registry: there is one process-wide
+// pool, so per-server scoping would be meaningless. Pointers are cached
+// once; the instruments themselves are wait-free.
+struct PoolMetrics {
+  Gauge* waiters;       // callers holding or queued on run_mu_ (queue depth)
+  Histogram* run_time;  // dispatched Run() wall time, ns (exposed as s)
+
+  PoolMetrics() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    waiters = reg.GetGauge("privbayes_pool_waiters", "",
+                           "Callers dispatching or queued for the pool");
+    run_time = reg.GetHistogram("privbayes_pool_run_seconds", "",
+                                "Dispatched ThreadPool::Run wall time",
+                                1e-9);
+  }
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
 
 // True on a pool worker for its whole life, and on a caller thread while it
 // participates in a job it dispatched. Either way, parallel calls from such
@@ -52,6 +76,9 @@ void ThreadPool::Run(size_t n, size_t chunk, RangeFn fn, void* ctx) {
     fn(ctx, 0, n);
     return;
   }
+  PoolMetrics& metrics = GetPoolMetrics();
+  metrics.waiters->Add(1);
+  const uint64_t t0 = MonotonicNowNs();
   std::lock_guard<std::mutex> run_lock(run_mu_);
   std::unique_lock<std::mutex> lock(mu_);
   job_fn_ = fn;
@@ -80,6 +107,9 @@ void ThreadPool::Run(size_t n, size_t chunk, RangeFn fn, void* ctx) {
   lock.lock();
   done_cv_.wait(lock, [this] { return busy_workers_ == 0; });
   job_fn_ = nullptr;
+  lock.unlock();
+  metrics.run_time->Record(MonotonicNowNs() - t0);
+  metrics.waiters->Add(-1);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -14,10 +14,46 @@
 
 #include "common/check.h"
 #include "data/column_store.h"
+#include "obs/metrics.h"
 
 namespace privbayes {
 
 namespace {
+
+// Resolve-time histograms in the global registry (one marginal store per
+// fitted model server in practice, and the store itself is process-shared
+// state, so global scope is the honest one). result="hit" is the locked map
+// probe; result="miss" includes the counting pass.
+struct StoreMetrics {
+  Histogram* hit_time;
+  Histogram* miss_time;
+
+  StoreMetrics() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    hit_time = reg.GetHistogram("privbayes_marginal_resolve_seconds",
+                                "result=\"hit\"",
+                                "MarginalStore::Counts resolve time", 1e-9);
+    miss_time = reg.GetHistogram("privbayes_marginal_resolve_seconds",
+                                 "result=\"miss\"",
+                                 "MarginalStore::Counts resolve time", 1e-9);
+  }
+};
+
+StoreMetrics& GetStoreMetrics() {
+  static StoreMetrics* m = new StoreMetrics();
+  return *m;
+}
+
+// Charges the elapsed time to the hit or miss histogram on scope exit, so
+// every return path out of Counts() is covered.
+struct ResolveTimer {
+  uint64_t t0 = MonotonicNowNs();
+  bool hit = false;
+  ~ResolveTimer() {
+    StoreMetrics& m = GetStoreMetrics();
+    (hit ? m.hit_time : m.miss_time)->Record(MonotonicNowNs() - t0);
+  }
+};
 
 // Canonical key order: sorted by GenVarId, which is strictly monotone in
 // (attr, level), so one key covers every arrangement of the same set.
@@ -219,6 +255,8 @@ std::shared_ptr<const ProbTable> MarginalStore::Counts(
   std::vector<GenAttr> sorted = SortedSet(gattrs);
   std::shared_ptr<const ColumnStore> snapshot = data.store();
 
+  ResolveTimer resolve_timer;
+
   if (!enabled_) {
     g_skipped.fetch_add(1, std::memory_order_relaxed);
     return CountCanonical(data.schema(), *snapshot, sorted);
@@ -234,6 +272,7 @@ std::shared_ptr<const ProbTable> MarginalStore::Counts(
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
       g_hits.fetch_add(1, std::memory_order_relaxed);
       if (was_hit != nullptr) *was_hit = true;
+      resolve_timer.hit = true;
       return it->second.table;
     }
   }

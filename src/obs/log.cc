@@ -1,0 +1,123 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+#include <stdexcept>
+
+namespace privbayes {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialized from env
+std::mutex g_sink_mu;
+std::ostream* g_test_sink = nullptr;
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("PRIVBAYES_LOG_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    try {
+      return static_cast<int>(LogLevelFromString(env));
+    } catch (const std::invalid_argument&) {
+      // Fall through to the default; a typo'd env var must not kill boot.
+    }
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+int CurrentLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level >= 0) return level;
+  level = InitLevelFromEnv();
+  int expected = -1;
+  g_level.compare_exchange_strong(expected, level,
+                                  std::memory_order_relaxed);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+LogLevel LogLevelFromString(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level '" + name + "'");
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(CurrentLevel()); }
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= CurrentLevel();
+}
+
+void SetLogSinkForTesting(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_test_sink = sink;
+}
+
+namespace obs_internal {
+
+LogMessage::LogMessage(LogLevel level, const char* component) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm utc{};
+  gmtime_r(&secs, &utc);
+  char stamp[80];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(ms));
+  stream_ << stamp << ' ' << LogLevelName(level) << " [" << component << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_test_sink != nullptr) {
+    *g_test_sink << line;
+    g_test_sink->flush();
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace obs_internal
+
+}  // namespace privbayes

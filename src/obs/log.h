@@ -1,0 +1,77 @@
+// Minimal leveled, timestamped structured logger.
+//
+// One log call renders one line — "<UTC ISO-8601 ms> LEVEL [component]
+// message" — and writes it with a single buffered fwrite under a mutex, so
+// lines from concurrent threads never interleave mid-line. Levels below the
+// configured threshold cost one relaxed atomic load and skip message
+// construction entirely (the macro short-circuits before streaming).
+//
+//   PB_LOG(kInfo, "serve") << "fitting " << name << " (" << rows << " rows)";
+//
+// The default sink is stdout (the serving daemon redirects both streams to
+// its log file); tests capture output via SetLogSinkForTesting. The daemon's
+// READY line is deliberately NOT a log line — boot scripts parse it bare.
+
+#ifndef PRIVBAYES_OBS_LOG_H_
+#define PRIVBAYES_OBS_LOG_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace privbayes {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  ///< threshold only — nothing logs at kOff
+};
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// throws std::invalid_argument on anything else.
+LogLevel LogLevelFromString(const std::string& name);
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide threshold; messages below it are dropped before rendering.
+/// Defaults to kInfo (PRIVBAYES_LOG_LEVEL overrides at first use).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// True when `level` would be emitted right now (the macro's gate).
+bool LogEnabled(LogLevel level);
+
+/// Redirects log lines into `sink` (tests); nullptr restores stdout.
+void SetLogSinkForTesting(std::ostream* sink);
+
+namespace obs_internal {
+
+/// One in-flight log line; flushes (atomically, with the trailing newline)
+/// on destruction at the end of the full expression.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* component);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace obs_internal
+
+/// `level` is a bare LogLevel enumerator name (kDebug/kInfo/kWarn/kError).
+#define PB_LOG(level, component)                                   \
+  if (!::privbayes::LogEnabled(::privbayes::LogLevel::level)) {    \
+  } else                                                           \
+    ::privbayes::obs_internal::LogMessage(::privbayes::LogLevel::level, \
+                                          component)               \
+        .stream()
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_OBS_LOG_H_

@@ -1,0 +1,328 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace privbayes {
+
+namespace {
+
+std::string KeyOf(const std::string& name, const std::string& labels) {
+  return name + "\x1f" + labels;
+}
+
+// "name{labels}" or bare "name"; `extra` appends one more label (used for
+// the histogram `le` label).
+void AppendSeries(std::string& out, const std::string& name,
+                  const std::string& suffix, const std::string& labels,
+                  const std::string& extra) {
+  out += name;
+  out += suffix;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+}
+
+void AppendValue(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendValue(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+unsigned MetricThreadStripe() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricStripes - 1);
+  return id;
+}
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ----------------------------------------------------------- histogram ----
+
+Histogram::Histogram() : stripes_(new Stripe[kMetricStripes]()) {}
+
+int Histogram::BucketIndex(uint64_t v) {
+  constexpr int kSub = 1 << kSubBucketBits;  // 16
+  if (v < kSub) return static_cast<int>(v);
+  if (v >= (uint64_t{1} << kMaxValueBits)) return kNumBuckets;  // overflow
+  const int e = std::bit_width(v) - 1;  // floor(log2 v), in [4, 39]
+  // v >> (e-4) is in [16, 32): the low 4 bits select the sub-bucket, and
+  // octave e contributes buckets [(e-3)·16, (e-2)·16). For e = 4 this
+  // reduces to index v, so the scheme is continuous at the exact/log seam.
+  return ((e - kSubBucketBits + 1) << kSubBucketBits) |
+         static_cast<int>((v >> (e - kSubBucketBits)) & (kSub - 1));
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  constexpr int kSub = 1 << kSubBucketBits;
+  if (index < kSub) return static_cast<uint64_t>(index);
+  const int e = (index >> kSubBucketBits) + kSubBucketBits - 1;
+  const int sub = index & (kSub - 1);
+  return static_cast<uint64_t>(kSub + sub) << (e - kSubBucketBits);
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  constexpr int kSub = 1 << kSubBucketBits;
+  if (index < kSub) return static_cast<uint64_t>(index);
+  const int e = (index >> kSubBucketBits) + kSubBucketBits - 1;
+  return BucketLowerBound(index) + (uint64_t{1} << (e - kSubBucketBits)) - 1;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kNumBuckets + 1, 0);
+  for (unsigned s = 0; s < kMetricStripes; ++s) {
+    const Stripe& stripe = stripes_[s];
+    snap.sum += stripe.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b <= kNumBuckets; ++b) {
+      snap.buckets[static_cast<size_t>(b)] +=
+          stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  for (uint64_t c : snap.buckets) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (unsigned s = 0; s < kMetricStripes; ++s) {
+    stripes_[s].sum.store(0, std::memory_order_relaxed);
+    for (int b = 0; b <= kNumBuckets; ++b) {
+      stripes_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      const int index = static_cast<int>(b);
+      if (index >= Histogram::kNumBuckets) {
+        return static_cast<double>(uint64_t{1} << Histogram::kMaxValueBits);
+      }
+      if (index < (1 << Histogram::kSubBucketBits)) {
+        return static_cast<double>(index);  // exact bucket
+      }
+      return (static_cast<double>(Histogram::BucketLowerBound(index)) +
+              static_cast<double>(Histogram::BucketUpperBound(index))) /
+             2.0;
+    }
+  }
+  return 0.0;  // unreachable when count > 0
+}
+
+// ------------------------------------------------------------ registry ----
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::FindOrCreate(
+    const std::string& name, const std::string& labels,
+    const std::string& help, Kind kind) {
+  std::string key = KeyOf(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    if (it->second->kind != kind) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' re-registered with a different kind");
+    }
+    return it->second;
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->name = name;
+  metric->labels = labels;
+  metric->help = help;
+  metric->kind = kind;
+  Metric* raw = metric.get();
+  metrics_.push_back(std::move(metric));
+  by_key_.emplace(std::move(key), raw);
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric* m = FindOrCreate(name, labels, help, Kind::kCounter);
+  if (!m->counter) m->counter = std::make_unique<Counter>();
+  return m->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric* m = FindOrCreate(name, labels, help, Kind::kGauge);
+  if (!m->gauge) m->gauge = std::make_unique<Gauge>();
+  return m->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& labels,
+                                         const std::string& help,
+                                         double scale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric* m = FindOrCreate(name, labels, help, Kind::kHistogram);
+  if (!m->histogram) {
+    m->histogram = std::make_unique<Histogram>();
+    m->scale = scale;
+  }
+  return m->histogram.get();
+}
+
+void MetricsRegistry::SetCallback(const std::string& name,
+                                  const std::string& labels,
+                                  const std::string& help, bool as_counter,
+                                  std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric* m = FindOrCreate(name, labels, help, Kind::kCallback);
+  m->callback_counter = as_counter;
+  m->callback = std::move(fn);
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Metric>& m : metrics_) {
+    if (m->counter) m->counter->Reset();
+    if (m->gauge) m->gauge->Reset();
+    if (m->histogram) m->histogram->Reset();
+  }
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  // Group label variants of one family under a single # HELP/# TYPE header,
+  // preserving first-registration order of families.
+  std::vector<const Metric*> ordered;
+  ordered.reserve(metrics_.size());
+  {
+    std::unordered_map<std::string, std::vector<const Metric*>> families;
+    std::vector<const std::string*> family_order;
+    for (const std::unique_ptr<Metric>& m : metrics_) {
+      auto [it, inserted] = families.try_emplace(m->name);
+      if (inserted) family_order.push_back(&m->name);
+      it->second.push_back(m.get());
+    }
+    for (const std::string* name : family_order) {
+      for (const Metric* m : families[*name]) ordered.push_back(m);
+    }
+  }
+
+  const std::string* header_done = nullptr;
+  for (const Metric* m : ordered) {
+    if (header_done == nullptr || *header_done != m->name) {
+      out += "# HELP " + m->name + " " + m->help + "\n";
+      const char* type = "untyped";
+      switch (m->kind) {
+        case Kind::kCounter:
+          type = "counter";
+          break;
+        case Kind::kGauge:
+          type = "gauge";
+          break;
+        case Kind::kHistogram:
+          type = "histogram";
+          break;
+        case Kind::kCallback:
+          type = m->callback_counter ? "counter" : "gauge";
+          break;
+      }
+      out += "# TYPE " + m->name + " ";
+      out += type;
+      out += "\n";
+      header_done = &m->name;
+    }
+
+    switch (m->kind) {
+      case Kind::kCounter: {
+        AppendSeries(out, m->name, "", m->labels, "");
+        out += ' ';
+        AppendValue(out, m->counter->Value());
+        out += '\n';
+        break;
+      }
+      case Kind::kGauge: {
+        AppendSeries(out, m->name, "", m->labels, "");
+        out += ' ';
+        AppendValue(out, static_cast<double>(m->gauge->Value()));
+        out += '\n';
+        break;
+      }
+      case Kind::kCallback: {
+        AppendSeries(out, m->name, "", m->labels, "");
+        out += ' ';
+        AppendValue(out, m->callback ? m->callback() : 0.0);
+        out += '\n';
+        break;
+      }
+      case Kind::kHistogram: {
+        HistogramSnapshot snap = m->histogram->Snapshot();
+        // Cumulative `le` buckets, non-empty ones only (a sorted subset of
+        // the bucket bounds plus +Inf is valid exposition and keeps ~600
+        // mostly-zero buckets out of every scrape).
+        uint64_t cumulative = 0;
+        for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+          const uint64_t in_bucket = snap.buckets[static_cast<size_t>(b)];
+          if (in_bucket == 0) continue;
+          cumulative += in_bucket;
+          char le[48];
+          std::snprintf(le, sizeof(le), "le=\"%.9g\"",
+                        static_cast<double>(Histogram::BucketUpperBound(b)) *
+                            m->scale);
+          AppendSeries(out, m->name, "_bucket", m->labels, le);
+          out += ' ';
+          AppendValue(out, cumulative);
+          out += '\n';
+        }
+        AppendSeries(out, m->name, "_bucket", m->labels, "le=\"+Inf\"");
+        out += ' ';
+        AppendValue(out, snap.count);
+        out += '\n';
+        AppendSeries(out, m->name, "_sum", m->labels, "");
+        out += ' ';
+        AppendValue(out, static_cast<double>(snap.sum) * m->scale);
+        out += '\n';
+        AppendSeries(out, m->name, "_count", m->labels, "");
+        out += ' ';
+        AppendValue(out, snap.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace privbayes

@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+#include "obs/log.h"
+
+namespace privbayes {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kSample:
+      return "sample";
+    case Stage::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+uint64_t TraceBuffer::MintId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceBuffer::Finish(Span& span) {
+  span.total_ns = MonotonicNowNs() - span.start_ns;
+  bool slow = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(span);
+    if (ring_.size() > kCapacity) ring_.pop_front();
+    if (slow_ns_ > 0 &&
+        span.total_ns >= static_cast<uint64_t>(slow_ns_)) {
+      ++slow_count_;
+      slow = true;
+    }
+  }
+  if (slow) {
+    // One line, key=value, all times in microseconds — grep/awk friendly.
+    PB_LOG(kWarn, "trace")
+        << "slow-request span=" << span.id << " cmd=" << span.command
+        << (span.model.empty() ? "" : " model=") << span.model
+        << " rows=" << span.rows << " total_us=" << span.total_ns / 1000
+        << " parse_us=" << span.stage_ns[static_cast<int>(Stage::kParse)] / 1000
+        << " admission_us="
+        << span.stage_ns[static_cast<int>(Stage::kAdmission)] / 1000
+        << " sample_us="
+        << span.stage_ns[static_cast<int>(Stage::kSample)] / 1000
+        << " write_us="
+        << span.stage_ns[static_cast<int>(Stage::kWrite)] / 1000
+        << " ok=" << (span.ok ? 1 : 0)
+        << (span.error.empty() ? "" : " err=") << span.error;
+  }
+}
+
+std::vector<Span> TraceBuffer::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Span>(ring_.begin(), ring_.end());
+}
+
+uint64_t TraceBuffer::slow_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_count_;
+}
+
+}  // namespace privbayes

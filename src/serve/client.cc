@@ -518,6 +518,25 @@ std::vector<std::pair<std::string, uint64_t>> ServeClient::Stats() {
   });
 }
 
+std::string ServeClient::Metrics() {
+  return WithRetry([&] {
+    SendLine("METRICS");
+    std::istringstream head(ExpectOk());
+    int64_t nbytes = -1;
+    head >> nbytes;
+    if (!head || nbytes < 0 || nbytes > static_cast<int64_t>(kMaxWireFrame)) {
+      throw ServeError(ServeErrorCode::kProtocol, "bad METRICS reply");
+    }
+    std::string payload(static_cast<size_t>(nbytes), '\0');
+    if (nbytes > 0 && !ReadWireExact(fd_, inbuf_, payload.data(),
+                                     static_cast<size_t>(nbytes))) {
+      throw ServeError(ServeErrorCode::kConnectionLost,
+                       "connection lost mid-METRICS");
+    }
+    return payload;
+  });
+}
+
 ServeHealth ServeClient::Health() {
   return WithRetry([&] {
     SendLine("HEALTH");

@@ -171,6 +171,11 @@ class ServeClient {
   /// order the server reports them (see serve/server.h's STATS entry).
   std::vector<std::pair<std::string, uint64_t>> Stats();
 
+  /// Raw Prometheus text exposition from the METRICS command (the server's
+  /// registry plus the process-global one). The payload is byte-counted on
+  /// the wire and returned verbatim for a scraper to relay or parse.
+  std::string Metrics();
+
   /// Serving state (READY/DRAINING), session count, in-flight batches.
   ServeHealth Health();
 

@@ -23,6 +23,7 @@ SamplingService::SamplingService(ModelRegistry* registry,
 SampleResult SamplingService::Sample(const SampleRequest& request,
                                      RowSink& sink) const {
   PB_THROW_IF(request.num_rows < 0, "negative row count");
+  StageTimer parse_timer(request.span, Stage::kParse);
   std::shared_ptr<const ServableModel> handle =
       registry_->Require(request.model);
   const PrivBayesModel& model = handle->model();
@@ -53,11 +54,14 @@ SampleResult SamplingService::Sample(const SampleRequest& request,
   // Rng(request.seed) — the property the determinism tests pin down.
   Rng rng(request.seed);
   const uint64_t base_seed = rng.engine()();
+  parse_timer.Stop();
 
   // Admission: shed outright when the active-batch cap is already met —
   // before Begin, so the refusal goes out on the clean ERR channel and the
   // client can retry with backoff instead of queueing on a busy server.
+  StageTimer admission_timer(request.span, Stage::kAdmission);
   std::optional<AdmissionGate::Ticket> ticket = admission_.TryEnter();
+  admission_timer.Stop();
   if (!ticket) {
     throw ResourceExhausted(
         "RESOURCE_EXHAUSTED: " + std::to_string(admission_.active()) +
@@ -67,7 +71,10 @@ SampleResult SamplingService::Sample(const SampleRequest& request,
   SampleResult result;
   result.pool_admitted = ticket->admitted();
 
-  sink.Begin(out_schema);
+  {
+    StageTimer write_timer(request.span, Stage::kWrite);
+    sink.Begin(out_schema);
+  }
   for (int64_t row = 0; row < request.num_rows; row += chunk_rows_) {
     if (row > 0 && request.deadline &&
         std::chrono::steady_clock::now() > *request.deadline) {
@@ -79,22 +86,30 @@ SampleResult SamplingService::Sample(const SampleRequest& request,
     const int rows_this = static_cast<int>(
         std::min<int64_t>(chunk_rows_, request.num_rows - row));
     const int64_t first_shard = row / NetworkSampler::kShardRows;
+    StageTimer sample_timer(request.span, Stage::kSample);
     Dataset encoded = handle->sampler().SampleChunk(
         base_seed, first_shard, rows_this, ticket->admitted());
     Dataset decoded = DecodeToOriginal(encoded, original, model.encoding,
                                        model.encoder.get());
-    if (identity) {
-      sink.Chunk(decoded);
-    } else {
+    Dataset projected = [&] {
+      if (identity) return std::move(decoded);
       std::vector<std::vector<Value>> cols;
       cols.reserve(keep.size());
       for (int c : keep) cols.push_back(decoded.column(c));
-      sink.Chunk(Dataset::FromColumns(out_schema, std::move(cols)));
+      return Dataset::FromColumns(out_schema, std::move(cols));
+    }();
+    sample_timer.Stop();
+    {
+      StageTimer write_timer(request.span, Stage::kWrite);
+      sink.Chunk(projected);
     }
     result.rows += rows_this;
     ++result.chunks;
   }
-  sink.End();
+  {
+    StageTimer write_timer(request.span, Stage::kWrite);
+    sink.End();
+  }
   return result;
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/admission.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/row_sink.h"
 
@@ -69,6 +70,10 @@ struct SampleRequest {
   /// a half-useful empty stream for a request the service could finish in
   /// one piece.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Optional trace span: when set, the service charges its wall time to
+  /// the span's parse (model resolve + projection), admission, sample, and
+  /// write stages. Null = untraced; the request path is unchanged.
+  Span* span = nullptr;
 };
 
 /// What one request did (for logging / stats endpoints).

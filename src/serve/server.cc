@@ -18,6 +18,7 @@
 
 #include "bn/sampling.h"
 #include "common/check.h"
+#include "common/env.h"
 #include "data/marginal_store.h"
 #include "serve/row_sink.h"
 #include "serve/wire.h"
@@ -163,7 +164,122 @@ ServeServer::ServeServer(ModelRegistry* registry, ServeServerOptions options)
       sampling_(registry, options_.max_parallel_batches,
                 SamplingService::kDefaultChunkRows,
                 options_.max_active_batches),
-      query_(registry) {}
+      query_(registry) {
+  connections_total_ = metrics_.GetCounter(
+      "privbayes_serve_connections_total", "", "Accepted connections");
+  requests_total_ = metrics_.GetCounter("privbayes_serve_requests_total", "",
+                                        "Request lines received");
+  errors_total_ =
+      metrics_.GetCounter("privbayes_serve_errors_total", "",
+                          "Requests that failed (ERR line or in-band abort)");
+  rows_streamed_total_ =
+      metrics_.GetCounter("privbayes_serve_rows_streamed_total", "",
+                          "Sample rows streamed to clients");
+  shed_sessions_total_ =
+      metrics_.GetCounter("privbayes_serve_shed_sessions_total", "",
+                          "Connections refused by the session cap");
+  shed_requests_total_ =
+      metrics_.GetCounter("privbayes_serve_shed_requests_total", "",
+                          "Requests refused by the active-batch cap");
+  lat_sample_ = MakeRequestLatency("SAMPLE");
+  lat_sampleb_ = MakeRequestLatency("SAMPLEB");
+  lat_query_ = MakeRequestLatency("QUERY");
+
+  // Values owned elsewhere surface as scrape-time callbacks rather than
+  // double-booked counters.
+  metrics_.SetCallback(
+      "privbayes_serve_live_sessions", "", "Live connections",
+      /*as_counter=*/false,
+      [this] { return static_cast<double>(live_sessions()); });
+  metrics_.SetCallback(
+      "privbayes_serve_active_batches", "",
+      "Sample batches running right now", false, [this] {
+        return static_cast<double>(sampling_.admission().active());
+      });
+  metrics_.SetCallback(
+      "privbayes_serve_pool_admitted_total", "",
+      "Batches admitted to the shared thread pool", true, [this] {
+        return static_cast<double>(sampling_.admission().admitted_total());
+      });
+  metrics_.SetCallback(
+      "privbayes_serve_pool_inline_total", "",
+      "Batches run inline (pool saturated)", true, [this] {
+        return static_cast<double>(sampling_.admission().bypassed_total());
+      });
+  metrics_.SetCallback(
+      "privbayes_serve_batch_shed_total", "",
+      "Batches shed by the active-batch cap", true, [this] {
+        return static_cast<double>(sampling_.admission().shed_total());
+      });
+
+  // Marginal-store effectiveness is process-wide like the store itself, so
+  // it reports to the global registry. SetCallback replaces on re-key, so a
+  // second server re-registering the same readers is harmless — every
+  // registration reads the same singleton.
+  MetricsRegistry& global = MetricsRegistry::Global();
+  global.SetCallback("privbayes_marginal_hits_total", "",
+                     "MarginalStore cache hits", true, [] {
+                       return static_cast<double>(
+                           MarginalStore::Instance().stats().hits);
+                     });
+  global.SetCallback("privbayes_marginal_misses_total", "",
+                     "MarginalStore cache misses", true, [] {
+                       return static_cast<double>(
+                           MarginalStore::Instance().stats().misses);
+                     });
+  global.SetCallback("privbayes_marginal_evictions_total", "",
+                     "MarginalStore LRU evictions", true, [] {
+                       return static_cast<double>(
+                           MarginalStore::Instance().stats().evictions);
+                     });
+  global.SetCallback("privbayes_marginal_entries", "",
+                     "MarginalStore resident entries", false, [] {
+                       return static_cast<double>(
+                           MarginalStore::Instance().stats().entries);
+                     });
+  global.SetCallback("privbayes_marginal_bytes", "",
+                     "MarginalStore resident bytes", false, [] {
+                       return static_cast<double>(
+                           MarginalStore::Instance().stats().bytes);
+                     });
+
+  int64_t slow_ms = options_.trace_slow_ms;
+  if (slow_ms < 0) slow_ms = EnvInt("PRIVBAYES_TRACE_SLOW_MS", 0);
+  traces_.set_slow_ns(slow_ms * 1'000'000);
+}
+
+ServeServer::RequestLatency ServeServer::MakeRequestLatency(
+    const std::string& command) {
+  RequestLatency lat;
+  const std::string base = "command=\"" + command + "\"";
+  const char* help = "Request wall time, split by stage";
+  lat.total = metrics_.GetHistogram("privbayes_serve_request_seconds",
+                                    base + ",stage=\"total\"", help, 1e-9);
+  for (int s = 0; s < kNumStages; ++s) {
+    lat.stage[s] = metrics_.GetHistogram(
+        "privbayes_serve_request_seconds",
+        base + ",stage=\"" + StageName(static_cast<Stage>(s)) + "\"", help,
+        1e-9);
+  }
+  return lat;
+}
+
+void ServeServer::FinishSpan(Span& span) {
+  traces_.Finish(span);  // stamps total_ns; slow-logs when armed
+  RequestLatency* lat = nullptr;
+  if (span.command == "SAMPLE") {
+    lat = &lat_sample_;
+  } else if (span.command == "SAMPLEB") {
+    lat = &lat_sampleb_;
+  } else if (span.command == "QUERY") {
+    lat = &lat_query_;
+  }
+  if (lat == nullptr) return;
+  lat->total->Record(span.total_ns);
+  for (int s = 0; s < kNumStages; ++s) {
+    lat->stage[s]->Record(span.stage_ns[s]);
+  }
+}
 
 ServeServer::~ServeServer() { Stop(); }
 
@@ -286,8 +402,14 @@ void ServeServer::ReapFinishedSessions() {
 }
 
 ServeServerStats ServeServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServeServerStats out;
+  out.connections = connections_total_->Value();
+  out.requests = requests_total_->Value();
+  out.errors = errors_total_->Value();
+  out.rows_streamed = static_cast<int64_t>(rows_streamed_total_->Value());
+  out.shed_sessions = shed_sessions_total_->Value();
+  out.shed_requests = shed_requests_total_->Value();
+  return out;
 }
 
 int ServeServer::live_sessions() const {
@@ -339,15 +461,11 @@ void ServeServer::AcceptLoop() {
           " reached; retry with backoff\n";
       WriteWireBytes(fd, msg.data(), msg.size());
       ::close(fd);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.shed_sessions;
+      shed_sessions_total_->Inc();
       continue;
     }
 
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.connections;
-    }
+    connections_total_->Inc();
     std::lock_guard<std::mutex> lock(sessions_mu_);
     slots_.push_back(std::make_unique<SessionSlot>(fd));
     SessionSlot* slot = slots_.back().get();
@@ -368,10 +486,7 @@ void ServeServer::Session(SessionSlot* slot) {
     if (!line) break;  // EOF, reset, drain nudge, or a hostile over-long line
     if (line->empty()) continue;
     slot->in_request.store(true, std::memory_order_release);
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.requests;
-    }
+    requests_total_->Inc();
     if (*line == "QUIT") {
       out << "OK BYE\n";
       out.flush();
@@ -382,18 +497,10 @@ void ServeServer::Session(SessionSlot* slot) {
     try {
       HandleLine(*line, out);
     } catch (const ResourceExhausted& e) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.shed_requests;
-      }
+      shed_requests_total_->Inc();
       out << "ERR " << OneLine(e.what()) << "\n";
     } catch (const std::exception& e) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.errors;
-      }
-      // Written outside the stats lock: a stalled client blocking in
-      // send() must not stall every other session's counter bump.
+      errors_total_->Inc();
       out << "ERR " << OneLine(e.what()) << "\n";
     }
     out.flush();
@@ -467,75 +574,43 @@ void ServeServer::HandleLine(const std::string& line, FdWriter& out) {
     return;
   }
 
-  if (cmd == "SAMPLE" || cmd == "SAMPLEB") {
-    SampleRequest request;
-    fields >> request.model >> request.num_rows >> request.seed;
-    PB_THROW_IF(!fields, "usage: " << cmd << " <model> <rows> <seed> [col ...]");
-    int col = 0;
-    while (fields >> col) request.columns.push_back(col);
-    // Extraction must have stopped at end-of-line, not at a non-integer
-    // token — a typo'd projection must ERR, not silently serve a prefix.
-    PB_THROW_IF(!fields.eof(),
-                "usage: " << cmd << " <model> <rows> <seed> [col ...]");
-    PB_THROW_IF(request.num_rows < 0 ||
-                    request.num_rows > options_.max_rows_per_request,
-                "row count out of range [0, "
-                    << options_.max_rows_per_request << "]");
-    if (options_.request_deadline.count() > 0) {
-      request.deadline =
-          std::chrono::steady_clock::now() + options_.request_deadline;
-    }
-    WireSampleSink sink(out, request.num_rows,
-                        cmd == "SAMPLEB" ? WireSampleSink::Format::kBinary
-                                         : WireSampleSink::Format::kCsv,
-                        request.deadline);
-    SampleResult result;
+  if (cmd == "SAMPLE" || cmd == "SAMPLEB" || cmd == "QUERY") {
+    // Traced commands: one span per request, finished on every exit path —
+    // the stage histograms and the trace ring see failures too.
+    Span span;
+    span.id = TraceBuffer::MintId();
+    span.command = cmd;
+    span.start_ns = MonotonicNowNs();
     try {
-      result = sampling_.Sample(request, sink);
+      if (cmd == "QUERY") {
+        HandleQuery(fields, out, span);
+      } else {
+        HandleSample(cmd, fields, out, span);
+      }
     } catch (const std::exception& e) {
-      // Before the OK line the normal ERR channel is still clean — rethrow.
-      // After it, an ERR line would land inside the row stream and the
-      // client would parse it as a row; report in-band instead and keep the
-      // connection usable.
-      if (!sink.started()) throw;
-      sink.Abort(OneLine(e.what()));
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.errors;
-      return;
+      span.ok = false;
+      if (span.error.empty()) span.error = OneLine(e.what());
+      FinishSpan(span);
+      throw;
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.rows_streamed += result.rows;
+    FinishSpan(span);
     return;
   }
 
-  if (cmd == "QUERY") {
-    std::string model;
-    fields >> model;
-    std::vector<int> attrs;
-    int attr = 0;
-    while (fields >> attr) attrs.push_back(attr);
-    PB_THROW_IF(model.empty() || attrs.empty() || !fields.eof(),
-                "usage: QUERY <model> <attr> [attr ...]");
-    ProbTable table = query_.Marginal(model, attrs);
-    out << "OK " << table.num_vars();
-    for (int c : table.cards()) out << " " << c;
-    out << "\n";
-    // Cells wrap at 256 per line so large marginals stay under the wire
-    // line cap; the client consumes values until the cell count is met.
-    char cell[40];
-    for (size_t i = 0; i < table.size(); ++i) {
-      std::snprintf(cell, sizeof(cell), "%.17g", table[i]);
-      out << cell << ((i + 1) % 256 == 0 || i + 1 == table.size() ? "\n" : " ");
-    }
+  if (cmd == "METRICS") {
+    // Byte-counted payload (not line-framed): exposition text is multi-line
+    // by nature. Per-server registry first, then the process-global one —
+    // family names are disjoint, so the concatenation is valid exposition.
+    const std::string payload = metrics_.RenderPrometheus() +
+                                MetricsRegistry::Global().RenderPrometheus();
+    out << "OK " << payload.size() << "\n" << payload;
     return;
   }
 
   if (cmd == "STATS") {
-    ServeServerStats server_stats;
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      server_stats = stats_;
-    }
+    // Same keys, order and semantics as before the metrics migration; the
+    // values now come from the registry counters via the stats() view.
+    const ServeServerStats server_stats = stats();
     const AdmissionGate& gate = sampling_.admission();
     MarginalStore& store = MarginalStore::Instance();
     MarginalStoreStats m = store.stats();
@@ -579,6 +654,84 @@ void ServeServer::HandleLine(const std::string& line, FdWriter& out) {
   }
 
   throw std::runtime_error("unknown command '" + cmd + "'");
+}
+
+void ServeServer::HandleSample(const std::string& cmd,
+                               std::istringstream& fields, FdWriter& out,
+                               Span& span) {
+  SampleRequest request;
+  {
+    StageTimer parse_timer(&span, Stage::kParse);
+    fields >> request.model >> request.num_rows >> request.seed;
+    PB_THROW_IF(!fields,
+                "usage: " << cmd << " <model> <rows> <seed> [col ...]");
+    int col = 0;
+    while (fields >> col) request.columns.push_back(col);
+    // Extraction must have stopped at end-of-line, not at a non-integer
+    // token — a typo'd projection must ERR, not silently serve a prefix.
+    PB_THROW_IF(!fields.eof(),
+                "usage: " << cmd << " <model> <rows> <seed> [col ...]");
+    PB_THROW_IF(request.num_rows < 0 ||
+                    request.num_rows > options_.max_rows_per_request,
+                "row count out of range [0, "
+                    << options_.max_rows_per_request << "]");
+  }
+  span.model = request.model;
+  if (options_.request_deadline.count() > 0) {
+    request.deadline =
+        std::chrono::steady_clock::now() + options_.request_deadline;
+  }
+  request.span = &span;
+  WireSampleSink sink(out, request.num_rows,
+                      cmd == "SAMPLEB" ? WireSampleSink::Format::kBinary
+                                       : WireSampleSink::Format::kCsv,
+                      request.deadline);
+  SampleResult result;
+  try {
+    result = sampling_.Sample(request, sink);
+  } catch (const std::exception& e) {
+    // Before the OK line the normal ERR channel is still clean — rethrow.
+    // After it, an ERR line would land inside the row stream and the
+    // client would parse it as a row; report in-band instead and keep the
+    // connection usable.
+    if (!sink.started()) throw;
+    span.ok = false;
+    span.error = OneLine(e.what());
+    sink.Abort(span.error);
+    errors_total_->Inc();
+    return;
+  }
+  span.rows = static_cast<uint64_t>(result.rows);
+  rows_streamed_total_->Add(static_cast<uint64_t>(result.rows));
+}
+
+void ServeServer::HandleQuery(std::istringstream& fields, FdWriter& out,
+                              Span& span) {
+  std::string model;
+  std::vector<int> attrs;
+  {
+    StageTimer parse_timer(&span, Stage::kParse);
+    fields >> model;
+    int attr = 0;
+    while (fields >> attr) attrs.push_back(attr);
+    PB_THROW_IF(model.empty() || attrs.empty() || !fields.eof(),
+                "usage: QUERY <model> <attr> [attr ...]");
+  }
+  span.model = model;
+  StageTimer compute_timer(&span, Stage::kSample);
+  ProbTable table = query_.Marginal(model, attrs);
+  compute_timer.Stop();
+  StageTimer write_timer(&span, Stage::kWrite);
+  out << "OK " << table.num_vars();
+  for (int c : table.cards()) out << " " << c;
+  out << "\n";
+  // Cells wrap at 256 per line so large marginals stay under the wire
+  // line cap; the client consumes values until the cell count is met.
+  char cell[40];
+  for (size_t i = 0; i < table.size(); ++i) {
+    std::snprintf(cell, sizeof(cell), "%.17g", table[i]);
+    out << cell << ((i + 1) % 256 == 0 || i + 1 == table.size() ? "\n" : " ");
+  }
 }
 
 }  // namespace privbayes

@@ -28,6 +28,14 @@
 //                                           <active_batches> — the poll
 //                                           target for boot scripts and
 //                                           balancers (no log grepping)
+//   METRICS                              -> OK <nbytes>
+//                                           <nbytes> bytes of Prometheus
+//                                           text exposition (this server's
+//                                           registry + the process-global
+//                                           one: request/stage latency
+//                                           histograms, pool/marginal-store/
+//                                           sampler telemetry). Scrape with
+//                                           tools/privbayes_stats.
 //   DROP <model>                         -> OK DROPPED <model>
 //   QUIT                                 -> OK BYE (connection closes)
 //
@@ -80,6 +88,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/query_service.h"
 #include "serve/sampling_service.h"
@@ -112,10 +122,17 @@ struct ServeServerOptions {
   /// requests are shed with RESOURCE_EXHAUSTED (see AdmissionGate's
   /// max_active). Zero = never shed.
   int max_active_batches = 0;
+  /// Slow-request threshold in milliseconds: a traced request whose total
+  /// latency crosses it is emitted as one structured stage-timing log line.
+  /// 0 disables; -1 (default) reads PRIVBAYES_TRACE_SLOW_MS (0 when unset).
+  int64_t trace_slow_ms = -1;
 };
 
 /// Counters exposed through the STATS command (plus the MarginalStore
-/// gauges, which live in data/marginal_store.h).
+/// gauges, which live in data/marginal_store.h). Since the metrics
+/// migration this is a point-in-time VIEW assembled from the server's
+/// MetricsRegistry counters — kept so STATS consumers and tests see the
+/// same keys and semantics as before.
 struct ServeServerStats {
   uint64_t connections = 0;
   uint64_t requests = 0;
@@ -170,6 +187,13 @@ class ServeServer {
   ModelRegistry& registry() { return *registry_; }
   const SamplingService& sampling() const { return sampling_; }
 
+  /// This server's metric registry (request counters + stage latency
+  /// histograms). Process-wide subsystems report to
+  /// MetricsRegistry::Global(); the METRICS command renders both.
+  MetricsRegistry& metrics() { return metrics_; }
+  /// Ring buffer of recently finished request spans (tests, post-mortems).
+  const TraceBuffer& traces() const { return traces_; }
+
  private:
   /// One live connection: its socket, whether its thread is inside a
   /// request right now (drain uses this to decide who gets nudged awake),
@@ -186,11 +210,41 @@ class ServeServer {
   void ReapFinishedSessions();
   void Session(SessionSlot* slot);
   void HandleLine(const std::string& line, class FdWriter& out);
+  void HandleSample(const std::string& cmd, std::istringstream& fields,
+                    class FdWriter& out, Span& span);
+  void HandleQuery(std::istringstream& fields, class FdWriter& out,
+                   Span& span);
+  /// Stamps the span's total, records its stage times into the per-command
+  /// latency histograms, and rings it through traces_ (slow-logging when
+  /// armed).
+  void FinishSpan(Span& span);
+
+  /// Stage-split latency histograms for one wire command (owned by
+  /// metrics_; raw pointers are stable for the registry's lifetime).
+  struct RequestLatency {
+    Histogram* total = nullptr;
+    Histogram* stage[kNumStages] = {nullptr, nullptr, nullptr, nullptr};
+  };
+  RequestLatency MakeRequestLatency(const std::string& command);
 
   ModelRegistry* registry_;
   ServeServerOptions options_;
   SamplingService sampling_;
   QueryService query_;
+
+  // Per-server observability. metrics_ precedes the instrument pointers it
+  // owns; traces_ is the span ring (slow threshold set in the constructor).
+  MetricsRegistry metrics_;
+  TraceBuffer traces_;
+  Counter* connections_total_ = nullptr;
+  Counter* requests_total_ = nullptr;
+  Counter* errors_total_ = nullptr;
+  Counter* rows_streamed_total_ = nullptr;
+  Counter* shed_sessions_total_ = nullptr;
+  Counter* shed_requests_total_ = nullptr;
+  RequestLatency lat_sample_;
+  RequestLatency lat_sampleb_;
+  RequestLatency lat_query_;
 
   int listen_fd_ = -1;
   int port_ = 0;
@@ -203,9 +257,6 @@ class ServeServer {
   std::vector<std::unique_ptr<SessionSlot>> slots_;  // live connections
   std::vector<std::thread> done_sessions_;  // exited, awaiting join (reaped
                                             // by the accept loop / Stop)
-
-  mutable std::mutex stats_mu_;
-  ServeServerStats stats_;
 };
 
 }  // namespace privbayes

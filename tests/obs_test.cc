@@ -1,0 +1,427 @@
+// Tests for the observability subsystem: histogram bucket math and the
+// ~5% relative-error contract, percentile extraction, per-thread shard
+// merging under concurrency, the metrics registry and its Prometheus
+// renderer, the leveled logger, and request-trace spans.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace privbayes {
+namespace {
+
+// ------------------------------------------------------------ bucket math --
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<int>(v)), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(HistogramBuckets, IndicesAreMonotoneAndContinuous) {
+  // Walk every bucket boundary: indices must rise by exactly 1, and the
+  // bounds must tile the value axis with no gap and no overlap.
+  int prev = Histogram::BucketIndex(0);
+  EXPECT_EQ(prev, 0);
+  for (int index = 1; index < Histogram::kNumBuckets; ++index) {
+    const uint64_t lo = Histogram::BucketLowerBound(index);
+    EXPECT_EQ(Histogram::BucketIndex(lo), index) << "at lower bound " << lo;
+    EXPECT_EQ(Histogram::BucketIndex(lo - 1), index - 1)
+        << "below lower bound " << lo;
+    const uint64_t hi = Histogram::BucketUpperBound(index);
+    EXPECT_EQ(Histogram::BucketIndex(hi), index) << "at upper bound " << hi;
+    EXPECT_GE(hi, lo);
+  }
+}
+
+TEST(HistogramBuckets, ValuesFallInsideTheirBucketBounds) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const int shift = static_cast<int>(rng() % Histogram::kMaxValueBits);
+    const uint64_t v = rng() >> shift >>
+                       (64 - Histogram::kMaxValueBits);  // spans all octaves
+    const int index = Histogram::BucketIndex(v);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, Histogram::kNumBuckets);
+    EXPECT_LE(Histogram::BucketLowerBound(index), v);
+    EXPECT_GE(Histogram::BucketUpperBound(index), v);
+  }
+}
+
+TEST(HistogramBuckets, OverflowBucket) {
+  const uint64_t cap = uint64_t{1} << Histogram::kMaxValueBits;
+  EXPECT_EQ(Histogram::BucketIndex(cap - 1), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(cap), Histogram::kNumBuckets);
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kNumBuckets);
+}
+
+TEST(HistogramBuckets, RelativeErrorWithinFivePercent) {
+  // The reported value for any recorded v is its bucket midpoint; the
+  // contract is ~5% relative error, the scheme delivers ≤ 1/32 ≈ 3.2%.
+  std::mt19937_64 rng(11);
+  double worst = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v =
+        16 + rng() % ((uint64_t{1} << Histogram::kMaxValueBits) - 16);
+    const int index = Histogram::BucketIndex(v);
+    const double mid =
+        (static_cast<double>(Histogram::BucketLowerBound(index)) +
+         static_cast<double>(Histogram::BucketUpperBound(index))) /
+        2.0;
+    const double rel =
+        std::abs(mid - static_cast<double>(v)) / static_cast<double>(v);
+    worst = std::max(worst, rel);
+  }
+  EXPECT_LE(worst, 1.0 / 32.0);
+  EXPECT_LE(worst, 0.05);
+}
+
+// ------------------------------------------------------------ percentiles --
+
+TEST(HistogramPercentile, ExactForSmallValues) {
+  Histogram h;
+  // 100 records of value 3, 100 of value 7: p50 lands in the 3-bucket
+  // (rank 100 of 200), anything above lands in 7.
+  for (int i = 0; i < 100; ++i) h.Record(3);
+  for (int i = 0; i < 100; ++i) h.Record(7);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 200u);
+  EXPECT_EQ(snap.sum, 100u * 3 + 100u * 7);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.25), 3.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.50), 3.0);  // rank 100 = last 3
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.51), 7.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 7.0);
+}
+
+TEST(HistogramPercentile, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(0.99), 0.0);
+}
+
+TEST(HistogramPercentile, TailQuantilesTrackTrueValues) {
+  // Log-uniform latencies: every derived percentile must sit within the
+  // bucket relative-error bound of the true order statistic.
+  std::mt19937_64 rng(13);
+  std::vector<uint64_t> values;
+  Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const double e = std::uniform_real_distribution<double>(4.0, 34.0)(rng);
+    const uint64_t v = static_cast<uint64_t>(std::pow(2.0, e));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  HistogramSnapshot snap = h.Snapshot();
+  for (double q : {0.5, 0.95, 0.99, 0.999}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double truth = static_cast<double>(values[rank - 1]);
+    const double approx = snap.Percentile(q);
+    EXPECT_NEAR(approx / truth, 1.0, 1.0 / 16.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentile, OverflowRanksReportTheCeiling) {
+  Histogram h;
+  h.Record(uint64_t{1} << Histogram::kMaxValueBits);
+  EXPECT_DOUBLE_EQ(
+      h.Snapshot().Percentile(1.0),
+      static_cast<double>(uint64_t{1} << Histogram::kMaxValueBits));
+}
+
+// ------------------------------------------------------------ concurrency --
+
+TEST(HistogramConcurrency, SixteenThreadShardMergeIsExact) {
+  Histogram h;
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      std::mt19937_64 rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) h.Record(rng() % 1000000);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Replay the same streams single-threaded for the exact expectation.
+  uint64_t expect_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    std::mt19937_64 rng(static_cast<uint64_t>(t) + 1);
+    for (int i = 0; i < kPerThread; ++i) expect_sum += rng() % 1000000;
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(snap.sum, expect_sum);
+}
+
+TEST(HistogramConcurrency, SnapshotDuringRecordingHammer) {
+  Histogram h;
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 16 + (i & 15));
+      }
+    });
+  }
+  // Concurrent snapshots must always be internally sane: count equals the
+  // bucket total by construction, sum never runs ahead of the maximum
+  // possible, and successive counts are non-decreasing.
+  uint64_t last_count = 0;
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      HistogramSnapshot snap = h.Snapshot();
+      uint64_t bucket_total = 0;
+      for (uint64_t b : snap.buckets) bucket_total += b;
+      EXPECT_EQ(snap.count, bucket_total);
+      EXPECT_GE(snap.count, last_count);
+      EXPECT_LE(snap.count, uint64_t{kThreads} * kPerThread);
+      last_count = snap.count;
+    }
+  });
+  for (std::thread& t : recorders) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  EXPECT_EQ(h.Snapshot().count, uint64_t{kThreads} * kPerThread);
+}
+
+TEST(CounterConcurrency, StripedAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 100000; ++i) c.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), uint64_t{kThreads} * 100000);
+}
+
+// --------------------------------------------------------------- registry --
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x_total", "", "help");
+  Counter* b = reg.GetCounter("x_total", "", "different help ignored");
+  EXPECT_EQ(a, b);
+  // Same family, different labels: distinct instruments.
+  Counter* c = reg.GetCounter("x_total", "k=\"v\"", "help");
+  EXPECT_NE(a, c);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.GetCounter("x_total", "", "help");
+  EXPECT_THROW(reg.GetGauge("x_total", "", "help"), std::invalid_argument);
+  EXPECT_THROW(reg.GetHistogram("x_total", "", "help"),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, RenderPrometheusShape) {
+  MetricsRegistry reg;
+  reg.GetCounter("req_total", "cmd=\"A\"", "requests")->Add(3);
+  reg.GetCounter("req_total", "cmd=\"B\"", "requests")->Add(5);
+  reg.GetGauge("depth", "", "queue depth")->Set(-2);
+  reg.SetCallback("live", "", "live now", /*as_counter=*/false,
+                  [] { return 7.0; });
+  Histogram* h = reg.GetHistogram("lat_seconds", "", "latency", 1e-9);
+  h->Record(10);   // exact bucket, bound 10 ns = 1e-8 s
+  h->Record(100);  // log bucket
+
+  const std::string text = reg.RenderPrometheus();
+
+  // One HELP/TYPE per family even with two labeled variants.
+  EXPECT_EQ(text.find("# HELP req_total requests\n"),
+            text.rfind("# HELP req_total requests\n"));
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{cmd=\"A\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{cmd=\"B\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("live 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 2\n"), std::string::npos);
+  // Scaled exposition: 10 ns bucket bound renders in seconds.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1e-08\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("v", "", "values");
+  for (uint64_t i = 0; i < 10; ++i) h->Record(i);
+  const std::string text = reg.RenderPrometheus();
+  // Parse the bucket counts back out and check monotonicity.
+  std::regex bucket_re("v_bucket\\{le=\"[^\"]+\"\\} (\\d+)");
+  auto begin = std::sregex_iterator(text.begin(), text.end(), bucket_re);
+  uint64_t prev = 0;
+  int seen = 0;
+  for (auto it = begin; it != std::sregex_iterator(); ++it, ++seen) {
+    const uint64_t c = std::stoull((*it)[1]);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_GT(seen, 1);
+  EXPECT_EQ(prev, 10u);  // +Inf bucket equals the count
+}
+
+TEST(MetricsRegistry, GlobalSubsystemsReport) {
+  // The thread pool / marginal store / sampler register into the global
+  // registry on first use; rendering it must be valid and non-throwing.
+  const std::string text = MetricsRegistry::Global().RenderPrometheus();
+  SUCCEED() << text.size();
+}
+
+// ----------------------------------------------------------------- logger --
+
+class CaptureLog {
+ public:
+  CaptureLog() { SetLogSinkForTesting(&stream_); }
+  ~CaptureLog() { SetLogSinkForTesting(nullptr); }
+  std::string text() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+TEST(Logger, LineFormat) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  CaptureLog capture;
+  PB_LOG(kInfo, "test") << "hello " << 42;
+  SetLogLevel(before);
+  std::regex line_re(
+      "^\\d{4}-\\d{2}-\\d{2}T\\d{2}:\\d{2}:\\d{2}\\.\\d{3}Z INFO "
+      "\\[test\\] hello 42\n$");
+  EXPECT_TRUE(std::regex_match(capture.text(), line_re)) << capture.text();
+}
+
+TEST(Logger, LevelsGate) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  CaptureLog capture;
+  PB_LOG(kDebug, "test") << "dropped";
+  PB_LOG(kInfo, "test") << "dropped too";
+  PB_LOG(kWarn, "test") << "kept";
+  PB_LOG(kError, "test") << "kept too";
+  SetLogLevel(before);
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("kept"), std::string::npos);
+  EXPECT_NE(text.find("kept too"), std::string::npos);
+}
+
+TEST(Logger, LevelParsing) {
+  EXPECT_EQ(LogLevelFromString("debug"), LogLevel::kDebug);
+  EXPECT_EQ(LogLevelFromString("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(LogLevelFromString("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(LogLevelFromString("error"), LogLevel::kError);
+  EXPECT_EQ(LogLevelFromString("off"), LogLevel::kOff);
+  EXPECT_THROW(LogLevelFromString("loud"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(Trace, StageTimerChargesItsStage) {
+  Span span;
+  {
+    StageTimer t(&span, Stage::kSample);
+    // ~0 elapsed is fine; the charge just has to land on the right stage.
+  }
+  EXPECT_GE(span.stage_ns[static_cast<int>(Stage::kSample)], 0u);
+  EXPECT_EQ(span.stage_ns[static_cast<int>(Stage::kParse)], 0u);
+  StageTimer idempotent(&span, Stage::kWrite);
+  idempotent.Stop();
+  const uint64_t charged = span.stage_ns[static_cast<int>(Stage::kWrite)];
+  idempotent.Stop();  // second Stop must not double-charge
+  EXPECT_EQ(span.stage_ns[static_cast<int>(Stage::kWrite)], charged);
+}
+
+TEST(Trace, NullSpanIsSafe) {
+  StageTimer t(nullptr, Stage::kParse);
+  t.Stop();
+  SUCCEED();
+}
+
+TEST(Trace, RingKeepsMostRecentSpans) {
+  TraceBuffer ring;
+  const size_t total = TraceBuffer::kCapacity + 40;
+  for (size_t i = 0; i < total; ++i) {
+    Span span;
+    span.id = i + 1;
+    span.command = "SAMPLE";
+    span.start_ns = MonotonicNowNs();
+    ring.Finish(span);
+    EXPECT_GT(span.total_ns + 1, 0u);  // Finish stamped the total
+  }
+  std::vector<Span> recent = ring.Recent();
+  ASSERT_EQ(recent.size(), TraceBuffer::kCapacity);
+  // Oldest-first window ending at the last span finished.
+  EXPECT_EQ(recent.front().id, total - TraceBuffer::kCapacity + 1);
+  EXPECT_EQ(recent.back().id, total);
+}
+
+TEST(Trace, SlowSpansAreLoggedWithStageBreakdown) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  CaptureLog capture;
+  TraceBuffer ring(/*slow_ns=*/1);  // everything is slow
+  Span span;
+  span.id = 99;
+  span.command = "SAMPLEB";
+  span.model = "adult";
+  span.rows = 1234;
+  span.start_ns = MonotonicNowNs() - 5'000'000;  // ~5 ms ago
+  span.stage_ns[static_cast<int>(Stage::kSample)] = 3'000'000;
+  ring.Finish(span);
+  SetLogLevel(before);
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("slow-request"), std::string::npos) << text;
+  EXPECT_NE(text.find("span=99"), std::string::npos);
+  EXPECT_NE(text.find("cmd=SAMPLEB"), std::string::npos);
+  EXPECT_NE(text.find("model=adult"), std::string::npos);
+  EXPECT_NE(text.find("rows=1234"), std::string::npos);
+  EXPECT_NE(text.find("sample_us=3000"), std::string::npos);
+  EXPECT_EQ(ring.slow_count(), 1u);
+}
+
+TEST(Trace, ThresholdZeroNeverLogs) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  CaptureLog capture;
+  TraceBuffer ring(/*slow_ns=*/0);
+  Span span;
+  span.id = 1;
+  span.command = "SAMPLE";
+  span.start_ns = MonotonicNowNs() - 1'000'000'000;  // a full second
+  ring.Finish(span);
+  SetLogLevel(before);
+  EXPECT_EQ(capture.text().find("slow-request"), std::string::npos);
+  EXPECT_EQ(ring.slow_count(), 0u);
+}
+
+}  // namespace
+}  // namespace privbayes

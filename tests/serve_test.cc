@@ -1255,6 +1255,167 @@ TEST(ServeServer, HealthReportsStateAndGauges) {
   server.Stop();
 }
 
+// Value of the first exposition sample whose line is `series` followed by a
+// space (exact name{labels} match), or nullopt when the series is absent.
+std::optional<double> PromValue(const std::string& text,
+                                const std::string& series) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.size() > series.size() + 1 && line[series.size()] == ' ' &&
+        line.compare(0, series.size(), series) == 0) {
+      return std::atof(line.c_str() + series.size() + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+size_t CountOf(const std::string& text, const std::string& needle) {
+  size_t n = 0;
+  for (size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+// METRICS returns Prometheus text whose request counters and stage-split
+// latency histograms move under a driven workload, while STATS keeps its
+// exact legacy key list (clients parsing STATS must not notice the metrics
+// migration), and every wire request leaves a span in the trace ring with
+// its stages accounted. The full exposition-grammar check lives in
+// tools/check_prom.py and runs in CI; this guards the series the scraper
+// and dashboards key on.
+TEST(ServeServer, MetricsExposesWorkloadAndTracesSpans) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+
+  ServeServerOptions options;
+  options.port = 0;
+  options.trace_slow_ms = 0;  // ring still records; no slow-log noise
+  ServeServer server(&registry, options);
+  server.Start();
+
+  ServeClient client("127.0.0.1", server.port(), RetryPolicy::None());
+  const std::string before = client.Metrics();
+  // A scrape is itself well-formed exposition with the serve families
+  // present even before any sampling traffic.
+  EXPECT_EQ(CountOf(before, "# TYPE privbayes_serve_requests_total counter"),
+            1u);
+  ASSERT_TRUE(PromValue(before, "privbayes_serve_connections_total")
+                  .has_value());
+
+  const int64_t rows = 2000;
+  client.Sample("m", rows, /*seed=*/7);
+  client.SampleBinary("m", rows, /*seed=*/7);
+  client.Query("m", {0, 1});
+  const std::string after = client.Metrics();
+
+  // One TYPE line per family, shared by every label variant.
+  EXPECT_EQ(CountOf(after, "# TYPE privbayes_serve_request_seconds histogram"),
+            1u);
+  EXPECT_EQ(CountOf(after, "# TYPE privbayes_serve_requests_total counter"),
+            1u);
+
+  // The request counter moved by at least the three driven commands (the
+  // METRICS scrapes themselves also count).
+  const double req_before =
+      PromValue(before, "privbayes_serve_requests_total").value_or(0);
+  std::optional<double> req_after =
+      PromValue(after, "privbayes_serve_requests_total");
+  ASSERT_TRUE(req_after.has_value());
+  EXPECT_GE(*req_after - req_before, 3.0);
+  std::optional<double> streamed =
+      PromValue(after, "privbayes_serve_rows_streamed_total");
+  ASSERT_TRUE(streamed.has_value());
+  EXPECT_GE(*streamed, static_cast<double>(2 * rows));
+
+  // Every command now has one observation in every stage histogram (a stage
+  // a command never enters still records a zero, so _count tracks requests).
+  for (const char* cmd : {"SAMPLE", "SAMPLEB", "QUERY"}) {
+    for (const char* stage : {"total", "parse", "admission", "sample",
+                              "write"}) {
+      const std::string series =
+          std::string("privbayes_serve_request_seconds_count{command=\"") +
+          cmd + "\",stage=\"" + stage + "\"}";
+      std::optional<double> count = PromValue(after, series);
+      ASSERT_TRUE(count.has_value()) << series;
+      EXPECT_GE(*count, 1.0) << series;
+    }
+  }
+  // The sample stage did real work: its _sum (seconds) is positive.
+  std::optional<double> sample_sum = PromValue(
+      after,
+      "privbayes_serve_request_seconds_sum{command=\"SAMPLE\","
+      "stage=\"sample\"}");
+  ASSERT_TRUE(sample_sum.has_value());
+  EXPECT_GT(*sample_sum, 0.0);
+
+  // Process-global subsystem families ride along in the same payload.
+  for (const char* family :
+       {"privbayes_sampler_rows_total", "privbayes_marginal_entries"}) {
+    EXPECT_TRUE(PromValue(after, family).has_value()) << family;
+  }
+
+  // STATS is byte-compatible with the pre-metrics server: exact key list,
+  // exact order.
+  {
+    std::vector<std::pair<std::string, uint64_t>> stats = client.Stats();
+    const std::vector<std::string> expected_keys = {
+        "sample_stream_version", "connections", "requests", "errors",
+        "rows_streamed", "shed_sessions", "shed_requests", "live_sessions",
+        "active_batches", "pool_admitted_total", "pool_inline_total",
+        "batch_shed_total", "marginal_cache_enabled", "marginal_hits",
+        "marginal_misses", "marginal_evictions", "marginal_skipped",
+        "marginal_entries", "marginal_bytes", "marginal_byte_budget"};
+    ASSERT_EQ(stats.size(), expected_keys.size());
+    for (size_t i = 0; i < expected_keys.size(); ++i) {
+      EXPECT_EQ(stats[i].first, expected_keys[i]) << "key " << i;
+    }
+  }
+
+  // Each traced command left a span in the ring: stages sum to no more than
+  // the span total and the row counts match the requests.
+  {
+    std::vector<Span> spans = server.traces().Recent();
+    auto find_span = [&](const std::string& cmd) -> const Span* {
+      for (const Span& span : spans) {
+        if (span.command == cmd) return &span;
+      }
+      return nullptr;
+    };
+    for (const char* cmd : {"SAMPLE", "SAMPLEB", "QUERY"}) {
+      const Span* span = find_span(cmd);
+      ASSERT_NE(span, nullptr) << cmd;
+      EXPECT_TRUE(span->ok) << cmd;
+      EXPECT_EQ(span->model, "m") << cmd;
+      EXPECT_GT(span->id, 0u) << cmd;
+      EXPECT_GT(span->total_ns, 0) << cmd;
+      int64_t stage_total = 0;
+      for (int s = 0; s < kNumStages; ++s) stage_total += span->stage_ns[s];
+      EXPECT_GT(stage_total, 0) << cmd;
+      EXPECT_LE(stage_total, span->total_ns) << cmd;
+    }
+    EXPECT_EQ(find_span("SAMPLE")->rows, rows);
+    EXPECT_EQ(find_span("SAMPLEB")->rows, rows);
+  }
+
+  // A failed request is traced too — and marked failed.
+  EXPECT_THROW(client.Sample("nope", 10, 1), ServeError);
+  {
+    std::vector<Span> spans = server.traces().Recent();
+    ASSERT_FALSE(spans.empty());
+    const Span& failed = spans.back();
+    EXPECT_EQ(failed.command, "SAMPLE");
+    EXPECT_FALSE(failed.ok);
+    EXPECT_FALSE(failed.error.empty());
+  }
+
+  client.Quit();
+  server.Stop();
+}
+
 // Feeds a scripted server-side byte stream to a ServeClient over a
 // socketpair: consumes the client's request line, plays the script, then
 // half-closes (FIN, not RST — buffered script bytes must stay readable).

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-format exposition (as served by METRICS).
+
+Usage: check_prom.py [file]        (reads stdin when no file is given)
+
+Checks, beyond bare line syntax:
+  * metric and label names match the Prometheus grammar
+  * label values are well-formed quoted strings
+  * at most one # TYPE per family, emitted before that family's samples
+  * no duplicate series (same name + label set twice)
+  * histogram invariants: le buckets are sorted and cumulative,
+    an le="+Inf" bucket exists and equals <family>_count
+  * every sample value parses as a float (+Inf/-Inf/NaN allowed)
+
+Exit status: 0 valid, 1 invalid (each problem on stderr), 2 usage/IO error.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label: name="value" with \\, \", \n escapes allowed inside the value.
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+(\S+))?$"
+)
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # raises ValueError on garbage; NaN parses
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(lines):
+    errors = []
+    typed = {}         # family -> declared type
+    seen_samples = set()
+    families_with_samples = set()
+    # (family, labels-without-le) -> list of (le, cumulative count)
+    buckets = {}
+    counts = {}        # (family, labels) -> _count value
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+
+        def err(msg):
+            errors.append(f"line {lineno}: {msg}: {line!r}")
+
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                if parts[1:2] in (["HELP"], ["TYPE"]):
+                    err("malformed comment")
+                continue  # free comments are legal
+            kind, name = parts[1], parts[2]
+            if not METRIC_NAME.match(name):
+                err(f"bad metric name in # {kind}")
+                continue
+            if kind == "TYPE":
+                ptype = parts[3] if len(parts) > 3 else ""
+                if ptype not in ("counter", "gauge", "histogram", "summary",
+                                 "untyped"):
+                    err(f"unknown TYPE '{ptype}'")
+                if name in typed:
+                    err(f"duplicate # TYPE for '{name}'")
+                if name in families_with_samples:
+                    err(f"# TYPE for '{name}' after its samples")
+                typed[name] = ptype
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            err("unparseable sample line")
+            continue
+        name, labeltext, value_text, _timestamp = m.groups()
+        if not METRIC_NAME.match(name):
+            err("bad metric name")
+            continue
+
+        labels = []
+        if labeltext is not None:
+            consumed = LABEL.sub("", labeltext).strip(", \t")
+            if consumed:
+                err(f"malformed label text (left over: {consumed!r})")
+                continue
+            labels = LABEL.findall(labeltext)
+            for lname, _ in labels:
+                if not LABEL_NAME.match(lname):
+                    err(f"bad label name '{lname}'")
+
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            err(f"bad sample value '{value_text}'")
+            continue
+
+        series = (name, tuple(sorted(labels)))
+        if series in seen_samples:
+            err("duplicate series")
+        seen_samples.add(series)
+
+        family = base_family(name)
+        families_with_samples.add(name)
+        families_with_samples.add(family)
+
+        if name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                err("histogram bucket without le label")
+                continue
+            rest = tuple(sorted((k, v) for k, v in labels if k != "le"))
+            try:
+                le_value = parse_value(le)
+            except ValueError:
+                err(f"bad le value '{le}'")
+                continue
+            buckets.setdefault((family, rest), []).append(
+                (lineno, le_value, value))
+        elif name.endswith("_count"):
+            counts[(family, tuple(sorted(labels)))] = (lineno, value)
+
+    for (family, rest), entries in buckets.items():
+        les = [le for _, le, _ in entries]
+        if les != sorted(les):
+            errors.append(f"{family}{dict(rest)}: le buckets not sorted")
+        cumulative = [c for _, _, c in entries]
+        if cumulative != sorted(cumulative):
+            errors.append(f"{family}{dict(rest)}: bucket counts not "
+                          "cumulative")
+        if not les or not math.isinf(les[-1]):
+            errors.append(f"{family}{dict(rest)}: no le=\"+Inf\" bucket")
+        else:
+            count = counts.get((family, rest))
+            if count is None:
+                errors.append(f"{family}{dict(rest)}: histogram without "
+                              f"{family}_count")
+            elif count[1] != cumulative[-1]:
+                errors.append(
+                    f"{family}{dict(rest)}: +Inf bucket {cumulative[-1]} != "
+                    f"_count {count[1]}")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        if len(sys.argv) == 2:
+            with open(sys.argv[1]) as f:
+                lines = f.readlines()
+        else:
+            lines = sys.stdin.readlines()
+    except OSError as e:
+        print(f"check_prom: {e}", file=sys.stderr)
+        return 2
+
+    errors = check(lines)
+    for e in errors:
+        print(f"check_prom: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"check_prom: OK ({len(lines)} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,10 @@
 //
 //   privbayes_serve --port 7878 --fit nltcs=NLTCS:4000:0.8 \
 //                   --fit adult=Adult:4000:0.8
+//
+// All operational output goes through the leveled logger (obs/log.h;
+// --log-level or PRIVBAYES_LOG_LEVEL selects the threshold) EXCEPT the bare
+// READY line, which boot scripts parse.
 
 #include <chrono>
 #include <csignal>
@@ -33,6 +37,7 @@
 #include "core/privbayes.h"
 #include "data/generators.h"
 #include "data/marginal_store.h"
+#include "obs/log.h"
 #include "serve/server.h"
 
 namespace pb = privbayes;
@@ -47,7 +52,8 @@ void OnSignal(int) { g_stop = 1; }
                "usage: %s [--host H] [--port P] [--max-parallel N]\n"
                "          [--deadline-ms MS] [--idle-timeout-ms MS]\n"
                "          [--max-sessions N] [--max-active-batches N]\n"
-               "          [--drain-ms MS]\n"
+               "          [--drain-ms MS] [--log-level LEVEL]\n"
+               "          [--trace-slow-ms MS]\n"
                "          [--fit NAME=DATASET[:rows[:eps]]]... "
                "[--load NAME=PATH]... [--manifest PATH]...\n",
                argv0);
@@ -56,10 +62,9 @@ void OnSignal(int) { g_stop = 1; }
 
 // One-line MarginalStore summary: refits and sweeps on a held dataset show
 // up here as hits (the "cross-run marginal reuse" the store exists for).
-void PrintMarginalStoreLine(const char* when) {
-  std::printf("marginal store %s: %s\n", when,
-              pb::MarginalStore::Instance().StatsString().c_str());
-  std::fflush(stdout);
+void LogMarginalStoreLine(const char* when) {
+  PB_LOG(kInfo, "store") << "marginal store " << when << ": "
+                         << pb::MarginalStore::Instance().StatsString();
 }
 
 // NAME=SPEC split; dies on malformed input.
@@ -86,10 +91,9 @@ void FitAndRegister(pb::ModelRegistry& registry, const std::string& name,
     }
     rows = std::atoi(rest.c_str());
   }
-  std::printf("fitting %s on %s (%s rows, eps=%.3g)...\n", name.c_str(),
-              dataset.c_str(), rows > 0 ? std::to_string(rows).c_str() : "all",
-              epsilon);
-  std::fflush(stdout);
+  PB_LOG(kInfo, "serve") << "fitting " << name << " on " << dataset << " ("
+                         << (rows > 0 ? std::to_string(rows) : "all")
+                         << " rows, eps=" << epsilon << ")...";
   pb::Dataset data = pb::MakeDatasetByName(dataset, seed, rows);
   pb::PrivBayesOptions options;
   options.epsilon = epsilon;
@@ -97,7 +101,7 @@ void FitAndRegister(pb::ModelRegistry& registry, const std::string& name,
   pb::PrivBayes privbayes(options);
   pb::Rng rng(seed);
   registry.Put(name, privbayes.Fit(data, rng));
-  PrintMarginalStoreLine("after fit");
+  LogMarginalStoreLine("after fit");
 }
 
 }  // namespace
@@ -144,6 +148,18 @@ int main(int argc, char** argv) {
       options.max_active_batches = std::atoi(next().c_str());
     } else if (arg == "--drain-ms") {
       drain_ms = std::atoll(next().c_str());
+    } else if (arg == "--log-level") {
+      // debug/info/warn/error/off; PRIVBAYES_LOG_LEVEL is the env override,
+      // the flag wins when both are given.
+      try {
+        pb::SetLogLevel(pb::LogLevelFromString(next()));
+      } catch (const std::exception&) {
+        Usage(argv[0]);
+      }
+    } else if (arg == "--trace-slow-ms") {
+      // Requests slower than this emit one structured stage-timing line
+      // (0 disables; unset falls back to PRIVBAYES_TRACE_SLOW_MS).
+      options.trace_slow_ms = std::atoll(next().c_str());
     } else if (arg == "--fit") {
       fits.push_back(SplitNameValue(next(), argv[0]));
     } else if (arg == "--load") {
@@ -167,17 +183,17 @@ int main(int argc, char** argv) {
       FitAndRegister(registry, name, spec, seed++);
     }
     for (const auto& [name, path] : loads) {
-      std::printf("loading %s from %s\n", name.c_str(), path.c_str());
+      PB_LOG(kInfo, "serve") << "loading " << name << " from " << path;
       registry.Put(name, pb::LoadModelFile(path));
     }
     for (const std::string& manifest : manifests) {
       for (const std::string& name : registry.LoadManifestFile(manifest)) {
-        std::printf("loaded %s from manifest %s\n", name.c_str(),
-                    manifest.c_str());
+        PB_LOG(kInfo, "serve")
+            << "loaded " << name << " from manifest " << manifest;
       }
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "model setup failed: %s\n", e.what());
+    PB_LOG(kError, "serve") << "model setup failed: " << e.what();
     return 1;
   }
 
@@ -185,7 +201,7 @@ int main(int argc, char** argv) {
   try {
     server.Start();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "cannot start server: %s\n", e.what());
+    PB_LOG(kError, "serve") << "cannot start server: " << e.what();
     return 1;
   }
   std::signal(SIGINT, OnSignal);
@@ -196,19 +212,15 @@ int main(int argc, char** argv) {
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::printf("draining (grace %lld ms)...\n", drain_ms);
-  std::fflush(stdout);
+  PB_LOG(kInfo, "serve") << "draining (grace " << drain_ms << " ms)...";
   server.Drain(std::chrono::milliseconds(drain_ms));
   pb::ServeServerStats stats = server.stats();
-  std::printf(
-      "shutting down: %llu connections, %llu requests (%llu errors, "
-      "%llu shed sessions, %llu shed requests), %lld rows streamed\n",
-      static_cast<unsigned long long>(stats.connections),
-      static_cast<unsigned long long>(stats.requests),
-      static_cast<unsigned long long>(stats.errors),
-      static_cast<unsigned long long>(stats.shed_sessions),
-      static_cast<unsigned long long>(stats.shed_requests),
-      static_cast<long long>(stats.rows_streamed));
-  PrintMarginalStoreLine("at shutdown");
+  PB_LOG(kInfo, "serve") << "shutting down: " << stats.connections
+                         << " connections, " << stats.requests
+                         << " requests (" << stats.errors << " errors, "
+                         << stats.shed_sessions << " shed sessions, "
+                         << stats.shed_requests << " shed requests), "
+                         << stats.rows_streamed << " rows streamed";
+  LogMarginalStoreLine("at shutdown");
   return 0;
 }
