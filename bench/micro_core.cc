@@ -4,6 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "bn/sampling.h"
 #include "common/cpu.h"
 #include "core/noisy_conditionals.h"
@@ -531,6 +537,86 @@ void BM_ServeSampleBatchWireBinaryFaulty(benchmark::State& state) {
       static_cast<double>(client.retries()));
 }
 BENCHMARK(BM_ServeSampleBatchWireBinaryFaulty)->Threads(1)->UseRealTime();
+
+// --- C10K soak -------------------------------------------------------------
+// The event-loop acceptance bar: Arg(N) idle keep-alive sessions parked on
+// a dedicated soak server while 8 client threads pull binary batches flat
+// out. Per-batch time at Arg(0) versus Arg(2048) is the marginal cost of a
+// parked C10K herd on live throughput — with epoll session loops it should
+// be noise, because an idle session is one epoll registration plus a small
+// buffer, not a thread and not a poll-array scan.
+
+pb::ServeServer& SoakServer() {
+  static pb::ServeServer* server = [] {
+    struct rlimit lim;
+    if (getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+      lim.rlim_cur = lim.rlim_max;
+      setrlimit(RLIMIT_NOFILE, &lim);  // the herd is fd-bounded
+    }
+    pb::ServeServerOptions options;
+    options.max_sessions = 8192;
+    auto* s = new pb::ServeServer(&Serving().registry, options);
+    s->Start();
+    return s;
+  }();
+  return *server;
+}
+
+std::vector<int> g_soak_idle;
+
+// Parks the herd before the timed threads start (and verifies each session
+// with one PING round trip, so every fd is established server-side, not
+// queued in the accept backlog).
+void SoakSetup(const benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  g_soak_idle.reserve(static_cast<size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(SoakServer().port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      break;
+    }
+    static const char kPing[] = "PING\n";
+    pb::WriteWireBytes(fd, kPing, sizeof(kPing) - 1);
+    char reply[16];
+    size_t got = 0;
+    while (got < sizeof(reply)) {
+      ssize_t n = ::recv(fd, reply + got, 1, 0);
+      if (n <= 0 || reply[got] == '\n') break;
+      got += static_cast<size_t>(n);
+    }
+    g_soak_idle.push_back(fd);
+  }
+}
+
+void SoakTeardown(const benchmark::State&) {
+  for (int fd : g_soak_idle) ::close(fd);
+  g_soak_idle.clear();
+}
+
+void BM_ServeC10KSoak(benchmark::State& state) {
+  constexpr int kBatchRows = 4096;
+  pb::ServeClient client("127.0.0.1", SoakServer().port());
+  uint64_t seed = 1000 * (state.thread_index() + 1);
+  for (auto _ : state) {
+    pb::Dataset batch = client.SampleBinary("m0", kBatchRows, seed++);
+    benchmark::DoNotOptimize(batch.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+  state.counters["idle_sessions"] =
+      benchmark::Counter(static_cast<double>(g_soak_idle.size()),
+                         benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ServeC10KSoak)
+    ->Arg(0)->Arg(2048)
+    ->Threads(8)
+    ->Setup(SoakSetup)->Teardown(SoakTeardown)
+    ->UseRealTime();
 
 void BM_ServeMarginalQuery(benchmark::State& state) {
   ServeFixture& serving = Serving();

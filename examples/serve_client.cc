@@ -21,15 +21,30 @@
 //
 // usage: serve_client [port] [host] [threads] [rows]
 //        serve_client --health [port] [host]
+//        serve_client --soak [port] [host] [idle_sessions] [samplers] [secs]
 //
 // --health: one HEALTH round trip; prints the reply and exits 0 iff the
 // server answers READY. Boot scripts poll this instead of grepping logs.
+//
+// --soak: the C10K smoke. Parks `idle_sessions` (default 1000) keep-alive
+// connections — each verified live with one PING, then left idle — while
+// `samplers` (default 8) threads saturate the server with binary batches
+// for `secs` (default 10) seconds. Mid-soak, idle sessions are spot-checked
+// with PINGs: the event loops must keep answering parked connections while
+// the worker pool is pinned. Afterwards the samplers stop, HEALTH is polled
+// until active_batches quiesces to 0, every idle session PINGs once more
+// and QUITs. Exits 0 and prints "soak checks passed" iff all of that held.
+// The CI serve-smoke job wraps this in an RSS check on the daemon: memory
+// must stay flat because idle epoll sessions cost a buffer, not a thread.
+
+#include <sys/resource.h>
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +62,110 @@ void Check(bool ok, const char* what) {
     std::fprintf(stderr, "FAIL: %s\n", what);
     g_failures.fetch_add(1);
   }
+}
+
+// Thousands of parked sessions need thousands of client-side fds too.
+void RaiseFdLimit() {
+  struct rlimit lim;
+  if (getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &lim);  // best effort
+  }
+}
+
+int RunSoak(int port, const std::string& host, int idle_sessions,
+            int samplers, int secs) {
+  RaiseFdLimit();
+  try {
+    pb::ServeClient probe(host, port);
+    std::vector<pb::ServedModelInfo> models = probe.List();
+    if (models.empty()) {
+      std::fprintf(stderr, "FAIL: server has no models\n");
+      return 1;
+    }
+    const std::string model = models.front().name;
+    std::printf("soak: %d idle sessions + %d samplers on %s for %ds\n",
+                idle_sessions, samplers, model.c_str(), secs);
+
+    // Park the idle herd. A PING each proves the session is actually
+    // established server-side, not just sitting in the accept queue.
+    std::vector<std::unique_ptr<pb::ServeClient>> idle;
+    idle.reserve(static_cast<size_t>(idle_sessions));
+    for (int i = 0; i < idle_sessions; ++i) {
+      auto c = std::make_unique<pb::ServeClient>(host, port);
+      c->Ping();
+      idle.push_back(std::move(c));
+    }
+    std::printf("soak: %zu idle sessions parked\n", idle.size());
+
+    // Saturate: each sampler thread pulls binary batches back to back.
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> batches{0};
+    std::vector<std::thread> pullers;
+    for (int t = 0; t < samplers; ++t) {
+      pullers.emplace_back([&, t] {
+        try {
+          pb::ServeClient client(host, port);
+          uint64_t seed = 9000 + static_cast<uint64_t>(t);
+          while (!stop.load(std::memory_order_relaxed)) {
+            pb::Dataset batch = client.SampleBinary(model, 5000, seed++);
+            Check(batch.num_rows() == 5000, "short soak batch");
+            batches.fetch_add(1, std::memory_order_relaxed);
+          }
+          client.Quit();
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "FAIL: soak sampler: %s\n", e.what());
+          g_failures.fetch_add(1);
+        }
+      });
+    }
+
+    // Spot-check parked sessions while the worker pool is pinned: the
+    // event loops must still answer control traffic on idle connections.
+    const auto soak_end =
+        std::chrono::steady_clock::now() + std::chrono::seconds(secs);
+    size_t next_spot = 0;
+    while (std::chrono::steady_clock::now() < soak_end) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      for (int k = 0; k < 16 && !idle.empty(); ++k) {
+        idle[next_spot % idle.size()]->Ping();
+        ++next_spot;
+      }
+    }
+    stop.store(true);
+    for (std::thread& t : pullers) t.join();
+    std::printf("soak: %lld saturating batches completed, %zu idle PINGs\n",
+                static_cast<long long>(batches.load()), next_spot);
+    Check(batches.load() > 0, "samplers made no progress");
+
+    // Quiescence: with the samplers gone, in-flight batches must drain.
+    bool quiesced = false;
+    for (int i = 0; i < 100; ++i) {
+      pb::ServeHealth health = probe.Health();
+      if (health.ready && health.active_batches == 0) {
+        quiesced = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    Check(quiesced, "server did not quiesce after soak");
+
+    // Every parked session must still be live and answer one last PING.
+    for (auto& c : idle) {
+      c->Ping();
+      c->Quit();
+    }
+    probe.Quit();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL: soak: %s\n", e.what());
+    return 1;
+  }
+  if (g_failures.load() > 0) {
+    std::fprintf(stderr, "%d soak check(s) failed\n", g_failures.load());
+    return 1;
+  }
+  std::printf("soak checks passed\n");
+  return 0;
 }
 
 }  // namespace
@@ -69,6 +188,15 @@ int main(int argc, char** argv) {
                    pb::ServeErrorCodeName(e.code()), e.what());
       return 1;
     }
+  }
+
+  if (argc > 1 && std::string(argv[1]) == "--soak") {
+    const int port = argc > 2 ? std::atoi(argv[2]) : 7878;
+    const std::string host = argc > 3 ? argv[3] : "127.0.0.1";
+    const int idle_sessions = argc > 4 ? std::atoi(argv[4]) : 1000;
+    const int samplers = argc > 5 ? std::atoi(argv[5]) : 8;
+    const int secs = argc > 6 ? std::atoi(argv[6]) : 10;
+    return RunSoak(port, host, idle_sessions, samplers, secs);
   }
 
   const int port = argc > 1 ? std::atoi(argv[1]) : 7878;

@@ -216,12 +216,45 @@ void ServeClient::SendLine(const std::string& line) {
 }
 
 std::string ServeClient::ReadLine() {
-  std::optional<std::string> line = ReadWireLine(fd_, inbuf_);
-  if (!line) {
+  const long timeout_ms = policy_.read_timeout.count() > 0
+                              ? static_cast<long>(policy_.read_timeout.count())
+                              : -1;
+  std::string line;
+  const WireIoStatus status =
+      ReadWireLineTimeout(fd_, inbuf_, line, timeout_ms);
+  if (status == WireIoStatus::kTimeout) {
+    // The server accepted the request but never answered within the budget.
+    // Unlike a server-side DEADLINE_EXCEEDED (an in-band abort on a still-
+    // synchronized connection), the reply may still arrive later — close
+    // the connection BEFORE throwing so a retry reconnects instead of
+    // pairing the stale reply with the next request.
+    CloseConnection();
+    throw ServeError(ServeErrorCode::kTimeout,
+                     "no response within " +
+                         std::to_string(policy_.read_timeout.count()) +
+                         " ms");
+  }
+  if (status != WireIoStatus::kOk) {
     throw ServeError(ServeErrorCode::kConnectionLost,
                      "connection closed by server");
   }
-  return *std::move(line);
+  return line;
+}
+
+bool ServeClient::ReadExact(void* dst, size_t len) {
+  const long timeout_ms = policy_.read_timeout.count() > 0
+                              ? static_cast<long>(policy_.read_timeout.count())
+                              : -1;
+  const WireIoStatus status =
+      ReadWireExactTimeout(fd_, inbuf_, dst, len, timeout_ms);
+  if (status == WireIoStatus::kTimeout) {
+    CloseConnection();  // mid-payload: the connection is desynchronized
+    throw ServeError(ServeErrorCode::kTimeout,
+                     "no response within " +
+                         std::to_string(policy_.read_timeout.count()) +
+                         " ms");
+  }
+  return status == WireIoStatus::kOk;
 }
 
 std::string ServeClient::ExpectOk() {
@@ -360,7 +393,7 @@ Dataset ServeClient::SampleBinary(const std::string& model, int64_t num_rows,
     bool saw_schema = false;
     for (;;) {
       char lenbuf[4];
-      if (!ReadWireExact(fd_, inbuf_, lenbuf, sizeof(lenbuf))) {
+      if (!ReadExact(lenbuf, sizeof(lenbuf))) {
         throw ServeError(ServeErrorCode::kConnectionLost,
                          "connection closed mid-frame");
       }
@@ -372,7 +405,7 @@ Dataset ServeClient::SampleBinary(const std::string& model, int64_t num_rows,
                              "]");
       }
       payload.resize(len);
-      if (!ReadWireExact(fd_, inbuf_, payload.data(), len)) {
+      if (!ReadExact(payload.data(), len)) {
         throw ServeError(ServeErrorCode::kConnectionLost,
                          "connection closed mid-frame");
       }
@@ -528,8 +561,8 @@ std::string ServeClient::Metrics() {
       throw ServeError(ServeErrorCode::kProtocol, "bad METRICS reply");
     }
     std::string payload(static_cast<size_t>(nbytes), '\0');
-    if (nbytes > 0 && !ReadWireExact(fd_, inbuf_, payload.data(),
-                                     static_cast<size_t>(nbytes))) {
+    if (nbytes > 0 &&
+        !ReadExact(payload.data(), static_cast<size_t>(nbytes))) {
       throw ServeError(ServeErrorCode::kConnectionLost,
                        "connection lost mid-METRICS");
     }
@@ -555,6 +588,17 @@ void ServeClient::Drop(const std::string& model) {
   EnsureConnected();
   SendLine("DROP " + model);
   ExpectOk();
+}
+
+void ServeClient::Cancel() {
+  if (fd_ < 0) return;  // nothing in flight on a closed connection
+  // Fire-and-forget: CANCEL has no response of its own, so there is nothing
+  // to read here — the outcome surfaces as a CANCELLED in-band trailer in
+  // the stream another reader is consuming (or not at all when nothing is
+  // in flight). A failed send means the connection is already dead, which
+  // the in-flight read will surface on its own.
+  static const char kLine[] = "CANCEL\n";
+  WriteWireBytes(fd_, kLine, sizeof(kLine) - 1);
 }
 
 void ServeClient::Quit() {

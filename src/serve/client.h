@@ -81,6 +81,13 @@ struct RetryPolicy {
   /// Bound on connect() (non-blocking + poll); expiry throws kTimeout
   /// instead of hanging on a black-holed address.
   std::chrono::milliseconds connect_timeout{5000};
+  /// Per-read inactivity bound (poll before each recv): a server that
+  /// accepted the request but never answers within this window throws
+  /// kTimeout instead of hanging forever. The connection is closed first —
+  /// unlike a server-side DEADLINE_EXCEEDED abort, the reply may still
+  /// arrive later and would desynchronize the line protocol. Zero or
+  /// negative waits forever (the pre-timeout behavior).
+  std::chrono::milliseconds read_timeout{30000};
   uint64_t jitter_seed = 1;
 
   /// No retries, 5 s connect timeout: the pre-resilience behavior minus the
@@ -183,6 +190,15 @@ class ServeClient {
   /// would fail with "no model named"), so never retried.
   void Drop(const std::string& model);
 
+  /// Aborts the in-flight SAMPLE/SAMPLEB on this connection: sends the
+  /// fire-and-forget CANCEL line (the one command with no response of its
+  /// own) and returns immediately. The outcome surfaces in the stream being
+  /// read — a CANCELLED in-band trailer — or, when nothing is in flight, in
+  /// nothing at all (the server ignores it). Only writes to the socket, so
+  /// it is safe to call from a second thread while this connection streams
+  /// a batch; never retried, never throws.
+  void Cancel();
+
   /// Polite shutdown of this connection: best effort, never retried, never
   /// throws. The connection is closed whether or not the peer ACKs.
   void Quit();
@@ -200,6 +216,10 @@ class ServeClient {
   void CloseConnection();
   void SendLine(const std::string& line);
   std::string ReadLine();
+  /// ReadWireExact under policy_.read_timeout: throws kTimeout (closing the
+  /// connection first), returns false on EOF/reset for the caller's typed
+  /// connection-lost error.
+  bool ReadExact(void* dst, size_t len);
   /// Reads a response line; returns the payload after "OK", throws a typed
   /// ServeError on "ERR" (code from the message marker) or garbage.
   std::string ExpectOk();

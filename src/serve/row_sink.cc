@@ -48,6 +48,10 @@ void CsvSink::Chunk(const Dataset& rows) {
   rows_written_ += rows.num_rows();
 }
 
+void CsvSink::Abort(const std::string& message) {
+  *out_ << "!ERR " << message << "\nEND\n";
+}
+
 void BinaryRowSink::WriteFrame() {
   PB_CHECK(frame_.size() <= kMaxWireFrame);
   std::string prefix;

@@ -56,6 +56,11 @@ class CsvSink : public RowSink {
   void Begin(const Schema& schema) override;
   void Chunk(const Dataset& rows) override;
 
+  /// Terminates the stream with the in-band abort marker ("!ERR <message>"
+  /// where a row would go, then the END trailer) — the CSV counterpart of
+  /// BinaryRowSink::Abort, so each wire sink owns its own failure encoding.
+  void Abort(const std::string& message);
+
   int64_t rows_written() const { return rows_written_; }
 
  private:

@@ -20,24 +20,27 @@ SamplingService::SamplingService(ModelRegistry* registry,
                   << NetworkSampler::kShardRows);
 }
 
-SampleResult SamplingService::Sample(const SampleRequest& request,
-                                     RowSink& sink) const {
-  PB_THROW_IF(request.num_rows < 0, "negative row count");
-  StageTimer parse_timer(request.span, Stage::kParse);
-  std::shared_ptr<const ServableModel> handle =
-      registry_->Require(request.model);
-  const PrivBayesModel& model = handle->model();
+ChunkedSampler::ChunkedSampler(const SamplingService* service,
+                               const SampleRequest& request)
+    : service_(service),
+      num_rows_(request.num_rows),
+      deadline_(request.deadline),
+      span_(request.span) {
+  PB_THROW_IF(num_rows_ < 0, "negative row count");
+  StageTimer parse_timer(span_, Stage::kParse);
+  handle_ = service_->registry_->Require(request.model);
+  const PrivBayesModel& model = handle_->model();
   const Schema& original = model.original_schema;
 
   // Resolve the projection (empty = identity) against the original schema.
-  std::vector<int> keep = request.columns;
-  bool identity = keep.empty();
-  if (identity) {
-    keep.resize(static_cast<size_t>(original.num_attrs()));
-    for (size_t i = 0; i < keep.size(); ++i) keep[i] = static_cast<int>(i);
+  keep_ = request.columns;
+  identity_ = keep_.empty();
+  if (identity_) {
+    keep_.resize(static_cast<size_t>(original.num_attrs()));
+    for (size_t i = 0; i < keep_.size(); ++i) keep_[i] = static_cast<int>(i);
   } else {
     std::vector<bool> seen(static_cast<size_t>(original.num_attrs()), false);
-    for (int c : keep) {
+    for (int c : keep_) {
       PB_THROW_IF(c < 0 || c >= original.num_attrs(),
                   "projection column " << c << " out of range");
       PB_THROW_IF(seen[c], "duplicate projection column " << c);
@@ -45,72 +48,97 @@ SampleResult SamplingService::Sample(const SampleRequest& request,
     }
   }
   std::vector<Attribute> kept_attrs;
-  kept_attrs.reserve(keep.size());
-  for (int c : keep) kept_attrs.push_back(original.attr(c));
-  Schema out_schema(std::move(kept_attrs));
+  kept_attrs.reserve(keep_.size());
+  for (int c : keep_) kept_attrs.push_back(original.attr(c));
+  out_schema_ = Schema(std::move(kept_attrs));
 
   // The same base-seed derivation as NetworkSampler::Sample(n, Rng(seed)),
   // so a served batch is bit-identical to SampleSyntheticData with
   // Rng(request.seed) — the property the determinism tests pin down.
   Rng rng(request.seed);
-  const uint64_t base_seed = rng.engine()();
+  base_seed_ = rng.engine()();
   parse_timer.Stop();
 
   // Admission: shed outright when the active-batch cap is already met —
   // before Begin, so the refusal goes out on the clean ERR channel and the
   // client can retry with backoff instead of queueing on a busy server.
-  StageTimer admission_timer(request.span, Stage::kAdmission);
-  std::optional<AdmissionGate::Ticket> ticket = admission_.TryEnter();
+  StageTimer admission_timer(span_, Stage::kAdmission);
+  std::optional<AdmissionGate::Ticket> ticket =
+      service_->admission_.TryEnter();
   admission_timer.Stop();
   if (!ticket) {
     throw ResourceExhausted(
-        "RESOURCE_EXHAUSTED: " + std::to_string(admission_.active()) +
+        "RESOURCE_EXHAUSTED: " +
+        std::to_string(service_->admission_.active()) +
         " batches already in flight (cap " +
-        std::to_string(admission_.max_active()) + "); retry with backoff");
+        std::to_string(service_->admission_.max_active()) +
+        "); retry with backoff");
   }
-  SampleResult result;
-  result.pool_admitted = ticket->admitted();
+  ticket_.emplace(std::move(*ticket));  // Ticket moves-constructs only
+  result_.pool_admitted = ticket_->admitted();
+}
 
-  {
-    StageTimer write_timer(request.span, Stage::kWrite);
-    sink.Begin(out_schema);
+bool ChunkedSampler::Step(RowSink& sink) {
+  PB_THROW_IF(done_, "Step() after the stream ended");
+  if (!begun_) {
+    begun_ = true;
+    StageTimer write_timer(span_, Stage::kWrite);
+    sink.Begin(out_schema_);
   }
-  for (int64_t row = 0; row < request.num_rows; row += chunk_rows_) {
-    if (row > 0 && request.deadline &&
-        std::chrono::steady_clock::now() > *request.deadline) {
+  if (row_ < num_rows_) {
+    if (row_ > 0 && deadline_ &&
+        std::chrono::steady_clock::now() > *deadline_) {
       throw DeadlineExceeded(
           "DEADLINE_EXCEEDED: request deadline expired after " +
-          std::to_string(row) + " of " + std::to_string(request.num_rows) +
+          std::to_string(row_) + " of " + std::to_string(num_rows_) +
           " rows");
     }
     const int rows_this = static_cast<int>(
-        std::min<int64_t>(chunk_rows_, request.num_rows - row));
-    const int64_t first_shard = row / NetworkSampler::kShardRows;
-    StageTimer sample_timer(request.span, Stage::kSample);
-    Dataset encoded = handle->sampler().SampleChunk(
-        base_seed, first_shard, rows_this, ticket->admitted());
-    Dataset decoded = DecodeToOriginal(encoded, original, model.encoding,
-                                       model.encoder.get());
+        std::min<int64_t>(service_->chunk_rows_, num_rows_ - row_));
+    const int64_t first_shard = row_ / NetworkSampler::kShardRows;
+    const PrivBayesModel& model = handle_->model();
+    StageTimer sample_timer(span_, Stage::kSample);
+    Dataset encoded = handle_->sampler().SampleChunk(
+        base_seed_, first_shard, rows_this, ticket_->admitted());
+    Dataset decoded = DecodeToOriginal(encoded, model.original_schema,
+                                       model.encoding, model.encoder.get());
     Dataset projected = [&] {
-      if (identity) return std::move(decoded);
+      if (identity_) return std::move(decoded);
       std::vector<std::vector<Value>> cols;
-      cols.reserve(keep.size());
-      for (int c : keep) cols.push_back(decoded.column(c));
-      return Dataset::FromColumns(out_schema, std::move(cols));
+      cols.reserve(keep_.size());
+      for (int c : keep_) cols.push_back(decoded.column(c));
+      return Dataset::FromColumns(out_schema_, std::move(cols));
     }();
     sample_timer.Stop();
     {
-      StageTimer write_timer(request.span, Stage::kWrite);
+      StageTimer write_timer(span_, Stage::kWrite);
       sink.Chunk(projected);
     }
-    result.rows += rows_this;
-    ++result.chunks;
+    result_.rows += rows_this;
+    ++result_.chunks;
+    row_ += rows_this;
+    if (row_ < num_rows_) return true;
   }
   {
-    StageTimer write_timer(request.span, Stage::kWrite);
+    StageTimer write_timer(span_, Stage::kWrite);
     sink.End();
   }
-  return result;
+  done_ = true;
+  ticket_.reset();  // free the admission slot the moment END is queued
+  return false;
+}
+
+SampleResult SamplingService::Sample(const SampleRequest& request,
+                                     RowSink& sink) const {
+  ChunkedSampler cursor(this, request);
+  while (cursor.Step(sink)) {
+  }
+  return cursor.result();
+}
+
+std::unique_ptr<ChunkedSampler> SamplingService::StartChunked(
+    const SampleRequest& request) const {
+  return std::unique_ptr<ChunkedSampler>(new ChunkedSampler(this, request));
 }
 
 Dataset SamplingService::SampleToDataset(const SampleRequest& request) const {

@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -83,6 +84,57 @@ struct SampleResult {
   bool pool_admitted = false;  ///< false = ran inline (pool saturated)
 };
 
+class SamplingService;
+
+/// A batch in cursor form: one Step() samples, decodes, projects, and sinks
+/// one chunk, so a caller that cannot accept unbounded output (an event loop
+/// with a bounded per-session write queue) can pause between chunks without
+/// holding a blocked thread. Construction performs everything Sample() did
+/// before the first byte of output — model resolve, projection validation,
+/// base-seed derivation, admission (throwing ResourceExhausted on shed) — so
+/// every pre-stream error still reaches the caller before Begin. The
+/// admission ticket is held for the cursor's lifetime and released either
+/// when the final Step() writes End or on destruction (abort-safe: dropping
+/// a half-driven cursor can never leak an admission slot).
+class ChunkedSampler {
+ public:
+  ~ChunkedSampler() = default;
+  ChunkedSampler(const ChunkedSampler&) = delete;
+  ChunkedSampler& operator=(const ChunkedSampler&) = delete;
+
+  /// Advances the stream: the first call writes Begin (and, for non-empty
+  /// batches, the first chunk); the call that produces the final chunk also
+  /// writes End and returns false. Returns true while more chunks remain.
+  /// Throws DeadlineExceeded between chunks exactly as Sample() did.
+  bool Step(RowSink& sink);
+
+  /// Valid once Step has returned false: what the batch did.
+  const SampleResult& result() const { return result_; }
+  /// Rows already emitted (valid mid-stream, for abort diagnostics).
+  int64_t rows_done() const { return row_; }
+  int64_t num_rows() const { return num_rows_; }
+  bool done() const { return done_; }
+
+ private:
+  friend class SamplingService;
+  ChunkedSampler(const SamplingService* service, const SampleRequest& request);
+
+  const SamplingService* service_;
+  std::shared_ptr<const ServableModel> handle_;
+  Schema out_schema_{std::vector<Attribute>{}};
+  std::vector<int> keep_;
+  bool identity_ = false;
+  uint64_t base_seed_ = 0;
+  int64_t num_rows_ = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  Span* span_ = nullptr;
+  std::optional<AdmissionGate::Ticket> ticket_;
+  int64_t row_ = 0;
+  bool begun_ = false;
+  bool done_ = false;
+  SampleResult result_;
+};
+
 class SamplingService {
  public:
   /// `max_parallel_batches` bounds how many batches may use the shared
@@ -101,6 +153,11 @@ class SamplingService {
   /// request (always before any row is produced).
   SampleResult Sample(const SampleRequest& request, RowSink& sink) const;
 
+  /// Opens the batch as a resumable cursor (see ChunkedSampler). Throws
+  /// exactly what Sample() throws before its first output byte.
+  std::unique_ptr<ChunkedSampler> StartChunked(
+      const SampleRequest& request) const;
+
   /// Convenience: collects the batch into a Dataset via DatasetSink.
   Dataset SampleToDataset(const SampleRequest& request) const;
 
@@ -111,6 +168,7 @@ class SamplingService {
   static constexpr int kDefaultChunkRows = 8 * NetworkSampler::kShardRows;
 
  private:
+  friend class ChunkedSampler;
   ModelRegistry* registry_;
   mutable AdmissionGate admission_;
   int chunk_rows_;

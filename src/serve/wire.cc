@@ -1,5 +1,6 @@
 #include "serve/wire.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <cerrno>
@@ -184,41 +185,83 @@ ssize_t FaultySend(int fd, const void* buf, size_t len) {
   return ::send(fd, buf, len, MSG_NOSIGNAL);
 }
 
-std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
-                                        size_t max_line) {
-  for (;;) {
-    size_t nl = buf.data.find('\n', buf.pos);
-    if (nl != std::string::npos) {
-      if (nl - buf.pos > max_line) return std::nullopt;
-      std::string line = buf.data.substr(buf.pos, nl - buf.pos);
-      buf.pos = nl + 1;
-      if (buf.pos == buf.data.size()) {
-        buf.data.clear();
-        buf.pos = 0;
-      }
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return line;
-    }
-    if (buf.data.size() - buf.pos > max_line) return std::nullopt;  // runaway
-    // Compact the consumed prefix before growing the buffer further.
-    if (buf.pos > 0) {
-      buf.data.erase(0, buf.pos);
+WireExtract ExtractWireLine(WireBuffer& buf, std::string& line,
+                            size_t max_line) {
+  size_t nl = buf.data.find('\n', buf.pos);
+  if (nl != std::string::npos) {
+    if (nl - buf.pos > max_line) return WireExtract::kOverflow;
+    line.assign(buf.data, buf.pos, nl - buf.pos);
+    buf.pos = nl + 1;
+    if (buf.pos == buf.data.size()) {
+      buf.data.clear();
       buf.pos = 0;
     }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return WireExtract::kLine;
+  }
+  if (buf.data.size() - buf.pos > max_line) return WireExtract::kOverflow;
+  // Compact the consumed prefix before the caller grows the buffer further.
+  if (buf.pos > 0) {
+    buf.data.erase(0, buf.pos);
+    buf.pos = 0;
+  }
+  return WireExtract::kNeedMore;
+}
+
+namespace {
+
+// Waits up to `timeout_ms` for `fd` readability (< 0 = forever). False only
+// on a clean timeout; poll errors return true and let the following recv
+// surface them.
+bool PollReadable(int fd, long timeout_ms) {
+  if (timeout_ms < 0) return true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    long left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+    if (left < 0) left = 0;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, static_cast<int>(left));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return true;
+  }
+}
+
+}  // namespace
+
+WireIoStatus ReadWireLineTimeout(int fd, WireBuffer& buf, std::string& line,
+                                 long timeout_ms, size_t max_line) {
+  for (;;) {
+    switch (ExtractWireLine(buf, line, max_line)) {
+      case WireExtract::kLine:
+        return WireIoStatus::kOk;
+      case WireExtract::kOverflow:
+        return WireIoStatus::kEof;  // runaway line: same surface as a dead peer
+      case WireExtract::kNeedMore:
+        break;
+    }
+    if (!PollReadable(fd, timeout_ms)) return WireIoStatus::kTimeout;
     char chunk[1 << 16];
     ssize_t got = FaultyRecv(fd, chunk, sizeof(chunk));
     if (got < 0) {
       // A signal landing on this thread interrupts recv without any data
       // loss; only a real error (or SO_RCVTIMEO expiry) means a dead peer.
       if (errno == EINTR) continue;
-      return std::nullopt;
+      return WireIoStatus::kEof;
     }
-    if (got == 0) return std::nullopt;  // EOF
+    if (got == 0) return WireIoStatus::kEof;  // EOF
     buf.data.append(chunk, static_cast<size_t>(got));
   }
 }
 
-bool ReadWireExact(int fd, WireBuffer& buf, void* dst, size_t len) {
+WireIoStatus ReadWireExactTimeout(int fd, WireBuffer& buf, void* dst,
+                                  size_t len, long timeout_ms) {
   char* out = static_cast<char*>(dst);
   // Drain bytes already buffered by a preceding line read.
   size_t have = buf.data.size() - buf.pos;
@@ -234,16 +277,32 @@ bool ReadWireExact(int fd, WireBuffer& buf, void* dst, size_t len) {
     }
   }
   while (len > 0) {
+    if (!PollReadable(fd, timeout_ms)) return WireIoStatus::kTimeout;
     ssize_t got = FaultyRecv(fd, out, len);
     if (got < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return WireIoStatus::kEof;
     }
-    if (got == 0) return false;  // EOF mid-frame
+    if (got == 0) return WireIoStatus::kEof;  // EOF mid-frame
     out += got;
     len -= static_cast<size_t>(got);
   }
-  return true;
+  return WireIoStatus::kOk;
+}
+
+std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
+                                        size_t max_line) {
+  std::string line;
+  if (ReadWireLineTimeout(fd, buf, line, /*timeout_ms=*/-1, max_line) !=
+      WireIoStatus::kOk) {
+    return std::nullopt;
+  }
+  return line;
+}
+
+bool ReadWireExact(int fd, WireBuffer& buf, void* dst, size_t len) {
+  return ReadWireExactTimeout(fd, buf, dst, len, /*timeout_ms=*/-1) ==
+         WireIoStatus::kOk;
 }
 
 bool WriteWireBytes(int fd, const char* data, size_t len) {

@@ -152,6 +152,19 @@ struct WireBuffer {
   size_t pos = 0;  // start of unconsumed bytes
 };
 
+/// ExtractWireLine result: a complete line was produced, more bytes are
+/// needed (the buffer was compacted so the caller can append a recv chunk),
+/// or the pending line exceeds the cap (hostile/broken peer).
+enum class WireExtract { kLine, kNeedMore, kOverflow };
+
+/// Pure-buffer line extraction — the scan/compact half of ReadWireLine with
+/// no socket call, for non-blocking readers (the epoll session loop) that
+/// own their own recv. On kLine, `line` holds the next '\n'-terminated line
+/// (terminator removed, trailing '\r' stripped) and the buffer cursor has
+/// advanced past it.
+WireExtract ExtractWireLine(WireBuffer& buf, std::string& line,
+                            size_t max_line = kMaxWireLine);
+
 /// Reads one '\n'-terminated line from `fd` (terminator removed, trailing
 /// '\r' stripped), buffering extra bytes in `buf` across calls. Returns
 /// nullopt on EOF/reset/receive-timeout, or when a line exceeds `max_line`
@@ -163,6 +176,23 @@ std::optional<std::string> ReadWireLine(int fd, WireBuffer& buf,
 /// false when the peer is gone (or a receive timeout fires) before `len`
 /// bytes arrive. Interrupted reads (EINTR) are retried.
 bool ReadWireExact(int fd, WireBuffer& buf, void* dst, size_t len);
+
+/// Outcome of a timeout-aware read: completed, connection gone (EOF, reset,
+/// oversized line — everything the untimed readers fold into failure), or
+/// the inactivity timeout elapsed with the connection still open.
+enum class WireIoStatus { kOk, kEof, kTimeout };
+
+/// ReadWireLine with an inactivity timeout: each recv waits at most
+/// `timeout_ms` for readability (poll; < 0 waits forever, matching
+/// ReadWireLine). kTimeout distinguishes "server accepted but never
+/// answered" from a dead peer so clients can surface a typed timeout.
+WireIoStatus ReadWireLineTimeout(int fd, WireBuffer& buf, std::string& line,
+                                 long timeout_ms,
+                                 size_t max_line = kMaxWireLine);
+
+/// ReadWireExact with the same inactivity timeout semantics.
+WireIoStatus ReadWireExactTimeout(int fd, WireBuffer& buf, void* dst,
+                                  size_t len, long timeout_ms);
 
 /// Writes all `len` bytes to `fd` (send with MSG_NOSIGNAL, retrying short
 /// and interrupted writes). Returns false when the peer is gone.

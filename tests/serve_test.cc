@@ -8,7 +8,9 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <pthread.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -720,8 +722,9 @@ TEST(ServeServer, DeadlineExpiryAbortsInBandWithoutLeakingAdmission) {
   server.Stop();
 }
 
-// SO_RCVTIMEO: a connection that goes silent is dropped after idle_timeout
-// instead of pinning its session thread forever; live traffic is unaffected.
+// Event-loop idle timer: a connection that goes silent is dropped after
+// idle_timeout instead of pinning server state forever; live traffic is
+// unaffected.
 TEST(ServeServer, IdleTimeoutDropsSilentConnections) {
   WireFaults::ScopedDisable no_faults;
   ModelRegistry registry;
@@ -1111,6 +1114,264 @@ TEST(ServeServer, BatchCapShedsAndRecovers) {
   }
   ASSERT_TRUE(freed) << "aborted batch leaked its active slot";
   EXPECT_EQ(probe.Sample("m", 100, 2).rows.size(), 100u);
+  server.Stop();
+}
+
+namespace {
+
+// /proc/self/status field in kB ("VmRSS", "VmHWM") or count ("Threads").
+long ProcStatusValue(const char* key) {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  const std::string prefix = std::string(key) + ":";
+  while (std::getline(status, line)) {
+    if (line.compare(0, prefix.size(), prefix) == 0) {
+      return std::atol(line.c_str() + prefix.size());
+    }
+  }
+  return -1;
+}
+
+int RawConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// One PING round trip on a raw socket (reads exactly through the newline —
+// safe because nothing else is in flight on the connection).
+bool RawPing(int fd) {
+  static const char kPing[] = "PING\n";
+  if (!WriteWireBytes(fd, kPing, sizeof(kPing) - 1)) return false;
+  std::string reply;
+  char ch;
+  while (reply.size() < 64) {
+    ssize_t n = ::recv(fd, &ch, 1, 0);
+    if (n <= 0) return false;
+    if (ch == '\n') break;
+    reply.push_back(ch);
+  }
+  return reply == "OK PONG";
+}
+
+// Reads from `fd` until `needle` has appeared in the stream (discarding
+// consumed bytes); false on EOF, error, or 10 s of silence.
+bool ReadUntil(int fd, const std::string& needle, std::string* tail) {
+  std::string window;
+  char buf[65536];
+  for (;;) {
+    size_t pos = window.find(needle);
+    if (pos != std::string::npos) {
+      if (tail) *tail = window.substr(pos + needle.size());
+      return true;
+    }
+    // Keep only a needle-sized suffix: the match cannot span further back.
+    if (window.size() > needle.size()) {
+      window.erase(0, window.size() - needle.size());
+    }
+    struct pollfd pfd {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 10000) <= 0) return false;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    window.append(buf, static_cast<size_t>(n));
+  }
+}
+
+// First sample of a counter in a Prometheus text payload, or -1.
+double PromCounter(const std::string& payload, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = payload.find(name, pos)) != std::string::npos) {
+    if (pos > 0 && payload[pos - 1] != '\n') {  // body of a HELP/TYPE line
+      pos += name.size();
+      continue;
+    }
+    size_t sp = payload.find(' ', pos);
+    if (sp == std::string::npos) return -1;
+    return std::atof(payload.c_str() + sp + 1);
+  }
+  return -1;
+}
+
+}  // namespace
+
+// The C10K contract in-process: thousands of parked keep-alive sessions
+// cost the server a buffer each — zero additional threads and bounded
+// memory — while live traffic on other connections is served normally.
+TEST(ServeServer, ThousandsOfIdleSessionsAddNoThreads) {
+  WireFaults::ScopedDisable no_faults;
+  struct rlimit lim;
+  if (getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &lim);
+  }
+  constexpr int kSessions = 2048;
+  if (getrlimit(RLIMIT_NOFILE, &lim) == 0 &&
+      lim.rlim_cur < 2 * kSessions + 64) {
+    GTEST_SKIP() << "fd limit " << lim.rlim_cur << " too low for "
+                 << kSessions << " loopback sessions";
+  }
+
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServerOptions options;
+  options.max_sessions = kSessions + 64;
+  ServeServer server(&registry, options);
+  server.Start();
+
+  // Warm the serving path first so pools and buffers it allocates lazily
+  // don't count against the idle herd.
+  ServeClient active("127.0.0.1", server.port(), RetryPolicy::None());
+  EXPECT_EQ(active.Sample("m", 1000, 1).rows.size(), 1000u);
+  const long threads_before = ProcStatusValue("Threads");
+  const long rss_before = ProcStatusValue("VmRSS");
+  ASSERT_GT(threads_before, 0);
+
+  std::vector<int> idle;
+  idle.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0) << "connect " << i;
+    ASSERT_TRUE(RawPing(fd)) << "ping " << i;  // established server-side
+    idle.push_back(fd);
+  }
+
+  // Zero new threads: sessions are epoll registrations, not stacks.
+  EXPECT_EQ(ProcStatusValue("Threads"), threads_before);
+  // Bounded memory: both ends of all 2048 sessions live in this process;
+  // well under 32 kB per session (thread stacks alone would blow this).
+  const long rss_after = ProcStatusValue("VmRSS");
+  EXPECT_LT(rss_after - rss_before, 64 * 1024) << "kB for " << kSessions
+                                               << " idle sessions";
+
+  ServeHealth health = active.Health();
+  EXPECT_GE(health.sessions, kSessions);
+
+  // The parked herd does not starve live traffic...
+  EXPECT_EQ(active.Sample("m", 2000, 2).rows.size(), 2000u);
+  // ...and parked sessions still answer (spot check a spread).
+  for (int i = 0; i < kSessions; i += 256) {
+    EXPECT_TRUE(RawPing(idle[static_cast<size_t>(i)])) << "spot " << i;
+  }
+
+  for (int fd : idle) ::close(fd);
+  active.Quit();
+  server.Stop();
+}
+
+// Backpressure: a consumer that stops reading mid-batch parks only its own
+// driver (write_stalls_total counts it); a healthy concurrent client pulls
+// full batches undisturbed, and dropping the stalled consumer aborts its
+// batch and frees the admission slot.
+TEST(ServeServer, WriteBackpressureStallsOnlySlowConsumer) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServerOptions options;
+  options.max_write_buffer = 64 * 1024;  // tiny queue: park fast
+  ServeServer server(&registry, options);
+  server.Start();
+
+  // The slow consumer: request far more rows than the write queue plus
+  // socket buffers can hold, then never read.
+  int stuck = RawConnect(server.port());
+  ASSERT_GE(stuck, 0);
+  const std::string request = "SAMPLE m 2000000 1\n";
+  ASSERT_TRUE(WriteWireBytes(stuck, request.data(), request.size()));
+
+  ServeClient probe("127.0.0.1", server.port(), RetryPolicy::None());
+  bool parked = false;
+  for (int i = 0; i < 500 && !parked; ++i) {
+    parked =
+        PromCounter(probe.Metrics(), "privbayes_serve_write_stalls_total") >= 1;
+    if (!parked) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(parked) << "stalled consumer never parked its batch driver";
+
+  // While that batch is parked, a healthy client streams a complete batch.
+  EXPECT_EQ(probe.Sample("m", 20000, 2).rows.size(), 20000u);
+  EXPECT_EQ(probe.SampleBinary("m", 20000, 2).num_rows(), 20000);
+
+  // Dropping the stalled consumer aborts the parked batch and releases its
+  // admission slot — the stall cost the server a bounded queue, nothing more.
+  ::close(stuck);
+  bool freed = false;
+  for (int i = 0; i < 500 && !freed; ++i) {
+    freed = probe.Health().active_batches == 0;
+    if (!freed) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(freed) << "parked batch leaked its admission slot";
+  EXPECT_EQ(server.sampling().admission().in_flight(), 0);
+  probe.Quit();
+  server.Stop();
+}
+
+// CANCEL mid-stream: the abort surfaces as an in-band CANCELLED trailer on
+// the stream being read, the admission slot is released, and the connection
+// stays line-synchronized for the next request.
+TEST(ServeServer, CancelAbortsMidStreamAndReleasesAdmission) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServerOptions options;
+  options.max_write_buffer = 256 * 1024;  // bound the pre-trailer backlog
+  ServeServer server(&registry, options);
+  server.Start();
+
+  int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  // A batch far larger than the write queue: the server cannot finish it
+  // before the CANCEL lands, so the abort is deterministically mid-stream.
+  const std::string request = "SAMPLE m 2000000 1\n";
+  ASSERT_TRUE(WriteWireBytes(fd, request.data(), request.size()));
+  ASSERT_TRUE(ReadUntil(fd, "OK ", nullptr)) << "stream never started";
+
+  static const char kCancel[] = "CANCEL\n";
+  ASSERT_TRUE(WriteWireBytes(fd, kCancel, sizeof(kCancel) - 1));
+  // Drain the stream: rows already queued, then the in-band abort trailer
+  // (searched as one needle — the trailer and END arrive in one chunk).
+  ASSERT_TRUE(ReadUntil(
+      fd, "!ERR CANCELLED: request cancelled by client\nEND\n", nullptr));
+
+  // The slot came back and the connection is reusable in-line.
+  EXPECT_TRUE(RawPing(fd));
+  EXPECT_EQ(server.sampling().admission().in_flight(), 0);
+
+  // A fresh request on the same connection streams to completion.
+  const std::string small = "SAMPLE m 100 2\n";
+  ASSERT_TRUE(WriteWireBytes(fd, small.data(), small.size()));
+  ASSERT_TRUE(ReadUntil(fd, "END\n", nullptr));
+  ::close(fd);
+  server.Stop();
+}
+
+// CANCEL with nothing in flight is ignored: no reply, no error, no effect
+// on the next request — and the client-side helper is safe to fire blind.
+TEST(ServeServer, CancelWithNothingInFlightIsIgnored) {
+  WireFaults::ScopedDisable no_faults;
+  ModelRegistry registry;
+  registry.Put("m", ModelA());
+  ServeServer server(&registry, {});
+  server.Start();
+
+  ServeClient client("127.0.0.1", server.port(), RetryPolicy::None());
+  client.Ping();
+  const uint64_t requests_before = server.stats().requests;
+  client.Cancel();
+  client.Cancel();
+  // The very next round trips pair correctly: CANCEL wrote no response.
+  client.Ping();
+  EXPECT_EQ(client.Sample("m", 500, 3).rows.size(), 500u);
+  // CANCEL is not a request: only PING and SAMPLE counted.
+  EXPECT_EQ(server.stats().requests, requests_before + 2);
+  client.Quit();
   server.Stop();
 }
 

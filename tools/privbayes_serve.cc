@@ -24,6 +24,8 @@
 // --log-level or PRIVBAYES_LOG_LEVEL selects the threshold) EXCEPT the bare
 // READY line, which boot scripts parse.
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -52,6 +54,7 @@ void OnSignal(int) { g_stop = 1; }
                "usage: %s [--host H] [--port P] [--max-parallel N]\n"
                "          [--deadline-ms MS] [--idle-timeout-ms MS]\n"
                "          [--max-sessions N] [--max-active-batches N]\n"
+               "          [--event-loops N] [--max-write-buffer BYTES]\n"
                "          [--drain-ms MS] [--log-level LEVEL]\n"
                "          [--trace-slow-ms MS]\n"
                "          [--fit NAME=DATASET[:rows[:eps]]]... "
@@ -104,6 +107,17 @@ void FitAndRegister(pb::ModelRegistry& registry, const std::string& name,
   LogMarginalStoreLine("after fit");
 }
 
+// Raise the fd soft limit toward the hard limit: every session is one fd
+// (no thread), so the file-descriptor budget IS the C10K session budget.
+// Best effort — a container that pins the hard limit just keeps it.
+void RaiseFdLimit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur >= lim.rlim_max) return;
+  lim.rlim_cur = lim.rlim_max;
+  ::setrlimit(RLIMIT_NOFILE, &lim);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,7 +149,7 @@ int main(int argc, char** argv) {
       options.request_deadline = std::chrono::milliseconds(
           std::atoll(next().c_str()));
     } else if (arg == "--idle-timeout-ms") {
-      // SO_RCVTIMEO on sessions (0 = none): silent connections are dropped.
+      // Event-loop idle timer (0 = none): silent connections are dropped.
       options.idle_timeout = std::chrono::milliseconds(
           std::atoll(next().c_str()));
     } else if (arg == "--max-sessions") {
@@ -146,6 +160,14 @@ int main(int argc, char** argv) {
       // Running-batch cap (0 = never shed): SAMPLE/SAMPLEB beyond it get
       // RESOURCE_EXHAUSTED and the client backs off.
       options.max_active_batches = std::atoi(next().c_str());
+    } else if (arg == "--event-loops") {
+      // epoll threads owning the session sockets (0 = default 2).
+      options.event_loops = std::atoi(next().c_str());
+    } else if (arg == "--max-write-buffer") {
+      // Per-session write-queue bound in bytes (0 = default 4 MiB): batches
+      // park on a full queue instead of buffering a slow consumer's stream.
+      options.max_write_buffer =
+          static_cast<size_t>(std::atoll(next().c_str()));
     } else if (arg == "--drain-ms") {
       drain_ms = std::atoll(next().c_str());
     } else if (arg == "--log-level") {
@@ -175,6 +197,8 @@ int main(int argc, char** argv) {
     // adult=Adult` but small enough to be up in seconds.
     fits = {{"nltcs", "NLTCS:4000:0.8"}, {"adult", "Adult:4000:0.8"}};
   }
+
+  RaiseFdLimit();
 
   pb::ModelRegistry registry;
   try {
