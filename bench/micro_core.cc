@@ -18,6 +18,7 @@
 #include "core/privbayes.h"
 #include "core/score_functions.h"
 #include "data/generators.h"
+#include "data/packed_file.h"
 #include "dp/mechanisms.h"
 #include "obs/metrics.h"
 #include "serve/client.h"
@@ -175,6 +176,39 @@ void BM_JointCountsRadixPacked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * Adult().num_rows());
 }
 BENCHMARK(BM_JointCountsRadixPacked)->Arg(2)->Arg(4)->Arg(6);
+
+// The same engine-dispatched counts served from an mmap-backed store: the
+// packed file is written once, mapped, and counted through the identical
+// kernels. BM_JointCountsPacked / this pair at the same arg is the cost of
+// going out-of-core (page-cache reads + per-pass residency drops).
+const pb::Dataset& NltcsMapped() {
+  static const pb::Dataset* data = [] {
+    const pb::Dataset& src = Nltcs();
+    const std::string path = "/tmp/micro_core_nltcs.pbp";
+    pb::PackedFileWriter writer(path, src.schema(), src.num_rows(), 1);
+    std::vector<pb::Value> row(static_cast<size_t>(src.num_attrs()));
+    for (int64_t r = 0; r < src.num_rows(); ++r) {
+      for (int c = 0; c < src.num_attrs(); ++c) {
+        row[static_cast<size_t>(c)] = src.at(r, c);
+      }
+      writer.AppendRow(row);
+    }
+    writer.Finish();
+    return new pb::Dataset(pb::Dataset::FromPackedFile(path));
+  }();
+  return *data;
+}
+
+void BM_JointCountsMmap(benchmark::State& state) {
+  const pb::Dataset& data = NltcsMapped();
+  std::vector<pb::GenAttr> gattrs =
+      PairGenAttrs(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.JointCountsGeneralized(gattrs));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_JointCountsMmap)->Arg(1)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
 
 void BM_JointCountsRadixRaw(benchmark::State& state) {
   Adult().store();

@@ -203,7 +203,7 @@ void NetworkSampler::SampleShard(const std::vector<Value*>& cols,
   }
 }
 
-Dataset NetworkSampler::Sample(int num_rows, Rng& rng) const {
+Dataset NetworkSampler::Sample(int64_t num_rows, Rng& rng) const {
   // One seed drawn from the caller's stream, one derived stream per
   // fixed-size shard: the synthetic table is a pure function of the incoming
   // Rng state, whether shards run on one thread or many.
@@ -211,7 +211,7 @@ Dataset NetworkSampler::Sample(int num_rows, Rng& rng) const {
 }
 
 Dataset NetworkSampler::SampleChunk(uint64_t base_seed, int64_t first_shard,
-                                    int num_rows, bool parallel) const {
+                                    int64_t num_rows, bool parallel) const {
   PB_THROW_IF(num_rows < 0, "negative row count");
   PB_THROW_IF(first_shard < 0, "negative shard index");
   SamplerMetrics& metrics = GetSamplerMetrics();
@@ -250,8 +250,16 @@ double NetworkSampler::LogLikelihood(const Dataset& data,
               "network/schema mismatch");
   const int64_t n = data.num_rows();
   const int d = data.num_attrs();
+  // Pin raw columns through the store: resident datasets alias them for
+  // free, out-of-core datasets decode into the generalized-column cache for
+  // the duration of this pass.
+  std::shared_ptr<const ColumnStore> store = data.store();
+  std::vector<ColumnStore::PinnedColumn> pins(d);
   std::vector<const Value*> cols(d);
-  for (int c = 0; c < d; ++c) cols[c] = data.column(c).data();
+  for (int c = 0; c < d; ++c) {
+    pins[c] = store->PinColumn(c, 0);
+    cols[c] = pins[c].get();
+  }
 
   const int64_t num_shards = (n + kShardRows - 1) / kShardRows;
   std::vector<double> partial(static_cast<size_t>(std::max<int64_t>(num_shards, 1)),
@@ -301,7 +309,7 @@ double NetworkSampler::LogLikelihood(const Dataset& data,
 }
 
 Dataset SampleFromNetwork(const Schema& schema, const BayesNet& net,
-                          const ConditionalSet& conditionals, int num_rows,
+                          const ConditionalSet& conditionals, int64_t num_rows,
                           Rng& rng) {
   return NetworkSampler(schema, net, conditionals).Sample(num_rows, rng);
 }

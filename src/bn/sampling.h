@@ -82,7 +82,7 @@ class NetworkSampler {
                  const ConditionalSet& conditionals);
 
   /// Samples `num_rows` rows ancestrally into a fresh Dataset.
-  Dataset Sample(int num_rows, Rng& rng) const;
+  Dataset Sample(int64_t num_rows, Rng& rng) const;
 
   /// Samples `num_rows` rows starting at shard `first_shard` of the
   /// deterministic stream keyed by `base_seed`: row i of the result is row
@@ -92,7 +92,8 @@ class NetworkSampler {
   /// the serving layer's fallback when the thread pool is saturated. All
   /// shard/row arithmetic is 64-bit, so chunks cut deep into a 100M+-row
   /// stream (first_shard · kShardRows far past 2^31) are safe.
-  Dataset SampleChunk(uint64_t base_seed, int64_t first_shard, int num_rows,
+  Dataset SampleChunk(uint64_t base_seed, int64_t first_shard,
+                      int64_t num_rows,
                       bool parallel = true) const;
 
   /// log2-likelihood of `data` under the model, probability-zero cells
@@ -144,7 +145,7 @@ class NetworkSampler {
 /// not match the network's pairs. One-shot wrapper over NetworkSampler;
 /// build the sampler directly to amortize table compilation across batches.
 Dataset SampleFromNetwork(const Schema& schema, const BayesNet& net,
-                          const ConditionalSet& conditionals, int num_rows,
+                          const ConditionalSet& conditionals, int64_t num_rows,
                           Rng& rng);
 
 /// log2-likelihood of `data` under the network + conditionals, with

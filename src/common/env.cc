@@ -1,6 +1,8 @@
 #include "common/env.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace privbayes {
 
@@ -36,5 +38,20 @@ uint64_t BenchSeed() {
 }
 
 bool FullFidelity() { return EnvFlag("PRIVBAYES_FULL"); }
+
+int64_t PeakRssKb() {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      int64_t kb = 0;
+      fields >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
 
 }  // namespace privbayes

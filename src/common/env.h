@@ -35,6 +35,12 @@ uint64_t BenchSeed();
 /// True when PRIVBAYES_FULL=1 (paper-fidelity mode: no subsampling).
 bool FullFidelity();
 
+/// Peak resident set size of this process in KiB (VmHWM from
+/// /proc/self/status), or 0 where unavailable. The number the out-of-core
+/// bench and CI lane assert on: for an mmap-backed fit it stays a small
+/// fraction of the packed file because pages are evictable page cache.
+int64_t PeakRssKb();
+
 }  // namespace privbayes
 
 #endif  // PRIVBAYES_COMMON_ENV_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/numa.h"
 #include "obs/metrics.h"
 
 namespace privbayes {
@@ -50,7 +51,7 @@ size_t DefaultWorkerCount() {
 ThreadPool::ThreadPool(size_t num_workers) {
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -112,7 +113,16 @@ void ThreadPool::Run(size_t n, size_t chunk, RangeFn fn, void* ctx) {
   metrics.waiters->Add(-1);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  // Spread workers round-robin across NUMA nodes (no-op when placement is
+  // off or the machine has one node): each shard's counting pass then reads
+  // from the node the interleaved packed pages mostly live on, instead of
+  // every worker hammering node 0's memory controller. The caller thread
+  // (worker index "last") stays unpinned — it also runs the serve loop.
+  if (NumaEnabled()) {
+    PinCurrentThreadToNode(
+        static_cast<int>(worker_index) % NumaTopo().num_nodes());
+  }
   t_in_parallel_region = true;
   uint64_t seen_generation = 0;
   for (;;) {

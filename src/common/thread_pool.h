@@ -83,7 +83,7 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
 

@@ -103,7 +103,7 @@ PrivBayesModel PrivBayes::Fit(const Dataset& data, Rng& rng) const {
   return model;
 }
 
-Dataset PrivBayes::Synthesize(const PrivBayesModel& model, int num_rows,
+Dataset PrivBayes::Synthesize(const PrivBayesModel& model, int64_t num_rows,
                               Rng& rng) const {
   return SampleSyntheticData(model, num_rows, rng);
 }

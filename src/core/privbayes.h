@@ -70,7 +70,7 @@ class PrivBayes {
   PrivBayesModel Fit(const Dataset& data, Rng& rng) const;
 
   /// Phase 3 on an existing model (free).
-  Dataset Synthesize(const PrivBayesModel& model, int num_rows,
+  Dataset Synthesize(const PrivBayesModel& model, int64_t num_rows,
                      Rng& rng) const;
 
   /// Fit + sample data.num_rows() synthetic rows (the paper's evaluation

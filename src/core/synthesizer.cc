@@ -4,7 +4,7 @@
 
 namespace privbayes {
 
-Dataset SampleSyntheticData(const PrivBayesModel& model, int num_rows,
+Dataset SampleSyntheticData(const PrivBayesModel& model, int64_t num_rows,
                             Rng& rng) {
   PB_THROW_IF(num_rows < 0, "negative synthetic row count");
   Dataset encoded = SampleFromNetwork(model.encoded_schema, model.network,

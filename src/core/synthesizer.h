@@ -9,6 +9,7 @@
 #ifndef PRIVBAYES_CORE_SYNTHESIZER_H_
 #define PRIVBAYES_CORE_SYNTHESIZER_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "bn/bayes_net.h"
@@ -29,12 +30,12 @@ struct PrivBayesModel {
   int degree_k = -1;        ///< θ-chosen degree (binary algorithm only)
   double epsilon1 = 0;      ///< budget actually spent on structure
   double epsilon2 = 0;      ///< budget actually spent on distributions
-  int input_rows = 0;       ///< n of the fitted dataset
+  int64_t input_rows = 0;   ///< n of the fitted dataset
 };
 
 /// Samples `num_rows` synthetic tuples and decodes them into the model's
 /// original schema. Pure post-processing (no privacy cost).
-Dataset SampleSyntheticData(const PrivBayesModel& model, int num_rows,
+Dataset SampleSyntheticData(const PrivBayesModel& model, int64_t num_rows,
                             Rng& rng);
 
 }  // namespace privbayes

@@ -1,0 +1,175 @@
+#include "data/column_backend.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/numa.h"
+
+namespace privbayes {
+
+namespace {
+
+// Packs `col` at the minimal power-of-two bit width for `card`. Width 16
+// would be a byte-for-byte copy of the Value column — no bandwidth saved,
+// memory doubled — so the heap backend records the width but keeps no words
+// and the radix kernel reads such columns raw.
+void PackColumn(const Value* col, size_t n, int card,
+                std::vector<uint64_t>& words, uint32_t& log2_bits) {
+  log2_bits = PackedLog2Bits(card);
+  if (log2_bits >= 4) return;
+  const uint32_t log2_rpw = 6 - log2_bits;
+  const size_t rpw = size_t{1} << log2_rpw;
+  words.assign((n + rpw - 1) >> log2_rpw, 0);
+  for (size_t r = 0; r < n; ++r) {
+    words[r >> log2_rpw] |= static_cast<uint64_t>(col[r])
+                            << ((r & (rpw - 1)) << log2_bits);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- heap
+
+HeapColumnBackend::HeapColumnBackend(
+    const Schema& schema, const std::vector<std::vector<Value>>& columns,
+    int64_t num_rows)
+    : num_rows_(num_rows) {
+  const int d = schema.num_attrs();
+  PB_CHECK(static_cast<int>(columns.size()) == d);
+  raw_.resize(d);
+  bitpacked_.resize(d);
+  gen_.resize(d);
+  const size_t n = static_cast<size_t>(num_rows);
+
+  for (int a = 0; a < d; ++a) {
+    PB_CHECK(columns[a].size() == n);
+    raw_[a] = columns[a];
+    resident_bytes_ += n * sizeof(Value);
+    const TaxonomyTree& tax = schema.attr(a).taxonomy;
+    const int levels = tax.num_levels();
+    gen_[a].resize(levels);
+    bitpacked_[a].resize(levels);
+    PackColumn(raw_[a].data(), n, tax.CardinalityAt(0), bitpacked_[a][0].words,
+               bitpacked_[a][0].log2_bits);
+    resident_bytes_ += bitpacked_[a][0].words.size() * sizeof(uint64_t);
+    for (int l = 1; l < levels; ++l) {
+      const std::vector<Value>& leaf_map = tax.LeafMapAt(l);
+      gen_[a][l].resize(n);
+      const Value* col = raw_[a].data();
+      Value* out = gen_[a][l].data();
+      for (size_t r = 0; r < n; ++r) out[r] = leaf_map[col[r]];
+      PackColumn(out, n, tax.CardinalityAt(l), bitpacked_[a][l].words,
+                 bitpacked_[a][l].log2_bits);
+      resident_bytes_ += n * sizeof(Value) +
+                         bitpacked_[a][l].words.size() * sizeof(uint64_t);
+    }
+  }
+}
+
+PackedSlice HeapColumnBackend::Packed(int attr, int level) const {
+  const BitCol& bc = bitpacked_[attr][level];
+  return PackedSlice{bc.words.empty() ? nullptr : bc.words.data(),
+                     bc.words.size(), bc.log2_bits};
+}
+
+// ------------------------------------------------------------------- mmap
+
+std::shared_ptr<MmapColumnBackend> MmapColumnBackend::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("packed file: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw std::runtime_error("packed file: '" + path +
+                             "' is not a regular file");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* map = ::mmap(nullptr, std::max<size_t>(size, 1), PROT_READ,
+                     MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    throw std::runtime_error("packed file: cannot map '" + path +
+                             "': " + std::strerror(errno));
+  }
+
+  auto backend = std::shared_ptr<MmapColumnBackend>(new MmapColumnBackend());
+  backend->path_ = path;
+  backend->map_ = static_cast<const uint8_t*>(map);
+  backend->map_size_ = size;
+  // On any validation throw, `backend`'s destructor unmaps.
+  backend->header_ = ParsePackedHeader(backend->map_, size);
+  if (backend->header_.file_bytes > size) {
+    throw std::runtime_error(
+        "packed file: truncated payload (header promises " +
+        std::to_string(backend->header_.file_bytes) + " bytes, file has " +
+        std::to_string(size) + ")");
+  }
+
+  // Counting streams each slice sequentially; tell the kernel, and spread
+  // the pages across NUMA nodes so every node's shards read mostly-local
+  // memory. Both are best-effort hints. Deliberately NOT MADV_WILLNEED:
+  // prefetching the whole file would make the entire mapping resident on an
+  // unpressured machine, defeating the point of the out-of-core store —
+  // pages fault in per scan and ReleaseResidency drops them afterwards.
+  ::madvise(map, size, MADV_SEQUENTIAL);
+  InterleaveMemory(map, size);
+  return backend;
+}
+
+void MmapColumnBackend::ReleaseResidency(int attr, int level) const {
+  const PackedSliceInfo& s = header_.slices[attr][level];
+  // Round inward to whole pages so a neighbouring slice mid-scan keeps its
+  // boundary page. MADV_DONTNEED on a read-only shared file mapping only
+  // drops this process's PTEs — the pages stay in the page cache and
+  // re-access is a minor fault.
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const uint64_t mask = static_cast<uint64_t>(page) - 1;
+  const uint64_t lo = (s.byte_offset + mask) & ~mask;
+  const uint64_t hi = (s.byte_offset + s.word_count * 8) & ~mask;
+  if (hi > lo) {
+    ::madvise(const_cast<uint8_t*>(map_ + lo), hi - lo, MADV_DONTNEED);
+  }
+}
+
+MmapColumnBackend::~MmapColumnBackend() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(map_), std::max<size_t>(map_size_, 1));
+  }
+}
+
+PackedSlice MmapColumnBackend::Packed(int attr, int level) const {
+  const PackedSliceInfo& s = header_.slices[attr][level];
+  return PackedSlice{
+      reinterpret_cast<const uint64_t*>(map_ + s.byte_offset), s.word_count,
+      s.log2_bits};
+}
+
+// ------------------------------------------------------------------ shared
+
+void UnpackValues(const uint64_t* words, uint32_t log2_bits, int64_t begin,
+                  int64_t end, Value* out) {
+  const uint32_t log2_rpw = 6 - log2_bits;
+  const uint64_t row_mask = (uint64_t{1} << log2_rpw) - 1;
+  const uint64_t value_mask =
+      log2_bits == 4 ? 0xffffu : (uint64_t{1} << (uint32_t{1} << log2_bits)) - 1;
+  for (int64_t r = begin; r < end; ++r) {
+    const uint64_t u = static_cast<uint64_t>(r);
+    out[r - begin] = static_cast<Value>(
+        (words[u >> log2_rpw] >> ((u & row_mask) << log2_bits)) & value_mask);
+  }
+}
+
+}  // namespace privbayes

@@ -1,0 +1,159 @@
+// Storage backends under the ColumnStore's bit-packed column layout.
+//
+// The ColumnStore (data/column_store.h) is the layout/API front of the
+// counting engine: snapshot identity, packed-word geometry, kernel dispatch,
+// and the generalized-column cache. Where the packed words and raw columns
+// actually LIVE is this file's concern:
+//
+//   * HeapColumnBackend — the classic in-memory store: raw Value columns and
+//     eagerly materialized generalized columns, each also packed at its
+//     minimal power-of-two bit width. Built from in-memory datasets.
+//   * MmapColumnBackend — a read-only memory mapping of a packed file
+//     (data/packed_file.h). Every (attribute, level) slice's words are
+//     served straight from the page cache; raw Value columns are NOT
+//     resident (out_of_core() == true), so a 100M-row dataset counts and
+//     fits at a fraction of its raw size in RSS. The file's generation
+//     becomes the snapshot id, so MarginalStore entries keyed on it carry
+//     over across processes mapping the same file.
+//
+// Both backends expose the same packed-word geometry, and every counting
+// kernel consumes only that geometry — which is why the two are bit-identical
+// for counting, the property tests/packed_store_test.cc locks in.
+
+#ifndef PRIVBAYES_DATA_COLUMN_BACKEND_H_
+#define PRIVBAYES_DATA_COLUMN_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/attribute.h"
+#include "data/packed_file.h"
+
+namespace privbayes {
+
+/// One (attribute, level) column's packed representation: `words` is null
+/// when the backend keeps no packing for it (heap backend, cardinality >
+/// 256 — such columns are read raw instead; a 16-bit "packing" of a resident
+/// uint16 column would save nothing).
+struct PackedSlice {
+  const uint64_t* words = nullptr;
+  uint64_t num_words = 0;
+  uint32_t log2_bits = 0;  ///< log2 of bits per value: 0..4 (1..16 bits)
+};
+
+/// Where a ColumnStore's columns live. Immutable once constructed; all
+/// accessors are safe to call concurrently.
+class ColumnBackend {
+ public:
+  virtual ~ColumnBackend() = default;
+
+  virtual int64_t num_rows() const = 0;
+  virtual int num_attrs() const = 0;
+
+  /// Packed words of (attr, level); see PackedSlice for the null contract.
+  virtual PackedSlice Packed(int attr, int level) const = 0;
+
+  /// Raw Value column of (attr, level), or nullptr when the backend does not
+  /// keep raw columns resident (mmap). Level 0 is the ungeneralized column.
+  virtual const Value* Raw(int attr, int level) const = 0;
+
+  /// True when raw columns are not resident and consumers must read through
+  /// Packed() (or materialize on demand via the ColumnStore's
+  /// generalized-column cache).
+  virtual bool out_of_core() const = 0;
+
+  /// File generation for file-backed stores (nonzero), 0 for heap stores.
+  virtual uint64_t generation() const { return 0; }
+
+  /// Hints that the caller is done scanning (attr, level) for now and its
+  /// pages may leave this process's resident set. No-op for heap stores; the
+  /// mmap store drops the slice's page range back to the page cache
+  /// (refaults are minor faults), which is what keeps peak RSS bounded by
+  /// the working set of one counting pass instead of every slice ever
+  /// touched. Purely a paging hint — never affects values.
+  virtual void ReleaseResidency(int attr, int level) const {
+    (void)attr;
+    (void)level;
+  }
+
+  /// Approximate bytes this backend keeps resident (mapped file bytes count
+  /// as resident only as the kernel pages them in; reported as 0 here).
+  virtual size_t resident_bytes() const = 0;
+};
+
+/// The in-memory backend: copies the columns, materializes every taxonomy
+/// level eagerly, and packs each at its minimal bit width.
+class HeapColumnBackend final : public ColumnBackend {
+ public:
+  HeapColumnBackend(const Schema& schema,
+                    const std::vector<std::vector<Value>>& columns,
+                    int64_t num_rows);
+
+  int64_t num_rows() const override { return num_rows_; }
+  int num_attrs() const override { return static_cast<int>(raw_.size()); }
+  PackedSlice Packed(int attr, int level) const override;
+  const Value* Raw(int attr, int level) const override {
+    return level == 0 ? raw_[attr].data() : gen_[attr][level].data();
+  }
+  bool out_of_core() const override { return false; }
+  size_t resident_bytes() const override { return resident_bytes_; }
+
+ private:
+  struct BitCol {
+    std::vector<uint64_t> words;
+    uint32_t log2_bits = 0;
+  };
+
+  int64_t num_rows_ = 0;
+  size_t resident_bytes_ = 0;
+  std::vector<std::vector<Value>> raw_;  // per attr, copied
+  // bitpacked_[attr][level]; gen_[attr][level] for level >= 1.
+  std::vector<std::vector<BitCol>> bitpacked_;
+  std::vector<std::vector<std::vector<Value>>> gen_;
+};
+
+/// The out-of-core backend: a read-only mapping of a packed file.
+class MmapColumnBackend final : public ColumnBackend {
+ public:
+  /// Opens, validates and maps `path`. Throws std::runtime_error on open or
+  /// map failure, bad magic, unsupported version, or a truncated file (the
+  /// payload the header promises must fit in the file). The mapping is
+  /// advised for the counting access pattern and, on multi-node machines,
+  /// interleaved across NUMA nodes (common/numa.h; best-effort).
+  static std::shared_ptr<MmapColumnBackend> Open(const std::string& path);
+
+  ~MmapColumnBackend() override;
+
+  const Schema& schema() const { return header_.schema; }
+  const std::string& path() const { return path_; }
+  uint64_t generation() const override { return header_.generation; }
+  uint32_t version() const { return header_.version; }
+  size_t mapped_bytes() const { return map_size_; }
+
+  int64_t num_rows() const override { return header_.num_rows; }
+  int num_attrs() const override { return header_.schema.num_attrs(); }
+  PackedSlice Packed(int attr, int level) const override;
+  const Value* Raw(int, int) const override { return nullptr; }
+  bool out_of_core() const override { return true; }
+  size_t resident_bytes() const override { return 0; }
+  void ReleaseResidency(int attr, int level) const override;
+
+ private:
+  MmapColumnBackend() = default;
+
+  std::string path_;
+  PackedFileHeader header_;
+  const uint8_t* map_ = nullptr;
+  size_t map_size_ = 0;
+};
+
+/// Decodes rows [begin, end) of a packed slice into `out` (one Value per
+/// row). Shared by the generalized-column cache and the equivalence tests.
+void UnpackValues(const uint64_t* words, uint32_t log2_bits, int64_t begin,
+                  int64_t end, Value* out);
+
+}  // namespace privbayes
+
+#endif  // PRIVBAYES_DATA_COLUMN_BACKEND_H_

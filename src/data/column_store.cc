@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <list>
+#include <map>
+#include <mutex>
 #include <utility>
 
 #include "common/check.h"
 #include "common/cpu.h"
+#include "common/env.h"
 #include "common/parallel.h"
 #include "data/count_kernels.h"
 
@@ -17,7 +21,7 @@ namespace {
 // Row-sharded counting engages above this row count (below it, the shard
 // bookkeeping costs more than the pass) and only for histograms small
 // enough that per-shard partials stay cache-friendly.
-constexpr int kParallelMinRows = 1 << 15;
+constexpr int64_t kParallelMinRows = 1 << 15;
 constexpr size_t kParallelMaxCells = 1 << 20;
 
 // Reusable per-thread integer histogram: counting allocates nothing after
@@ -115,66 +119,144 @@ void RadixAccumulatePacked(const PackedColRef* cols, int k, size_t begin,
   }
 }
 
-uint32_t MinimalLog2Bits(int card) {
-  if (card <= 2) return 0;
-  if (card <= 4) return 1;
-  if (card <= 16) return 2;
-  if (card <= 256) return 3;
-  return 4;  // Value is uint16_t; cardinality is capped at 65536
+uint64_t NextHeapSnapshotId() {
+  static std::atomic<uint64_t> next_snapshot_id{1};
+  return next_snapshot_id.fetch_add(1, std::memory_order_relaxed);
 }
+
+// File-backed snapshot ids live in a namespace heap ids can never reach.
+constexpr uint64_t kFileSnapshotBit = uint64_t{1} << 63;
 
 }  // namespace
 
-ColumnStore::ColumnStore(const Schema& schema,
-                         const std::vector<std::vector<Value>>& columns,
-                         int num_rows)
-    : num_rows_(num_rows) {
-  static std::atomic<uint64_t> next_snapshot_id{1};
-  snapshot_id_ = next_snapshot_id.fetch_add(1, std::memory_order_relaxed);
-  const int d = schema.num_attrs();
-  PB_CHECK(static_cast<int>(columns.size()) == d);
-  raw_.resize(d);
-  binary_.assign(d, 0);
-  bitpacked_.resize(d);
-  gen_.resize(d);
-  cards_.resize(d);
-  const size_t n = static_cast<size_t>(num_rows);
-
-  auto pack = [n](const Value* col, int card, BitCol& out) {
-    out.log2_bits = MinimalLog2Bits(card);
-    // A 16-bit "packing" would be a byte-for-byte copy of the Value column:
-    // no bandwidth saved, memory doubled. Record the width but keep no
-    // words; the radix kernel reads such columns raw.
-    if (out.log2_bits >= 4) return;
-    const uint32_t log2_rpw = 6 - out.log2_bits;
-    const size_t rpw = size_t{1} << log2_rpw;
-    out.words.assign((n + rpw - 1) >> log2_rpw, 0);
-    for (size_t r = 0; r < n; ++r) {
-      out.words[r >> log2_rpw] |= static_cast<uint64_t>(col[r])
-                                  << ((r & (rpw - 1)) << out.log2_bits);
-    }
+// On-demand Value-column decode cache for out-of-core backends. Entries are
+// shared_ptr vectors handed out through PinColumn's aliasing handle, so an
+// entry evicted while pinned stays alive until its last pin drops — the
+// budget bounds what the CACHE retains, pins are the caller's to account.
+struct ColumnStore::GenCache {
+  struct Entry {
+    std::shared_ptr<std::vector<Value>> col;
+    uint64_t last_use = 0;
   };
 
+  explicit GenCache(size_t budget_bytes) : budget(budget_bytes) {}
+
+  std::mutex mu;
+  std::map<std::pair<int, int>, Entry> entries;
+  size_t budget;
+  size_t bytes = 0;
+  uint64_t tick = 0;
+  uint64_t materializations = 0;
+  uint64_t evictions = 0;
+};
+
+ColumnStore::~ColumnStore() = default;
+
+ColumnStore::ColumnStore(const Schema& schema,
+                         const std::vector<std::vector<Value>>& columns,
+                         int64_t num_rows)
+    : ColumnStore(schema, std::make_shared<const HeapColumnBackend>(
+                              schema, columns, num_rows)) {}
+
+ColumnStore::ColumnStore(const Schema& schema,
+                         std::shared_ptr<const ColumnBackend> backend)
+    : num_rows_(backend->num_rows()), backend_(std::move(backend)) {
+  const uint64_t generation = backend_->generation();
+  snapshot_id_ = generation != 0 ? (kFileSnapshotBit | generation)
+                                 : NextHeapSnapshotId();
+  const int d = schema.num_attrs();
+  PB_CHECK(backend_->num_attrs() == d);
+  binary_.assign(d, 0);
+  cards_.resize(d);
   for (int a = 0; a < d; ++a) {
-    PB_CHECK(columns[a].size() == n);
-    raw_[a] = columns[a];
     binary_[a] = schema.Cardinality(a) == 2;
     const TaxonomyTree& tax = schema.attr(a).taxonomy;
-    int levels = tax.num_levels();
+    const int levels = tax.num_levels();
     cards_[a].resize(levels);
     for (int l = 0; l < levels; ++l) cards_[a][l] = tax.CardinalityAt(l);
-    gen_[a].resize(levels);
-    bitpacked_[a].resize(levels);
-    pack(raw_[a].data(), cards_[a][0], bitpacked_[a][0]);
-    for (int l = 1; l < levels; ++l) {
-      const std::vector<Value>& leaf_map = tax.LeafMapAt(l);
-      gen_[a][l].resize(n);
-      const Value* col = raw_[a].data();
-      Value* out = gen_[a][l].data();
-      for (size_t r = 0; r < n; ++r) out[r] = leaf_map[col[r]];
-      pack(out, cards_[a][l], bitpacked_[a][l]);
+  }
+  if (backend_->out_of_core()) {
+    const int64_t budget = EnvInt("PRIVBAYES_GENCOL_BUDGET", 256 << 20);
+    gen_cache_ = std::make_unique<GenCache>(
+        budget > 0 ? static_cast<size_t>(budget) : 0);
+  }
+}
+
+const Value* ColumnStore::generalized(int attr, int level) const {
+  const Value* raw = backend_->Raw(attr, level);
+  PB_CHECK_MSG(raw != nullptr,
+               "raw column access on an out-of-core store; use PinColumn");
+  return raw;
+}
+
+ColumnStore::PinnedColumn ColumnStore::PinColumn(int attr, int level) const {
+  if (const Value* raw = backend_->Raw(attr, level)) {
+    // Resident: alias the backend so the pin keeps the store's bytes alive.
+    return PinnedColumn(backend_, raw);
+  }
+  PB_CHECK(gen_cache_ != nullptr);
+  GenCache& cache = *gen_cache_;
+  const std::pair<int, int> key{attr, level};
+  std::unique_lock<std::mutex> lock(cache.mu);
+  auto it = cache.entries.find(key);
+  if (it == cache.entries.end()) {
+    // Decode outside the lock: a 100M-row column takes real time and other
+    // columns' pins shouldn't wait on it. Concurrent misses of the same key
+    // both decode (identical results); the second insert finds the first.
+    lock.unlock();
+    auto col = std::make_shared<std::vector<Value>>(
+        static_cast<size_t>(num_rows_));
+    const PackedSlice s = backend_->Packed(attr, level);
+    PB_CHECK(s.words != nullptr);
+    UnpackValues(s.words, s.log2_bits, 0, num_rows_, col->data());
+    backend_->ReleaseResidency(attr, level);  // decoded copy supersedes pages
+    lock.lock();
+    it = cache.entries.find(key);
+    if (it == cache.entries.end()) {
+      ++cache.materializations;
+      cache.bytes += col->size() * sizeof(Value);
+      it = cache.entries.emplace(key, GenCache::Entry{std::move(col), 0})
+               .first;
+      // Evict least-recently-used unpinned entries past the budget (the
+      // entry just inserted is exempt: over-budget columns are still
+      // served, just not retained alongside others).
+      while (cache.bytes > cache.budget && cache.entries.size() > 1) {
+        auto victim = cache.entries.end();
+        for (auto e = cache.entries.begin(); e != cache.entries.end(); ++e) {
+          if (e->first == key || e->second.col.use_count() > 1) continue;
+          if (victim == cache.entries.end() ||
+              e->second.last_use < victim->second.last_use) {
+            victim = e;
+          }
+        }
+        if (victim == cache.entries.end()) break;  // everything pinned
+        cache.bytes -= victim->second.col->size() * sizeof(Value);
+        ++cache.evictions;
+        cache.entries.erase(victim);
+      }
     }
   }
+  it->second.last_use = ++cache.tick;
+  std::shared_ptr<std::vector<Value>> col = it->second.col;
+  return PinnedColumn(col, col->data());
+}
+
+size_t ColumnStore::gen_cache_bytes() const {
+  if (gen_cache_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(gen_cache_->mu);
+  return gen_cache_->bytes;
+}
+
+uint64_t ColumnStore::gen_cache_materializations() const {
+  if (gen_cache_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(gen_cache_->mu);
+  return gen_cache_->materializations;
+}
+
+uint64_t ColumnStore::gen_cache_evictions() const {
+  if (gen_cache_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(gen_cache_->mu);
+  return gen_cache_->evictions;
 }
 
 void ColumnStore::AccumulateCounts(std::span<const GenAttr> gattrs,
@@ -184,7 +266,7 @@ void ColumnStore::AccumulateCounts(std::span<const GenAttr> gattrs,
   size_t expect = 1;
   bool all_packed = k <= kMaxPackedAttrs;
   for (const GenAttr& g : gattrs) {
-    PB_CHECK(g.attr >= 0 && g.attr < static_cast<int>(raw_.size()));
+    PB_CHECK(g.attr >= 0 && g.attr < static_cast<int>(cards_.size()));
     PB_CHECK(g.level >= 0 && g.level < static_cast<int>(cards_[g.attr].size()));
     expect *= static_cast<size_t>(cards_[g.attr][g.level]);
     all_packed = all_packed && g.level == 0 && packed(g.attr);
@@ -195,13 +277,22 @@ void ColumnStore::AccumulateCounts(std::span<const GenAttr> gattrs,
   } else {
     CountRadix(gattrs, cells);
   }
+  // Out-of-core: the pass is over, let the scanned slices leave the resident
+  // set. This bounds peak RSS by one pass's working set; without it an
+  // unpressured kernel keeps every slice ever counted resident and a long
+  // fit converges on the whole file being in RSS.
+  if (backend_->out_of_core()) {
+    for (const GenAttr& g : gattrs) {
+      backend_->ReleaseResidency(g.attr, g.level);
+    }
+  }
 }
 
 void ColumnStore::CountPacked(std::span<const GenAttr> gattrs,
                               std::span<double> cells) const {
   const int k = static_cast<int>(gattrs.size());
-  const size_t n = static_cast<size_t>(num_rows_);
-  const size_t words = (n + 63) / 64;
+  const uint64_t n = static_cast<uint64_t>(num_rows_);
+  const size_t words = static_cast<size_t>((n + 63) / 64);
   const uint64_t* bits[kMaxPackedAttrs];
   for (int j = 0; j < k; ++j) bits[j] = packed_words(gattrs[j].attr).data();
   // Bits past row n−1 are zero in every packed column, so the tail block's
@@ -221,33 +312,40 @@ void ColumnStore::CountRadix(std::span<const GenAttr> gattrs,
                              std::span<double> cells) const {
   const int k = static_cast<int>(gattrs.size());
   const size_t n = static_cast<size_t>(num_rows_);
+  const bool out_of_core = backend_->out_of_core();
 
   // The packed gather reads 2–4× fewer bytes but spends ~4 extra scalar ops
   // per value on shift/mask extraction, so it only wins once the raw uint16
   // working set streams from memory instead of cache. 64 MB clears the L3
-  // of common server parts. Columns with cardinality > 256 carry no packed
-  // words (a 16-bit packing saves nothing), so their sets always read raw.
+  // of common server parts. Heap columns with cardinality > 256 carry no
+  // packed words (a 16-bit packing saves nothing), so their sets always
+  // read raw. Out-of-core stores gather whenever allowed — their raw
+  // columns are not resident, and the mapped words ARE the data.
   constexpr size_t kGatherMinRawBytes = size_t{64} << 20;
   const PackedGatherMode mode = ActiveSimd().packed_gather;
   bool gatherable = true;
   for (const GenAttr& g : gattrs) {
     gatherable =
-        gatherable && !bitpacked_[g.attr][g.level].words.empty();
+        gatherable && backend_->Packed(g.attr, g.level).words != nullptr;
   }
   const bool use_gather =
       gatherable &&
       (mode == PackedGatherMode::kForced ||
+       (out_of_core && mode != PackedGatherMode::kOff) ||
        (mode == PackedGatherMode::kAuto &&
         n * static_cast<size_t>(k) * sizeof(Value) >= kGatherMinRawBytes));
   if (use_gather) {
     std::vector<PackedColRef> cols(k);
     for (int j = 0; j < k; ++j) {
-      const BitCol& bc = bitpacked_[gattrs[j].attr][gattrs[j].level];
-      cols[j].words = bc.words.data();
-      cols[j].log2_bits = bc.log2_bits;
-      cols[j].log2_rpw = 6 - bc.log2_bits;
+      const PackedSlice s = backend_->Packed(gattrs[j].attr, gattrs[j].level);
+      cols[j].words = s.words;
+      cols[j].log2_bits = s.log2_bits;
+      cols[j].log2_rpw = 6 - s.log2_bits;
       cols[j].row_mask = (uint32_t{1} << cols[j].log2_rpw) - 1;
-      cols[j].value_mask = (uint64_t{1} << (uint32_t{1} << bc.log2_bits)) - 1;
+      cols[j].value_mask =
+          s.log2_bits == 4
+              ? 0xffffu
+              : (uint64_t{1} << (uint32_t{1} << s.log2_bits)) - 1;
       cols[j].card =
           static_cast<size_t>(cards_[gattrs[j].attr][gattrs[j].level]);
     }
@@ -259,11 +357,21 @@ void ColumnStore::CountRadix(std::span<const GenAttr> gattrs,
     return;
   }
 
+  // Raw radix pass. Out-of-core stores materialize the needed columns
+  // through the generalized-column cache for the duration of the pass
+  // (gather was forced off — the seed-equivalent scalar path).
+  std::vector<PinnedColumn> pins;
   std::vector<ColRef> cols(k);
+  if (out_of_core) pins.reserve(k);
   for (int j = 0; j < k; ++j) {
-    cols[j].col = generalized(gattrs[j].attr, gattrs[j].level);
-    cols[j].card =
-        static_cast<size_t>(cards_[gattrs[j].attr][gattrs[j].level]);
+    const GenAttr& g = gattrs[j];
+    if (out_of_core) {
+      pins.push_back(PinColumn(g.attr, g.level));
+      cols[j].col = pins.back().get();
+    } else {
+      cols[j].col = generalized(g.attr, g.level);
+    }
+    cols[j].card = static_cast<size_t>(cards_[g.attr][g.level]);
   }
   ShardedAccumulate(n, num_rows_ >= kParallelMinRows, cells,
                     [&](size_t begin, size_t end, int64_t* counts) {

@@ -7,7 +7,14 @@
 // needing one such joint, so counting throughput bounds the whole build.
 //
 // A ColumnStore is an immutable snapshot of a dataset's columns materialized
-// once and reused by every counting call:
+// once and reused by every counting call. It is the LAYOUT/API front of the
+// engine — snapshot identity, packed-word geometry, kernel dispatch, and the
+// generalized-column cache — while the bytes themselves live in a pluggable
+// ColumnBackend (data/column_backend.h): in-memory heap for datasets built
+// in-process, or a read-only mmap of a packed file (data/packed_file.h) for
+// datasets bigger than RAM. Counting consumes only the packed-word geometry,
+// so the two backends are bit-identical — the property the equivalence tests
+// lock in.
 //
 //   * binary attributes are bit-packed into 64-row words, and an all-binary
 //     candidate set is counted by a per-arity kernel selected at runtime
@@ -20,45 +27,75 @@
 //     sets are counted by a single-pass radix accumulation, gathering from
 //     the packed words (2–4× fewer bytes) when the raw working set would
 //     stream from memory, and from the raw columns when it is cache-resident
-//     (common/cpu.h's PackedGatherMode governs the policy);
+//     (common/cpu.h's PackedGatherMode governs the policy). Out-of-core
+//     stores always gather — their raw columns are not resident — unless
+//     the gather is forced off, in which case the needed columns are
+//     materialized on demand through the generalized-column cache below;
 //   * per-thread reusable scratch buffers hold the integer histogram — no
 //     allocation on the counting path;
 //   * for large n the row range is sharded across the persistent ThreadPool
 //     with per-shard partial histograms merged in shard order, so counts are
-//     bit-identical across thread counts.
+//     bit-identical across thread counts (and, with NUMA placement active,
+//     across node layouts).
+//
+// Generalized-column cache (out-of-core stores only): consumers that need a
+// raw Value column — the gather-off radix fallback, LogLikelihood — pin one
+// via PinColumn, which decodes it from the mapped packed words on first use
+// and keeps decoded columns under a byte budget (PRIVBAYES_GENCOL_BUDGET,
+// default 256 MB), evicting least-recently-used unpinned columns past it.
+// Heap stores pin for free: the raw column is already resident.
 //
 // Every kernel produces exactly the counts of the seed's naive pass (integer
-// accumulation; no floating-point reordering), a property the equivalence
-// tests lock in across all dispatch levels. PRIVBAYES_SIMD=off forces the
+// accumulation; no floating-point reordering). PRIVBAYES_SIMD=off forces the
 // scalar tree and the unpacked radix pass.
 
 #ifndef PRIVBAYES_DATA_COLUMN_STORE_H_
 #define PRIVBAYES_DATA_COLUMN_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "data/attribute.h"
+#include "data/column_backend.h"
 
 namespace privbayes {
 
 class ColumnStore {
  public:
   /// Snapshots `columns` (one vector per attribute, each `num_rows` long)
-  /// under `schema`: packs every column (and every generalized level,
+  /// into a heap backend: packs every column (and every generalized level,
   /// materialized eagerly) at its minimal bit width, so reads never
   /// synchronize.
   ColumnStore(const Schema& schema,
-              const std::vector<std::vector<Value>>& columns, int num_rows);
+              const std::vector<std::vector<Value>>& columns,
+              int64_t num_rows);
 
-  int num_rows() const { return num_rows_; }
+  /// Wraps an existing backend (the out-of-core entry point — see
+  /// MmapColumnBackend::Open). File-backed backends contribute their
+  /// generation as the snapshot id (high bit set), so the cross-run
+  /// MarginalStore carries over across processes mapping the same file.
+  ColumnStore(const Schema& schema,
+              std::shared_ptr<const ColumnBackend> backend);
 
-  /// Process-unique identity of this snapshot, assigned at construction and
-  /// never reused. Dataset copies share the snapshot (same id); any mutation
-  /// invalidates it, so the next build gets a fresh id. This is the key the
-  /// cross-run MarginalStore (data/marginal_store.h) hangs cached joints on.
+  ~ColumnStore();  // defined where GenCache is complete
+
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Process-unique identity of this snapshot. Heap snapshots draw from a
+  /// process-global counter, assigned at construction and never reused:
+  /// Dataset copies share the snapshot (same id); any mutation invalidates
+  /// it, so the next build gets a fresh id. File-backed snapshots use
+  /// 2^63 | generation instead — stable across processes. This is the key
+  /// the cross-run MarginalStore (data/marginal_store.h) hangs cached
+  /// joints on.
   uint64_t snapshot_id() const { return snapshot_id_; }
+
+  /// True when raw columns are not resident (mmap backend); see PinColumn.
+  bool out_of_core() const { return backend_->out_of_core(); }
+
+  const ColumnBackend& backend() const { return *backend_; }
 
   /// True when the attribute qualifies for the packed all-binary kernels
   /// (cardinality exactly 2).
@@ -66,21 +103,27 @@ class ColumnStore {
 
   /// Bit-packed words of a binary attribute: bit r of word r/64 is row r's
   /// value. Rows past num_rows() are zero.
-  const std::vector<uint64_t>& packed_words(int attr) const {
-    return bitpacked_[attr][0].words;
+  std::span<const uint64_t> packed_words(int attr) const {
+    const PackedSlice s = backend_->Packed(attr, 0);
+    return {s.words, s.num_words};
   }
 
   /// Bits per value of the minimal-width packing of (attr, level): 1, 2, 4,
   /// 8, or 16.
   int packed_bits(int attr, int level) const {
-    return 1 << bitpacked_[attr][level].log2_bits;
+    return 1 << backend_->Packed(attr, level).log2_bits;
   }
 
   /// Pointer to the column of `attr` generalized to `level` (level 0 is the
-  /// raw column). Valid for the lifetime of the store.
-  const Value* generalized(int attr, int level) const {
-    return level == 0 ? raw_[attr].data() : gen_[attr][level].data();
-  }
+  /// raw column). Valid for the lifetime of the store. Heap-backed stores
+  /// only — out-of-core consumers must PinColumn instead.
+  const Value* generalized(int attr, int level) const;
+
+  /// A pinned raw column: the pointee stays valid while the handle lives.
+  /// Heap stores alias the resident column (free); out-of-core stores
+  /// decode it from the packed words into the generalized-column cache.
+  using PinnedColumn = std::shared_ptr<const Value[]>;
+  PinnedColumn PinColumn(int attr, int level) const;
 
   /// Accumulates the empirical joint counts over `gattrs` into `cells`
   /// (row-major over the generalized cardinalities, last attribute stride 1;
@@ -91,30 +134,26 @@ class ColumnStore {
   void AccumulateCounts(std::span<const GenAttr> gattrs,
                         std::span<double> cells) const;
 
+  /// Generalized-column cache observability (0 / no-ops on heap stores).
+  size_t gen_cache_bytes() const;
+  uint64_t gen_cache_materializations() const;
+  uint64_t gen_cache_evictions() const;
+
  private:
-  // One cached column packed at its minimal power-of-two bit width: row r
-  // lives at bits [(r % rows_per_word) << log2_bits, ...) of word
-  // r / rows_per_word, rows_per_word = 64 >> log2_bits. Width 1 for binary
-  // columns reproduces exactly the layout the packed kernels consume.
-  struct BitCol {
-    std::vector<uint64_t> words;
-    uint32_t log2_bits = 0;  // log2 of bits per value: 0..4 (1..16 bits)
-  };
+  struct GenCache;
 
   void CountPacked(std::span<const GenAttr> gattrs,
                    std::span<double> cells) const;
   void CountRadix(std::span<const GenAttr> gattrs,
                   std::span<double> cells) const;
 
-  int num_rows_ = 0;
+  int64_t num_rows_ = 0;
   uint64_t snapshot_id_ = 0;
-  std::vector<std::vector<Value>> raw_;  // per attr, copied
+  std::shared_ptr<const ColumnBackend> backend_;
   std::vector<uint8_t> binary_;          // per attr: cardinality == 2
-  // bitpacked_[attr][level]: minimal-width packing of every cached column.
-  std::vector<std::vector<BitCol>> bitpacked_;
-  // gen_[attr][level] for level >= 1; gen_[attr][0] is unused (see raw_).
-  std::vector<std::vector<std::vector<Value>>> gen_;
   std::vector<std::vector<int>> cards_;  // cards_[attr][level]
+  // On-demand decode cache for out-of-core backends; null on heap stores.
+  std::unique_ptr<GenCache> gen_cache_;
 };
 
 }  // namespace privbayes

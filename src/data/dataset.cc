@@ -11,15 +11,17 @@ Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.num_attrs());
 }
 
-Dataset::Dataset(Schema schema, int num_rows)
+Dataset::Dataset(Schema schema, int64_t num_rows)
     : schema_(std::move(schema)), num_rows_(num_rows) {
   PB_THROW_IF(num_rows < 0, "negative row count");
-  columns_.assign(schema_.num_attrs(), std::vector<Value>(num_rows, 0));
+  columns_.assign(schema_.num_attrs(),
+                  std::vector<Value>(static_cast<size_t>(num_rows), 0));
 }
 
 Dataset::Dataset(const Dataset& other)
     : schema_(other.schema_),
       num_rows_(other.num_rows_),
+      out_of_core_(other.out_of_core_),
       columns_(other.columns_) {
   std::lock_guard<std::mutex> lock(other.store_mu_);
   store_ = other.store_;
@@ -29,6 +31,7 @@ Dataset& Dataset::operator=(const Dataset& other) {
   if (this == &other) return *this;
   schema_ = other.schema_;
   num_rows_ = other.num_rows_;
+  out_of_core_ = other.out_of_core_;
   columns_ = other.columns_;
   std::shared_ptr<const ColumnStore> theirs;
   {
@@ -43,6 +46,7 @@ Dataset& Dataset::operator=(const Dataset& other) {
 Dataset::Dataset(Dataset&& other) noexcept
     : schema_(std::move(other.schema_)),
       num_rows_(other.num_rows_),
+      out_of_core_(other.out_of_core_),
       columns_(std::move(other.columns_)) {
   std::lock_guard<std::mutex> lock(other.store_mu_);
   store_ = std::move(other.store_);
@@ -52,6 +56,7 @@ Dataset& Dataset::operator=(Dataset&& other) noexcept {
   if (this == &other) return *this;
   schema_ = std::move(other.schema_);
   num_rows_ = other.num_rows_;
+  out_of_core_ = other.out_of_core_;
   columns_ = std::move(other.columns_);
   std::shared_ptr<const ColumnStore> theirs;
   {
@@ -83,11 +88,33 @@ Dataset Dataset::FromColumns(Schema schema,
     }
   }
   out.columns_ = std::move(columns);
-  out.num_rows_ = static_cast<int>(n);
+  out.num_rows_ = static_cast<int64_t>(n);
   return out;
 }
 
-void Dataset::Set(int row, int col, Value v) {
+Dataset Dataset::FromPackedFile(const std::string& path) {
+  std::shared_ptr<MmapColumnBackend> backend = MmapColumnBackend::Open(path);
+  Dataset out(backend->schema());
+  out.num_rows_ = backend->num_rows();
+  out.out_of_core_ = true;
+  out.columns_.clear();
+  // The store is the dataset: build it eagerly so every copy shares the one
+  // mapping, and so store() below never rebuilds (there are no resident
+  // columns to rebuild from).
+  out.store_ =
+      std::make_shared<const ColumnStore>(out.schema_, std::move(backend));
+  return out;
+}
+
+const std::vector<Value>& Dataset::column(int col) const {
+  PB_THROW_IF(out_of_core_,
+              "column(): raw columns are not resident in an out-of-core "
+              "dataset; use store()->PinColumn");
+  return columns_[col];
+}
+
+void Dataset::Set(int64_t row, int col, Value v) {
+  PB_THROW_IF(out_of_core_, "Set(): out-of-core datasets are immutable");
   PB_CHECK_MSG(v < schema_.Cardinality(col),
                "value " << v << " out of domain for attribute '"
                         << schema_.attr(col).name << "'");
@@ -96,6 +123,7 @@ void Dataset::Set(int row, int col, Value v) {
 }
 
 void Dataset::AppendRow(std::span<const Value> row) {
+  PB_THROW_IF(out_of_core_, "AppendRow(): out-of-core datasets are immutable");
   PB_THROW_IF(static_cast<int>(row.size()) != num_attrs(),
               "row width " << row.size() << " != " << num_attrs());
   for (int c = 0; c < num_attrs(); ++c) {
@@ -154,27 +182,31 @@ ProbTable Dataset::JointCountsGeneralized(
 
 ProbTable Dataset::JointCountsGeneralizedNaive(
     std::span<const GenAttr> gattrs) const {
+  PB_THROW_IF(out_of_core_,
+              "naive counting needs resident columns; out-of-core datasets "
+              "count through the ColumnStore engine");
   ProbTable counts = MakeCountsTable(gattrs);
   if (gattrs.empty()) {
-    counts[0] = num_rows_;
+    counts[0] = static_cast<double>(num_rows_);
     return counts;
   }
   // Row-major flat index accumulated column by column (last var stride 1).
-  std::vector<size_t> flat(num_rows_, 0);
+  const size_t n = static_cast<size_t>(num_rows_);
+  std::vector<size_t> flat(n, 0);
   for (const GenAttr& g : gattrs) {
     const std::vector<Value>& col = columns_[g.attr];
     const TaxonomyTree& tax = schema_.attr(g.attr).taxonomy;
     size_t card = static_cast<size_t>(schema_.CardinalityAt(g.attr, g.level));
     if (g.level == 0) {
-      for (int r = 0; r < num_rows_; ++r) flat[r] = flat[r] * card + col[r];
+      for (size_t r = 0; r < n; ++r) flat[r] = flat[r] * card + col[r];
     } else {
-      for (int r = 0; r < num_rows_; ++r) {
+      for (size_t r = 0; r < n; ++r) {
         flat[r] = flat[r] * card + tax.Generalize(col[r], g.level);
       }
     }
   }
   std::vector<double>& cells = counts.values();
-  for (int r = 0; r < num_rows_; ++r) cells[flat[r]] += 1.0;
+  for (size_t r = 0; r < n; ++r) cells[flat[r]] += 1.0;
   return counts;
 }
 
@@ -182,24 +214,28 @@ std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
                                            Rng& rng) const {
   PB_THROW_IF(train_fraction <= 0 || train_fraction >= 1,
               "train fraction must be in (0,1)");
-  std::vector<int> order(num_rows_);
+  PB_THROW_IF(out_of_core_, "Split(): out-of-core datasets cannot be split");
+  std::vector<int> order(static_cast<size_t>(num_rows_));
   std::iota(order.begin(), order.end(), 0);
   rng.Shuffle(order);
-  int n_train = static_cast<int>(train_fraction * num_rows_);
-  n_train = std::clamp(n_train, 1, num_rows_ - 1);
+  int n_train =
+      static_cast<int>(train_fraction * static_cast<double>(num_rows_));
+  n_train = std::clamp<int>(n_train, 1, static_cast<int>(num_rows_) - 1);
   // Gather straight out of the shuffled order — no intermediate index copies.
   std::span<const int> all(order);
   return {SelectRows(all.first(n_train)), SelectRows(all.subspan(n_train))};
 }
 
 Dataset Dataset::SelectRows(std::span<const int> rows) const {
+  PB_THROW_IF(out_of_core_,
+              "SelectRows(): out-of-core datasets cannot be subset");
   // One bounds pass up front; the per-column gathers below are unchecked.
   for (int r : rows) {
     PB_THROW_IF(r < 0 || r >= num_rows_,
                 "row index " << r << " out of range [0, " << num_rows_ << ")");
   }
   Dataset out(schema_);
-  out.num_rows_ = static_cast<int>(rows.size());
+  out.num_rows_ = static_cast<int64_t>(rows.size());
   for (int c = 0; c < num_attrs(); ++c) {
     const Value* src = columns_[c].data();
     std::vector<Value>& dst = out.columns_[c];

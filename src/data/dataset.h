@@ -10,9 +10,11 @@
 #ifndef PRIVBAYES_DATA_DATASET_H_
 #define PRIVBAYES_DATA_DATASET_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -33,7 +35,7 @@ class Dataset {
   explicit Dataset(Schema schema);
 
   /// Creates a zero-filled dataset with `num_rows` rows.
-  Dataset(Schema schema, int num_rows);
+  Dataset(Schema schema, int64_t num_rows);
 
   // Copies share the immutable ColumnStore snapshot (if built); moves steal
   // it. Hand-written because the store cache is guarded by a mutex.
@@ -48,17 +50,31 @@ class Dataset {
   static Dataset FromColumns(Schema schema,
                              std::vector<std::vector<Value>> columns);
 
+  /// Maps a packed dataset file (data/packed_file.h) read-only and wraps it
+  /// as an out-of-core dataset: the schema comes from the file header, the
+  /// ColumnStore is backed by the mapping, and no raw column is ever
+  /// materialized. Counting and sampling work unchanged; per-cell accessors
+  /// (at/column/Set/AppendRow/Split/SelectRows and the naive counting pass)
+  /// require resident columns and throw. Throws on open/parse failure.
+  static Dataset FromPackedFile(const std::string& path);
+
   const Schema& schema() const { return schema_; }
-  int num_rows() const { return num_rows_; }
+  int64_t num_rows() const { return num_rows_; }
   int num_attrs() const { return schema_.num_attrs(); }
+
+  /// True when the rows live in a mapped packed file rather than resident
+  /// columns (see FromPackedFile).
+  bool out_of_core() const { return out_of_core_; }
 
   /// Cell accessors. No bounds checks in release hot paths beyond PB_CHECK
   /// in debug-sensitive entry points; `Set` validates the value range.
-  Value at(int row, int col) const { return columns_[col][row]; }
-  void Set(int row, int col, Value v);
+  /// Resident (non-out-of-core) datasets only.
+  Value at(int64_t row, int col) const { return columns_[col][row]; }
+  void Set(int64_t row, int col, Value v);
 
-  /// Whole column (length num_rows()).
-  const std::vector<Value>& column(int col) const { return columns_[col]; }
+  /// Whole column (length num_rows()). Resident datasets only; out-of-core
+  /// consumers pin through store()->PinColumn instead.
+  const std::vector<Value>& column(int col) const;
 
   /// Appends one row given values in schema order.
   void AppendRow(std::span<const Value> row);
@@ -101,7 +117,8 @@ class Dataset {
   void InvalidateStore();
 
   Schema schema_;
-  int num_rows_ = 0;
+  int64_t num_rows_ = 0;
+  bool out_of_core_ = false;
   std::vector<std::vector<Value>> columns_;
 
   // Lazily built snapshot; immutable once published, reset on mutation.

@@ -153,6 +153,9 @@ Value BinaryEncoder::DecodeValue(int attr, int code) const {
 Dataset BinaryEncoder::Encode(const Dataset& data) const {
   PB_THROW_IF(data.schema().num_attrs() != original_.num_attrs(),
               "dataset schema does not match encoder schema");
+  PB_THROW_IF(data.out_of_core(),
+              "binary/gray encoding materializes every row; out-of-core "
+              "datasets support the hierarchical encoding only");
   Dataset out(binary_schema_, data.num_rows());
   for (int a = 0; a < original_.num_attrs(); ++a) {
     int nb = bits_[a];
@@ -214,6 +217,9 @@ EncodedDataset EncodeUncached(const Dataset& data, EncodingKind kind) {
       // Same cell values under the flattened schema: adopt column copies
       // instead of 10⁶ Set() calls (each of which locks to invalidate the
       // snapshot).
+      PB_THROW_IF(data.out_of_core(),
+                  "vanilla encoding materializes every column; out-of-core "
+                  "datasets support the hierarchical encoding only");
       Schema flat = FlattenTaxonomies(data.schema());
       std::vector<std::vector<Value>> columns;
       columns.reserve(static_cast<size_t>(data.num_attrs()));

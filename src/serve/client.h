@@ -108,7 +108,7 @@ struct RetryPolicy {
 struct ServedModelInfo {
   std::string name;
   int num_attrs = 0;
-  int input_rows = 0;
+  int64_t input_rows = 0;
   double epsilon = 0;
 };
 

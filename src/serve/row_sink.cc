@@ -90,8 +90,9 @@ void BinaryRowSink::Chunk(const Dataset& rows) {
               "chunk schema mismatch");
   // A row frame counts rows in a u16 and is capped at kMaxWireFrame bytes;
   // split oversized chunks.
-  for (int first = 0; first < rows.num_rows(); first += rows_per_frame_) {
-    const int n = std::min(rows.num_rows() - first, rows_per_frame_);
+  for (int64_t first = 0; first < rows.num_rows(); first += rows_per_frame_) {
+    const int n = static_cast<int>(
+        std::min<int64_t>(rows.num_rows() - first, rows_per_frame_));
     frame_.push_back(static_cast<char>(kWireFrameRows));
     AppendU16(frame_, static_cast<uint16_t>(n));
     for (int c = 0; c < rows.num_attrs(); ++c) {

@@ -51,7 +51,7 @@ double HingeObjective(const Dataset& data, const LabelSpec& label,
     double margin = label.LabelOf(data, r) * fz.Dot(model.w, data, r);
     loss += std::max(0.0, 1.0 - margin);
   }
-  loss /= std::max(1, data.num_rows());
+  loss /= static_cast<double>(std::max<int64_t>(1, data.num_rows()));
   double reg = 0;
   for (double wi : model.w) reg += wi * wi;
   return loss + 0.5 * lambda * reg;

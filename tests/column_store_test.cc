@@ -3,6 +3,7 @@
 // BIT-IDENTICAL to the seed's naive pass (both accumulate integers, so exact
 // double comparison is the right check).
 
+#include <span>
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -163,7 +164,7 @@ TEST(ColumnStore, PackedColumnsExposeBitExactRows) {
   for (int r = 0; r < 70; r += 3) d.Set(r, 0, 1);
   std::shared_ptr<const ColumnStore> store = d.store();
   ASSERT_TRUE(store->packed(0));
-  const std::vector<uint64_t>& words = store->packed_words(0);
+  std::span<const uint64_t> words = store->packed_words(0);
   ASSERT_EQ(words.size(), 2u);
   for (int r = 0; r < 70; ++r) {
     uint64_t bit = (words[r / 64] >> (r % 64)) & 1;

@@ -8,6 +8,9 @@
 //   --fit  NAME=DATASET[:rows[:eps]]   fit a paper dataset in-process
 //                                      (NLTCS, ACS, Adult, BR2000)
 //   --load NAME=PATH                   load a SaveModelFile archive
+//   --load-packed NAME=PATH[:eps]      mmap a packed dataset file
+//                                      (privbayes_pack) and fit it
+//                                      out-of-core — rows never resident
 //   --manifest PATH                    load every entry of a registry
 //                                      manifest (core/model_io.h)
 //
@@ -35,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "core/model_io.h"
 #include "core/privbayes.h"
 #include "data/generators.h"
@@ -58,7 +62,9 @@ void OnSignal(int) { g_stop = 1; }
                "          [--drain-ms MS] [--log-level LEVEL]\n"
                "          [--trace-slow-ms MS]\n"
                "          [--fit NAME=DATASET[:rows[:eps]]]... "
-               "[--load NAME=PATH]... [--manifest PATH]...\n",
+               "[--load NAME=PATH]...\n"
+               "          [--load-packed NAME=PATH[:eps]]... "
+               "[--manifest PATH]...\n",
                argv0);
   std::exit(2);
 }
@@ -107,6 +113,39 @@ void FitAndRegister(pb::ModelRegistry& registry, const std::string& name,
   LogMarginalStoreLine("after fit");
 }
 
+// PATH[:eps] — fit a packed dataset file out-of-core: the dataset is an
+// mmap of the file, counting reads the mapped packed words, and no raw
+// column is ever resident (beyond the bounded generalized-column cache).
+void FitPackedAndRegister(pb::ModelRegistry& registry, const std::string& name,
+                          const std::string& spec, uint64_t seed) {
+  std::string path = spec;
+  double epsilon = 0.8;
+  const size_t colon = path.rfind(':');
+  if (colon != std::string::npos && path.find('=', colon) == std::string::npos &&
+      colon > 1) {
+    const std::string tail = path.substr(colon + 1);
+    char* end = nullptr;
+    const double parsed = std::strtod(tail.c_str(), &end);
+    if (end != tail.c_str() && *end == '\0') {
+      epsilon = parsed;
+      path = path.substr(0, colon);
+    }
+  }
+  pb::Dataset data = pb::Dataset::FromPackedFile(path);
+  PB_LOG(kInfo, "serve") << "fitting " << name << " out-of-core from " << path
+                         << " (" << data.num_rows()
+                         << " rows, eps=" << epsilon << ")...";
+  pb::PrivBayesOptions options;
+  options.epsilon = epsilon;
+  options.candidate_cap = 200;
+  pb::PrivBayes privbayes(options);
+  pb::Rng rng(seed);
+  registry.Put(name, privbayes.Fit(data, rng));
+  LogMarginalStoreLine("after packed fit");
+  PB_LOG(kInfo, "serve") << "peak_rss_kb=" << pb::PeakRssKb()
+                         << " after out-of-core fit of " << name;
+}
+
 // Raise the fd soft limit toward the hard limit: every session is one fd
 // (no thread), so the file-descriptor budget IS the C10K session budget.
 // Best effort — a container that pins the hard limit just keeps it.
@@ -129,6 +168,7 @@ int main(int argc, char** argv) {
   long long drain_ms = 5000;
   std::vector<std::pair<std::string, std::string>> fits;   // name -> spec
   std::vector<std::pair<std::string, std::string>> loads;  // name -> path
+  std::vector<std::pair<std::string, std::string>> packed;  // name -> spec
   std::vector<std::string> manifests;
 
   for (int i = 1; i < argc; ++i) {
@@ -186,13 +226,15 @@ int main(int argc, char** argv) {
       fits.push_back(SplitNameValue(next(), argv[0]));
     } else if (arg == "--load") {
       loads.push_back(SplitNameValue(next(), argv[0]));
+    } else if (arg == "--load-packed") {
+      packed.push_back(SplitNameValue(next(), argv[0]));
     } else if (arg == "--manifest") {
       manifests.push_back(next());
     } else {
       Usage(argv[0]);
     }
   }
-  if (fits.empty() && loads.empty() && manifests.empty()) {
+  if (fits.empty() && loads.empty() && packed.empty() && manifests.empty()) {
     // A demo fleet: the same workflow as `--fit nltcs=NLTCS --fit
     // adult=Adult` but small enough to be up in seconds.
     fits = {{"nltcs", "NLTCS:4000:0.8"}, {"adult", "Adult:4000:0.8"}};
@@ -209,6 +251,9 @@ int main(int argc, char** argv) {
     for (const auto& [name, path] : loads) {
       PB_LOG(kInfo, "serve") << "loading " << name << " from " << path;
       registry.Put(name, pb::LoadModelFile(path));
+    }
+    for (const auto& [name, spec] : packed) {
+      FitPackedAndRegister(registry, name, spec, seed++);
     }
     for (const std::string& manifest : manifests) {
       for (const std::string& name : registry.LoadManifestFile(manifest)) {
@@ -246,5 +291,6 @@ int main(int argc, char** argv) {
                          << stats.shed_requests << " shed requests), "
                          << stats.rows_streamed << " rows streamed";
   LogMarginalStoreLine("at shutdown");
+  PB_LOG(kInfo, "serve") << "peak_rss_kb=" << pb::PeakRssKb();
   return 0;
 }
